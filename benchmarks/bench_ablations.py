@@ -1,0 +1,204 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+1. CSR SpMV strategy: classical vs load-balanced on imbalanced matrices.
+2. GMRES residual-check frequency: Ginkgo's per-update checks vs CuPy's
+   per-restart checks (via the two backends' GMRES implementations).
+3. GMRES orthogonalisation: fused multi-dot (Ginkgo) vs batched-GEMV
+   projection (CuPy) — isolated per-iteration cost.
+4. Binding dispatch: direct suffixed call vs dispatching entry point.
+5. Jacobi block size: scalar vs block preconditioning quality.
+"""
+
+import numpy as np
+import pytest
+
+import repro as pg
+from repro.baselines import CupyBackend, PyGinkgoBackend
+from repro.bench.reporting import format_table
+from repro.ginkgo.matrix import Csr, Dense
+from repro.perfmodel import spmv_cost
+from repro.suitesparse import circuit_like, mesh_delaunay, spd_random
+
+from conftest import report
+
+
+# ----------------------------------------------------------------------
+# 1. CSR strategy ablation
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module", autouse=True)
+def print_strategy_ablation():
+    rows = []
+    for name, matrix in (
+        ("balanced (mesh)", mesh_delaunay(30000, seed=1)),
+        ("imbalanced (circuit)", circuit_like(30000, seed=2)),
+    ):
+        dev = pg.device("cuda", fresh=True)
+        times = {}
+        for strategy in ("classical", "load_balance", "merge_path"):
+            engine = Csr.from_scipy(dev, matrix, strategy=strategy)
+            x = Dense.full(dev, (matrix.shape[1], 1), 1.0, np.float64)
+            y = Dense.zeros(dev, (matrix.shape[0], 1), np.float64)
+            start = dev.clock.now
+            for _ in range(5):
+                engine.apply(x, y)
+            times[strategy] = (dev.clock.now - start) / 5
+        rows.append(
+            (
+                name,
+                f"{times['classical'] * 1e6:.1f}",
+                f"{times['load_balance'] * 1e6:.1f}",
+                f"{times['merge_path'] * 1e6:.1f}",
+            )
+        )
+    report(
+        "Ablation 1: CSR SpMV strategy (us per SpMV, simulated A100)",
+        format_table(
+            ["matrix class", "classical", "load_balance", "merge_path"],
+            rows,
+        ),
+    )
+
+
+@pytest.mark.parametrize(
+    "strategy", ["classical", "load_balance", "merge_path"]
+)
+def test_csr_strategy(benchmark, strategy, rng):
+    matrix = circuit_like(20000, seed=3)
+    dev = pg.device("cuda", fresh=True)
+    engine = Csr.from_scipy(dev, matrix, strategy=strategy)
+    x = Dense(dev, rng.random((matrix.shape[1], 1)))
+    y = Dense.zeros(dev, (matrix.shape[0], 1), np.float64)
+    benchmark(lambda: engine.apply(x, y))
+
+
+# ----------------------------------------------------------------------
+# 2+3. GMRES implementation-strategy ablation
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module", autouse=True)
+def print_gmres_ablation():
+    matrix = spd_random(8000, 0.002, seed=4)
+    b = np.ones(matrix.shape[0])
+    rows = []
+    for restart in (10, 30, 60):
+        gk = PyGinkgoBackend(noisy=False)
+        cp = CupyBackend(noisy=False)
+        t_gk = gk.run_solver(
+            gk.prepare(matrix, "csr", np.float64), "gmres", b, 120,
+            restart=restart,
+        )["time_per_iteration"]
+        t_cp = cp.run_solver(
+            cp.prepare(matrix, "csr", np.float64), "gmres", b, 120,
+            restart=restart,
+        )["time_per_iteration"]
+        rows.append(
+            (restart, f"{t_gk * 1e6:.1f}", f"{t_cp * 1e6:.1f}",
+             f"{t_cp / t_gk:.2f}")
+        )
+    report(
+        "Ablation 2/3: GMRES strategy (Ginkgo per-update Givens checks vs "
+        "CuPy per-restart CPU least-squares), us/iteration",
+        format_table(
+            ["restart", "pyGinkgo", "CuPy", "speedup"], rows,
+        ),
+    )
+
+
+@pytest.mark.parametrize("restart", [10, 30, 60])
+def test_gmres_restart_length(benchmark, restart):
+    matrix = spd_random(4000, 0.002, seed=5)
+    b = np.ones(matrix.shape[0])
+    backend = PyGinkgoBackend(noisy=False)
+    handle = backend.prepare(matrix, "csr", np.float64)
+    benchmark(
+        lambda: backend.run_solver(handle, "gmres", b, 30, restart=restart)
+    )
+
+
+# ----------------------------------------------------------------------
+# 4. Dispatch-layer ablation
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module", autouse=True)
+def print_dispatch_ablation(rng):
+    from repro import bindings
+
+    data = rng.random(4096)
+    dev = pg.device("reference", fresh=True)
+    import time
+
+    reps = 200
+    start = time.perf_counter()
+    for _ in range(reps):
+        bindings.dense_double(dev, data)
+    direct = (time.perf_counter() - start) / reps
+    start = time.perf_counter()
+    for _ in range(reps):
+        pg.as_tensor(data, device=dev, dtype="double")
+    dispatched = (time.perf_counter() - start) / reps
+    report(
+        "Ablation 4: binding dispatch",
+        format_table(
+            ["path", "wall us/call"],
+            [
+                ("direct suffixed binding", f"{direct * 1e6:.1f}"),
+                ("dispatching as_tensor", f"{dispatched * 1e6:.1f}"),
+                ("dispatch overhead", f"{(dispatched - direct) * 1e6:.1f}"),
+            ],
+        ),
+    )
+
+
+def test_direct_binding_call(benchmark, rng):
+    from repro import bindings
+
+    dev = pg.device("reference", fresh=True)
+    data = rng.random(1024)
+    benchmark(lambda: bindings.dense_double(dev, data))
+
+
+def test_dispatching_entry_point(benchmark, rng):
+    dev = pg.device("reference", fresh=True)
+    data = rng.random(1024)
+    benchmark(lambda: pg.as_tensor(data, device=dev, dtype="double"))
+
+
+# ----------------------------------------------------------------------
+# 5. Jacobi block-size ablation
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module", autouse=True)
+def print_jacobi_ablation():
+    import scipy.sparse as sp
+
+    rng = np.random.default_rng(6)
+    blocks = []
+    for _ in range(100):
+        q = rng.standard_normal((4, 4))
+        blocks.append(q @ q.T + 4 * np.eye(4))
+    matrix = (sp.block_diag(blocks) + 0.05 * sp.eye(400)).tocsr()
+    rows = []
+    for block_size in (1, 2, 4, 8):
+        dev = pg.device("reference", fresh=True)
+        mtx = pg.matrix(device=dev, data=matrix)
+        precond = pg.preconditioner.Jacobi(dev, mtx, max_block_size=block_size)
+        solver = pg.solver.cg(dev, mtx, precond, max_iters=1000,
+                              reduction_factor=1e-10)
+        b = pg.as_tensor(device=dev, dim=(400, 1), fill=1.0)
+        x = pg.as_tensor(device=dev, dim=(400, 1), fill=0.0)
+        logger, _ = solver.apply(b, x)
+        rows.append((block_size, logger.num_iterations, logger.converged))
+    report(
+        "Ablation 5: Jacobi block size (CG iterations to 1e-10 on a "
+        "4x4-block-structured SPD system)",
+        format_table(["block size", "iterations", "converged"], rows),
+    )
+
+
+@pytest.mark.parametrize("block_size", [1, 4])
+def test_jacobi_generation(benchmark, block_size):
+    matrix = spd_random(2000, 0.005, seed=7)
+    dev = pg.device("reference", fresh=True)
+    mtx = pg.matrix(device=dev, data=matrix)
+    benchmark(
+        lambda: pg.preconditioner.Jacobi(
+            dev, mtx, max_block_size=block_size
+        )
+    )

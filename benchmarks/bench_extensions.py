@@ -1,0 +1,240 @@
+"""Extension-feature benchmarks: CB-GMRES compressed-basis speedup, AMG
+versus single-level preconditioning, RCM reordering effect, and the
+stencil/convolution operator the paper lists as future work.
+"""
+
+import numpy as np
+import pytest
+
+import repro as pg
+from repro.bench.reporting import format_table
+from repro.ginkgo.matrix import Csr, Dense
+from repro.ginkgo.matrix.stencil import KERNELS, StencilOp
+from repro.ginkgo.multigrid import Pgm
+from repro.ginkgo.reorder import bandwidth, permute, rcm
+from repro.ginkgo.solver import CbGmres, Cg, Gmres
+from repro.ginkgo.stop import Iteration, ResidualNorm
+from repro.suitesparse import banded, poisson_2d
+
+from conftest import report
+
+
+# ----------------------------------------------------------------------
+# CB-GMRES: per-iteration time vs basis storage precision
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module", autouse=True)
+def print_cb_gmres():
+    # Large enough that the Krylov-basis traffic (not launch latency)
+    # dominates the iteration — the regime CB-GMRES is built for.
+    matrix = poisson_2d(500)
+    rows = []
+    for label, factory_args in (
+        ("GMRES (fp64 basis)", None),
+        ("CB-GMRES fp32 basis", "float32"),
+        ("CB-GMRES fp16 basis", "half"),
+    ):
+        dev = pg.device("cuda", fresh=True)
+        mtx = Csr.from_scipy(dev, matrix)
+        if factory_args is None:
+            factory = Gmres(dev, criteria=Iteration(90))
+        else:
+            factory = CbGmres(
+                dev, criteria=Iteration(90), storage_precision=factory_args
+            )
+        solver = factory.generate(mtx)
+        b = Dense.full(dev, (matrix.shape[0], 1), 1.0, np.float64)
+        x = Dense.zeros(dev, (matrix.shape[0], 1), np.float64)
+        start = dev.clock.now
+        solver.apply(b, x)
+        per_iter = (dev.clock.now - start) / 90
+        rows.append((label, f"{per_iter * 1e6:.1f}"))
+    base = float(rows[0][1])
+    rows = [(label, t, f"{base / float(t):.2f}x") for label, t in rows]
+    report(
+        "Extension: CB-GMRES compressed-basis speedup "
+        "(simulated A100, 250k dofs)",
+        format_table(["solver", "us/iteration", "speedup"], rows),
+    )
+
+
+@pytest.mark.parametrize("storage", [None, "float32", "half"],
+                         ids=["fp64", "fp32", "fp16"])
+def test_gmres_basis_precision(benchmark, storage):
+    matrix = poisson_2d(60)
+    dev = pg.device("cuda", fresh=True)
+    mtx = Csr.from_scipy(dev, matrix)
+    if storage is None:
+        factory = Gmres(dev, criteria=Iteration(30))
+    else:
+        factory = CbGmres(
+            dev, criteria=Iteration(30), storage_precision=storage
+        )
+    solver = factory.generate(mtx)
+    b = Dense.full(dev, (matrix.shape[0], 1), 1.0, np.float64)
+
+    def run():
+        x = Dense.zeros(dev, (matrix.shape[0], 1), np.float64)
+        solver.apply(b, x)
+
+    benchmark(run)
+
+
+# ----------------------------------------------------------------------
+# AMG vs single-level preconditioners
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module", autouse=True)
+def print_amg_comparison():
+    rows = []
+    for n in (32, 64, 96):
+        matrix = poisson_2d(n)
+        row = [f"{n}x{n}"]
+        for label in ("none", "jacobi", "ic", "amg"):
+            dev = pg.device("reference", fresh=True)
+            mtx = Csr.from_scipy(dev, matrix)
+            precond = {
+                "none": None,
+                "jacobi": lambda: pg.preconditioner.Jacobi(dev, mtx),
+                "ic": lambda: pg.preconditioner.Ic(dev, mtx),
+                "amg": lambda: Pgm(dev).generate(mtx),
+            }[label]
+            solver = Cg(
+                dev,
+                criteria=Iteration(2000) | ResidualNorm(1e-9),
+                preconditioner=precond() if precond else None,
+            ).generate(mtx)
+            b = Dense.full(dev, (matrix.shape[0], 1), 1.0, np.float64)
+            x = Dense.zeros(dev, (matrix.shape[0], 1), np.float64)
+            solver.apply(b, x)
+            row.append(solver.num_iterations)
+        rows.append(tuple(row))
+    report(
+        "Extension: CG iterations to 1e-9 by preconditioner "
+        "(2-D Poisson; AMG is mesh-robust)",
+        format_table(["grid", "none", "jacobi", "ic", "amg"], rows),
+    )
+
+
+@pytest.mark.parametrize("precond", ["none", "amg"])
+def test_cg_with_amg(benchmark, precond):
+    matrix = poisson_2d(48)
+    dev = pg.device("reference", fresh=True)
+    mtx = Csr.from_scipy(dev, matrix)
+    factory = Cg(
+        dev,
+        criteria=Iteration(2000) | ResidualNorm(1e-9),
+        preconditioner=Pgm(dev).generate(mtx) if precond == "amg" else None,
+    )
+    solver = factory.generate(mtx)
+    b = Dense.full(dev, (matrix.shape[0], 1), 1.0, np.float64)
+
+    def run():
+        x = Dense.zeros(dev, (matrix.shape[0], 1), np.float64)
+        solver.apply(b, x)
+
+    benchmark(run)
+
+
+# ----------------------------------------------------------------------
+# RCM reordering
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module", autouse=True)
+def print_rcm(rng):
+    rows = []
+    for n in (500, 2000):
+        base = banded(n, bandwidth=4, seed=1)
+        shuffle = rng.permutation(n)
+        shuffled = base.tocsr()[shuffle, :][:, shuffle].tocsr()
+        dev = pg.device("reference", fresh=True)
+        mtx = Csr.from_scipy(dev, shuffled)
+        before = bandwidth(mtx)
+        after = bandwidth(permute(mtx, rcm(mtx)))
+        rows.append((n, before, after, f"{before / max(after, 1):.1f}x"))
+    report(
+        "Extension: RCM bandwidth reduction on shuffled banded matrices",
+        format_table(["n", "bandwidth before", "after", "reduction"], rows),
+    )
+
+
+def test_rcm_reordering(benchmark, rng):
+    base = banded(1000, bandwidth=4, seed=2)
+    shuffle = rng.permutation(1000)
+    shuffled = base.tocsr()[shuffle, :][:, shuffle].tocsr()
+    dev = pg.device("reference", fresh=True)
+    mtx = Csr.from_scipy(dev, shuffled)
+    benchmark(lambda: permute(mtx, rcm(mtx)))
+
+
+# ----------------------------------------------------------------------
+# Stencil / convolution operator (paper's announced future work)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module", autouse=True)
+def print_stencil(rng):
+    image = rng.standard_normal((256, 256))
+    rows = []
+    for name in ("blur3", "sharpen", "laplace", "sobel_x"):
+        dev = pg.device("cuda", fresh=True)
+        op = StencilOp(dev, image.shape, KERNELS[name])
+        start = dev.clock.now
+        op.apply_image(image)
+        rows.append(
+            (name, op.nnz, f"{(dev.clock.now - start) * 1e6:.1f}")
+        )
+    report(
+        "Extension: convolution operator (256x256 image, simulated A100)",
+        format_table(["kernel", "nnz", "us/apply"], rows),
+    )
+
+
+@pytest.mark.parametrize("kernel", ["blur3", "laplace"])
+def test_stencil_apply(benchmark, kernel, rng):
+    dev = pg.device("cuda", fresh=True)
+    image = rng.standard_normal((128, 128))
+    op = StencilOp(dev, image.shape, KERNELS[kernel])
+    benchmark(lambda: op.apply_image(image))
+
+
+# ----------------------------------------------------------------------
+# ParILU: fixed-point sweeps vs preconditioner quality
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module", autouse=True)
+def print_parilu():
+    from repro.ginkgo.factorization import ilu0, parilu
+    from repro.ginkgo.preconditioner import Ilu
+    from repro.ginkgo.solver import Gmres
+    from repro.suitesparse import circuit_like
+
+    matrix = circuit_like(1500, seed=11)
+    dev = pg.device("reference", fresh=True)
+    mtx = Csr.from_scipy(dev, matrix)
+    exact_u = ilu0(mtx).u_factor.to_scipy()
+    rows = []
+    for sweeps in (1, 2, 4, 8):
+        fact = parilu(mtx, sweeps=sweeps)
+        error = abs(fact.u_factor.to_scipy() - exact_u).max()
+        precond = Ilu(dev, algorithm="parilu", sweeps=sweeps).generate(mtx)
+        solver = Gmres(
+            dev, criteria=Iteration(500) | ResidualNorm(1e-9),
+            preconditioner=precond,
+        ).generate(mtx)
+        b = Dense.full(dev, (matrix.shape[0], 1), 1.0, np.float64)
+        x = Dense.zeros(dev, (matrix.shape[0], 1), np.float64)
+        solver.apply(b, x)
+        rows.append((sweeps, f"{error:.2e}", solver.num_iterations))
+    report(
+        "Extension: ParILU fixed-point sweeps vs exact ILU(0) "
+        "(circuit matrix, GMRES iterations to 1e-9)",
+        format_table(
+            ["sweeps", "max |U - U_exact|", "GMRES iterations"], rows
+        ),
+    )
+
+
+@pytest.mark.parametrize("sweeps", [1, 4])
+def test_parilu_generation(benchmark, sweeps):
+    from repro.ginkgo.factorization import parilu
+    from repro.suitesparse import spd_random
+
+    matrix = spd_random(800, 0.01, seed=12)
+    dev = pg.device("reference", fresh=True)
+    mtx = Csr.from_scipy(dev, matrix)
+    benchmark(lambda: parilu(mtx, sweeps=sweeps))

@@ -1,0 +1,51 @@
+"""Figure 3a: SpMV on the (simulated) A100, speedup vs SciPy, fp32.
+
+Regenerates the speedup-vs-NNZ series for pyGinkgo / PyTorch / CuPy /
+TensorFlow and benchmarks the real wall time of each backend's SpMV on a
+representative matrix.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CupyBackend,
+    PyGinkgoBackend,
+    PyTorchBackend,
+    ScipyBackend,
+    TensorFlowBackend,
+)
+from repro.bench import fig3a_spmv_gpu
+
+from conftest import report
+
+
+@pytest.fixture(scope="module", autouse=True)
+def print_figure(spmv_matrices):
+    report("Figure 3a reproduction", fig3a_spmv_gpu(spmv_matrices)["text"])
+
+
+@pytest.fixture(scope="module")
+def workload(spmv_matrices, rng):
+    matrix = spmv_matrices[len(spmv_matrices) // 2].build()
+    x = rng.random(matrix.shape[1]).astype(np.float32)
+    return matrix, x
+
+
+@pytest.mark.parametrize(
+    "backend_cls,fmt",
+    [
+        (PyGinkgoBackend, "csr"),
+        (PyTorchBackend, "csr"),
+        (CupyBackend, "csr"),
+        (TensorFlowBackend, "coo"),
+        (ScipyBackend, "csr"),
+    ],
+    ids=["pyginkgo", "pytorch", "cupy", "tensorflow", "scipy"],
+)
+def test_spmv_backend(benchmark, backend_cls, fmt, workload):
+    """Real wall time of one SpMV through each backend."""
+    matrix, x = workload
+    backend = backend_cls(noisy=False)
+    handle = backend.prepare(matrix, fmt, np.float32)
+    benchmark(lambda: backend.spmv(handle, x))

@@ -1,0 +1,40 @@
+"""Figure 3b: SpMV on the Xeon 8368, speedup vs SciPy across thread counts.
+
+Regenerates the thread-scaling series and benchmarks the engine's CSR SpMV
+at several OpenMP widths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PyGinkgoBackend
+from repro.bench import fig3b_spmv_cpu
+from repro.perfmodel.specs import INTEL_XEON_8368
+
+from conftest import report
+
+
+@pytest.fixture(scope="module", autouse=True)
+def print_figure(spmv_matrices):
+    report(
+        "Figure 3b reproduction",
+        fig3b_spmv_cpu(spmv_matrices, threads=(1, 2, 4, 8, 16, 32))["text"],
+    )
+
+
+@pytest.fixture(scope="module")
+def workload(spmv_matrices, rng):
+    matrix = spmv_matrices[-1].build()
+    x = rng.random(matrix.shape[1]).astype(np.float32)
+    return matrix, x
+
+
+@pytest.mark.parametrize("threads", [1, 4, 16, 32])
+def test_spmv_cpu_threads(benchmark, threads, workload):
+    """Real wall time of the CPU SpMV path per modeled thread count."""
+    matrix, x = workload
+    backend = PyGinkgoBackend(
+        spec=INTEL_XEON_8368, num_threads=threads, noisy=False
+    )
+    handle = backend.prepare(matrix, "csr", np.float32)
+    benchmark(lambda: backend.spmv(handle, x))

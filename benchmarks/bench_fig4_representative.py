@@ -1,0 +1,39 @@
+"""Figure 4: speedups vs SciPy for the representative matrices A-F.
+
+Regenerates both panels (GPU and 32-thread CPU) at reduced scale and
+benchmarks the engine SpMV on each structure class.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PyGinkgoBackend
+from repro.bench import fig4_representative
+from repro.suitesparse import table2_suite
+
+from conftest import report
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module", autouse=True)
+def print_figure():
+    report(
+        f"Figure 4 reproduction (scale={SCALE})",
+        fig4_representative(scale=SCALE)["text"],
+    )
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return {spec.label: spec for spec in table2_suite(scale=SCALE)}
+
+
+@pytest.mark.parametrize("label", list("ABCDEF"))
+def test_spmv_representative(benchmark, label, suite, rng):
+    """Real wall time of the GPU-path SpMV per Table-2 matrix class."""
+    matrix = suite[label].build()
+    x = rng.random(matrix.shape[1]).astype(np.float32)
+    backend = PyGinkgoBackend(noisy=False)
+    handle = backend.prepare(matrix, "csr", np.float32)
+    benchmark(lambda: backend.spmv(handle, x))

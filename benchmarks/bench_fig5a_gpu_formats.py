@@ -1,0 +1,39 @@
+"""Figure 5a: pyGinkgo SpMV GFLOP/s, A100 vs MI100, CSR vs COO.
+
+Regenerates the four throughput series and benchmarks the real engine
+SpMV on both devices and formats.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PyGinkgoBackend
+from repro.bench import fig5a_gpu_formats
+from repro.perfmodel.specs import AMD_MI100, NVIDIA_A100
+
+from conftest import report
+
+
+@pytest.fixture(scope="module", autouse=True)
+def print_figure(overhead_matrices):
+    report(
+        "Figure 5a reproduction", fig5a_gpu_formats(overhead_matrices)["text"]
+    )
+
+
+@pytest.fixture(scope="module")
+def workload(overhead_matrices, rng):
+    matrix = overhead_matrices[len(overhead_matrices) // 2].build()
+    x = rng.random(matrix.shape[1]).astype(np.float32)
+    return matrix, x
+
+
+@pytest.mark.parametrize(
+    "spec", [NVIDIA_A100, AMD_MI100], ids=["a100", "mi100"]
+)
+@pytest.mark.parametrize("fmt", ["csr", "coo"])
+def test_spmv_device_format(benchmark, spec, fmt, workload):
+    matrix, x = workload
+    backend = PyGinkgoBackend(spec=spec, noisy=False)
+    handle = backend.prepare(matrix, fmt, np.float32)
+    benchmark(lambda: backend.spmv(handle, x))

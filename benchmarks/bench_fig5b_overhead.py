@@ -1,0 +1,38 @@
+"""Figure 5b: relative performance difference pyGinkgo vs native Ginkgo.
+
+Regenerates the overhead-percentage series and benchmarks the real cost
+of a binding crossing against the bare engine call.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GinkgoNativeBackend, PyGinkgoBackend
+from repro.bench import fig5b_overhead
+
+from conftest import report
+
+
+@pytest.fixture(scope="module", autouse=True)
+def print_figure(overhead_matrices):
+    report(
+        "Figure 5b reproduction", fig5b_overhead(overhead_matrices)["text"]
+    )
+
+
+@pytest.fixture(scope="module")
+def workload(overhead_matrices, rng):
+    matrix = overhead_matrices[0].build()  # smallest: overhead-dominated
+    x = rng.random(matrix.shape[1]).astype(np.float32)
+    return matrix, x
+
+
+@pytest.mark.parametrize(
+    "backend_cls", [PyGinkgoBackend, GinkgoNativeBackend],
+    ids=["bound", "native"],
+)
+def test_spmv_with_and_without_bindings(benchmark, backend_cls, workload):
+    matrix, x = workload
+    backend = backend_cls(noisy=False)
+    handle = backend.prepare(matrix, "csr", np.float32)
+    benchmark(lambda: backend.spmv(handle, x))

@@ -1,0 +1,32 @@
+"""Figure 5c: absolute time difference pyGinkgo minus native Ginkgo.
+
+Regenerates the time-difference series (including the noise-induced
+negative values the paper reports) and benchmarks the binding-overhead
+sampler itself.
+"""
+
+import pytest
+
+from repro.bench import fig5c_timediff
+from repro.perfmodel import BindingOverheadModel
+
+from conftest import report
+
+
+@pytest.fixture(scope="module", autouse=True)
+def print_figure(overhead_matrices):
+    result = fig5c_timediff(overhead_matrices)
+    negatives = sum(
+        1 for rec in result["records"] if rec["time_diff"] < 0
+    )
+    text = result["text"] + (
+        f"\n({negatives}/{len(result['records'])} measurements negative "
+        "due to timing noise, as in the paper)"
+    )
+    report("Figure 5c reproduction", text)
+
+
+@pytest.mark.parametrize("family", ["gpu-nvidia", "gpu-amd", "cpu"])
+def test_overhead_sampling(benchmark, family):
+    model = BindingOverheadModel.for_device(family)
+    benchmark(lambda: model.sample(num_arguments=3))

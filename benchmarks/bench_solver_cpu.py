@@ -1,0 +1,42 @@
+"""Section 6.2.2: CPU solver comparison vs SciPy.
+
+Regenerates the pyGinkgo-vs-SciPy per-iteration speedups (paper: around
+3-8x for CG) and benchmarks real solver iterations on the CPU path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PyGinkgoBackend, ScipyBackend
+from repro.bench import solver_cpu_comparison
+from repro.perfmodel.specs import INTEL_XEON_8368
+
+from conftest import report
+
+
+@pytest.fixture(scope="module", autouse=True)
+def print_figure(solver_matrices):
+    report(
+        "Section 6.2.2 reproduction",
+        solver_cpu_comparison(solver_matrices, iterations=100)["text"],
+    )
+
+
+@pytest.fixture(scope="module")
+def workload(solver_matrices):
+    matrix = solver_matrices[2].build()
+    return matrix, np.ones(matrix.shape[0])
+
+
+@pytest.mark.parametrize("solver", ["cg", "cgs", "gmres"])
+@pytest.mark.parametrize("backend", ["pyginkgo", "scipy"])
+def test_cpu_solver(benchmark, solver, backend, workload):
+    matrix, b = workload
+    if backend == "pyginkgo":
+        impl = PyGinkgoBackend(
+            spec=INTEL_XEON_8368, num_threads=32, noisy=False
+        )
+    else:
+        impl = ScipyBackend(noisy=False)
+    handle = impl.prepare(matrix, "csr", np.float64)
+    benchmark(lambda: impl.run_solver(handle, solver, b, 20))

@@ -1,0 +1,68 @@
+"""Supplementary: SpMM (sparse matrix x dense block) scaling.
+
+The paper's introduction motivates pyGinkgo with sparse neural networks,
+whose core operation is the sparse-times-dense-block product (one SpMV per
+feature column, fused).  This bench sweeps the block width: launch latency
+and matrix traffic amortise over columns, so throughput per column rises
+steeply — the reason batched inference favours wide blocks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PyGinkgoBackend
+from repro.bench.reporting import format_table
+from repro.ginkgo.matrix import Csr, Dense
+from repro.suitesparse import kronecker_graph
+
+from conftest import report
+
+import repro as pg
+
+WIDTHS = (1, 4, 16, 64)
+
+
+@pytest.fixture(scope="module")
+def graph_matrix():
+    return kronecker_graph(scale=14, edge_factor=10, seed=3)  # 16k nodes
+
+
+@pytest.fixture(scope="module", autouse=True)
+def print_spmm(graph_matrix, rng):
+    rows = []
+    for width in WIDTHS:
+        dev = pg.device("cuda", fresh=True)
+        mtx = Csr.from_scipy(dev, graph_matrix, value_dtype=np.float32)
+        x = Dense(
+            dev, rng.random((graph_matrix.shape[1], width)).astype(np.float32)
+        )
+        y = Dense.zeros(dev, (graph_matrix.shape[0], width), np.float32)
+        start = dev.clock.now
+        reps = 5
+        for _ in range(reps):
+            mtx.apply(x, y)
+        elapsed = (dev.clock.now - start) / reps
+        gflops = 2.0 * graph_matrix.nnz * width / elapsed / 1e9
+        rows.append(
+            (width, f"{elapsed * 1e6:.1f}", f"{gflops:.0f}",
+             f"{elapsed / width * 1e6:.2f}")
+        )
+    report(
+        "Supplementary: SpMM block-width sweep "
+        f"(Kronecker graph, nnz={graph_matrix.nnz}, fp32, simulated A100)",
+        format_table(
+            ["block width", "us/apply", "GFLOP/s", "us/column"],
+            rows,
+        ),
+    )
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_spmm_width(benchmark, width, graph_matrix, rng):
+    dev = pg.device("cuda", fresh=True)
+    mtx = Csr.from_scipy(dev, graph_matrix, value_dtype=np.float32)
+    x = Dense(
+        dev, rng.random((graph_matrix.shape[1], width)).astype(np.float32)
+    )
+    y = Dense.zeros(dev, (graph_matrix.shape[0], width), np.float32)
+    benchmark(lambda: mtx.apply(x, y))

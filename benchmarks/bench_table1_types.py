@@ -1,0 +1,40 @@
+"""Table 1: available value and index types.
+
+Regenerates the type table and benchmarks the dispatch layer's overhead
+for each value type (the funcxx -> funcxx_<type> mechanism of section 5.1).
+"""
+
+import numpy as np
+import pytest
+
+import repro as pg
+from repro.bench import table1_types
+
+from conftest import report
+
+
+@pytest.fixture(scope="module", autouse=True)
+def print_table():
+    report("Table 1 reproduction", table1_types()["text"])
+
+
+@pytest.mark.parametrize("dtype", ["half", "float", "double"])
+def test_as_tensor_dispatch(benchmark, dtype):
+    """Wall time of the dtype-dispatching as_tensor entry point."""
+    dev = pg.device("reference", fresh=True)
+    data = np.random.default_rng(0).random(4096)
+    benchmark(lambda: pg.as_tensor(data, device=dev, dtype=dtype))
+
+
+@pytest.mark.parametrize("index_dtype", ["int32", "int64"])
+def test_matrix_dispatch(benchmark, index_dtype, rng):
+    """Wall time of sparse-matrix construction per index type."""
+    import scipy.sparse as sp
+
+    dev = pg.device("reference", fresh=True)
+    mat = sp.random(500, 500, density=0.01, random_state=rng, format="csr")
+    benchmark(
+        lambda: pg.matrix(
+            device=dev, data=mat, dtype="double", index_dtype=index_dtype
+        )
+    )

@@ -1,0 +1,43 @@
+"""Table 2: the six representative matrices A-F.
+
+Regenerates the matrix-attribute table (at reduced scale) and benchmarks
+the generators that produce each structure class.
+"""
+
+import pytest
+
+from repro.bench import table2_matrices
+from repro.suitesparse import (
+    circuit_like,
+    diagonal_mass,
+    mesh_delaunay,
+    banded,
+)
+
+from conftest import report
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module", autouse=True)
+def print_table():
+    report(
+        f"Table 2 reproduction (scale={SCALE})",
+        table2_matrices(scale=SCALE)["text"],
+    )
+
+
+def test_generate_diagonal_mass(benchmark):
+    benchmark(lambda: diagonal_mass(25503 // 20, 0.392, seed=37))
+
+
+def test_generate_circuit(benchmark):
+    benchmark(lambda: circuit_like(25187 // 20, avg_row_nnz=6.6, seed=1))
+
+
+def test_generate_mesh(benchmark):
+    benchmark(lambda: mesh_delaunay(131072 // 20, seed=17))
+
+
+def test_generate_banded(benchmark):
+    benchmark(lambda: banded(41092 // 20, bandwidth=20, seed=41))

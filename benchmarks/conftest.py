@@ -1,0 +1,88 @@
+"""Shared fixtures for the benchmark suite.
+
+Every ``bench_*`` module regenerates one of the paper's tables or figures:
+a session fixture computes the figure's data on a reduced (but same-shape)
+matrix suite and prints the rows/series; the pytest-benchmark functions
+then time representative real kernels.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.suitesparse import overhead_suite, solver_suite, spmv_suite
+
+#: Reduced suite sizes so the full benchmark run completes in minutes.
+#: The NNZ ranges keep the paper's span (launch-bound through
+#: bandwidth-bound) so every figure's shape is preserved.
+SPMV_COUNT = 12
+SOLVER_COUNT = 8
+OVERHEAD_COUNT = 10
+MAX_NNZ = 2e6
+OVERHEAD_MAX_NNZ = 1e7
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "figure: marks benchmarks that regenerate a paper figure"
+    )
+
+
+@pytest.fixture(scope="session")
+def spmv_matrices():
+    return spmv_suite(count=SPMV_COUNT, min_nnz=2e4, max_nnz=MAX_NNZ)
+
+
+@pytest.fixture(scope="session")
+def solver_matrices():
+    return solver_suite(count=SOLVER_COUNT, min_nnz=2e4, max_nnz=5e5)
+
+
+@pytest.fixture(scope="session")
+def overhead_matrices():
+    return overhead_suite(
+        count=OVERHEAD_COUNT, min_nnz=2e4, max_nnz=OVERHEAD_MAX_NNZ
+    )
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(2025)
+
+
+#: Figure blocks accumulated during the run, flushed after the benchmark
+#: table so they survive pytest's output capture.
+_REPORTS: list = []
+
+
+def report(title: str, text: str) -> None:
+    """Queue a figure reproduction block for the end-of-run summary.
+
+    pytest captures stdout at the file-descriptor level during tests, so
+    the regenerated tables/figures are emitted from the
+    ``pytest_terminal_summary`` hook instead — that output always reaches
+    the terminal/log, even without ``-s``.
+    """
+    _REPORTS.append((title, text))
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORTS:
+        return
+    bar = "=" * 72
+    terminalreporter.write_line("")
+    terminalreporter.write_line(bar)
+    terminalreporter.write_line(
+        "REPRODUCED TABLES AND FIGURES (paper: pyGinkgo, ICPP 2025)"
+    )
+    terminalreporter.write_line(bar)
+    for title, text in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"--- {title} ---")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

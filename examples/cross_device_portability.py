@@ -1,0 +1,60 @@
+"""Platform portability: one program, four executors.
+
+Demonstrates the executor abstraction of paper section 4.1: the same
+solver pipeline runs unchanged on the reference, OpenMP, CUDA, and HIP
+executors; data moves between memory spaces with explicit copies, and each
+device reports its own simulated timeline.
+
+Run with::
+
+    python examples/cross_device_portability.py
+"""
+
+import numpy as np
+
+import repro as pg
+from repro.suitesparse import poisson_2d
+
+
+def main() -> None:
+    matrix = poisson_2d(120)  # 14400 unknowns
+    n = matrix.shape[0]
+    print(f"system: {n} x {n}, nnz={matrix.nnz}\n")
+
+    # Stage the RHS once on the host, then copy it to each device —
+    # executors own distinct memory spaces, exactly like real GPUs.
+    host = pg.device("omp")
+    b_host = pg.as_tensor(np.ones((n, 1)), device=host)
+
+    print(f"{'executor':<30} {'iters':>6} {'solve (sim.)':>14} "
+          f"{'H2D copy':>10}")
+    results = {}
+    for name in ("reference", "omp", "cuda", "hip"):
+        dev = pg.device(name, fresh=True)
+        mtx = pg.matrix(device=dev, data=matrix, dtype="double")
+
+        copy_start = dev.clock.now
+        b = b_host.to(dev) if dev is not host else b_host.clone()
+        copy_time = dev.clock.now - copy_start
+
+        x = pg.as_tensor(device=dev, dim=(n, 1), fill=0.0)
+        solve_start = dev.clock.now
+        solver = pg.solver.cg(dev, mtx, max_iters=1000,
+                              reduction_factor=1e-8)
+        logger, result = solver.apply(b, x)
+        solve_time = dev.clock.now - solve_start
+
+        results[name] = result.numpy()
+        print(f"{dev.spec.name:<30} {logger.num_iterations:>6} "
+              f"{solve_time * 1e3:>11.2f} ms {copy_time * 1e6:>7.1f} us")
+
+    # Every executor computes the same answer.
+    for name, solution in results.items():
+        np.testing.assert_allclose(
+            solution, results["reference"], atol=1e-6
+        )
+    print("\nall executors agree to 1e-6 — platform portability verified")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Steady-state heat conduction on a 2-D plate (scientific workflow).
+
+Discretises ``-div(k grad T) = q`` with finite differences, assembles the
+sparse system with SciPy, hands it to pyGinkgo through the zero-copy
+interop path, and solves with IC-preconditioned CG in double precision —
+the "scientific computing workflows demand double precision" setting of
+the paper's solver benchmarks.
+
+Run with::
+
+    python examples/poisson_heat_transfer.py
+"""
+
+import numpy as np
+
+import repro as pg
+from repro.suitesparse import poisson_2d
+
+
+def main(nx: int = 96) -> None:
+    # Assemble: unit square, Dirichlet walls at T=0, uniform source.
+    h = 1.0 / (nx + 1)
+    a_sp = poisson_2d(nx) / h**2
+    n = a_sp.shape[0]
+    source = np.full((n, 1), 100.0)  # W/m^3 heat generation
+
+    dev = pg.device("cuda")
+    mtx = pg.matrix(device=dev, data=a_sp, dtype="double", format="Csr")
+    b = pg.as_tensor(source, device=dev, dtype="double")
+    temperature = pg.as_tensor(device=dev, dim=(n, 1), dtype="double",
+                               fill=0.0)
+
+    preconditioner = pg.preconditioner.Ic(dev, mtx)
+    solver = pg.solver.cg(
+        dev, mtx, preconditioner, max_iters=2000, reduction_factor=1e-10,
+    )
+    start = dev.clock.now
+    logger, result = solver.apply(b, temperature)
+    elapsed = dev.clock.now - start
+
+    field = result.numpy().reshape(nx, nx)
+    print(f"grid:               {nx} x {nx} ({n} unknowns, nnz={mtx.nnz})")
+    print(f"converged:          {logger.converged} in "
+          f"{logger.num_iterations} iterations")
+    print(f"simulated time:     {elapsed * 1e3:.2f} ms on {dev.spec.name}")
+    print(f"peak temperature:   {field.max():.4f} (centre "
+          f"{field[nx // 2, nx // 2]:.4f})")
+
+    # Verification 1: the discrete residual is tiny.
+    residual = np.linalg.norm(a_sp @ result.numpy() - source)
+    print(f"residual norm:      {residual:.3e}")
+
+    # Verification 2: compare with the analytic series solution for the
+    # Poisson problem on the unit square at the centre point.
+    analytic = _series_solution_centre(q=100.0, terms=99)
+    print(f"analytic centre:    {analytic:.4f} "
+          f"(discretisation error {abs(analytic - field[nx // 2, nx // 2]):.2e})")
+
+    # ASCII rendering of the temperature field.
+    print("\ntemperature field (quartile shading):")
+    levels = " .:-=+*#%@"
+    step = max(nx // 24, 1)
+    scale = field.max() or 1.0
+    for i in range(0, nx, step):
+        row = "".join(
+            levels[min(int(field[i, j] / scale * (len(levels) - 1)),
+                       len(levels) - 1)]
+            for j in range(0, nx, step)
+        )
+        print("  " + row)
+
+
+def _series_solution_centre(q: float, terms: int) -> float:
+    """Analytic centre temperature of -lap T = q on the unit square."""
+    total = 0.0
+    for m in range(1, terms + 1, 2):
+        for k in range(1, terms + 1, 2):
+            coeff = 16.0 * q / (np.pi**4 * m * k * (m**2 + k**2))
+            total += coeff * np.sin(m * np.pi / 2) * np.sin(k * np.pi / 2)
+    return total
+
+
+if __name__ == "__main__":
+    main()

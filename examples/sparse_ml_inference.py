@@ -1,0 +1,92 @@
+"""Sparse machine-learning inference: a GCN-style forward pass.
+
+The paper motivates pyGinkgo as "a compelling backend for sparse machine
+learning models": graph neural networks reduce to repeated SpMV/SpMM with
+the (normalised) adjacency matrix, in single precision.  This example runs
+a 3-layer graph-convolution forward pass over a synthetic social graph on
+every device and compares the simulated execution times — reproducing the
+CPU-vs-GPU crossover of the paper's Fig. 4.
+
+Run with::
+
+    python examples/sparse_ml_inference.py
+"""
+
+import numpy as np
+import scipy.sparse as sp
+
+import repro as pg
+from repro.ginkgo.matrix import Dense
+from repro.suitesparse import kronecker_graph
+
+
+def normalised_adjacency(graph: sp.csr_matrix) -> sp.csr_matrix:
+    """Symmetric GCN normalisation D^-1/2 (A + I) D^-1/2."""
+    a_hat = (graph + sp.eye(graph.shape[0], format="csr")).tocsr()
+    degrees = np.asarray(a_hat.sum(axis=1)).ravel()
+    inv_sqrt = 1.0 / np.sqrt(degrees)
+    d_half = sp.diags(inv_sqrt)
+    return (d_half @ a_hat @ d_half).tocsr()
+
+
+def gcn_forward(device, adjacency, features: np.ndarray, weights) -> np.ndarray:
+    """3-layer GCN: X_{l+1} = relu(A X_l W_l), through engine operators."""
+    mtx = pg.matrix(device=device, data=adjacency, dtype="float",
+                    format="Csr")
+    x = Dense(device, features.astype(np.float32))
+    for layer, w in enumerate(weights):
+        # Propagation: H = A X  (sparse x dense multi-vector product).
+        h = Dense.zeros(device, (x.size.rows, x.size.cols), np.float32)
+        mtx.apply(x, h)
+        # Transform: X = H W (dense apply through the same LinOp interface).
+        w_op = Dense(device, w.astype(np.float32))
+        out = Dense.zeros(device, (h.size.rows, w.shape[1]), np.float32)
+        # H (n x f) times W (f x g): apply H^T?  Dense.apply computes
+        # self @ b, so build the product as h_op.apply(w_op).
+        h_op = h
+        h_op.apply(w_op, out)
+        # ReLU on the device buffer (elementwise kernel).
+        np.maximum(out._data, 0.0, out=out._data)
+        device.run(
+            __import__("repro.perfmodel", fromlist=["blas1_cost"]).blas1_cost(
+                "relu", out.size.num_elements, 4, 2
+            )
+        )
+        x = out
+    return x.to_numpy()
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    graph = kronecker_graph(scale=13, edge_factor=12, seed=1)  # 8192 nodes
+    adjacency = normalised_adjacency(graph)
+    n = adjacency.shape[0]
+    feature_dims = [64, 64, 32, 16]
+    features = rng.standard_normal((n, feature_dims[0]))
+    weights = [
+        rng.standard_normal((feature_dims[i], feature_dims[i + 1])) * 0.1
+        for i in range(3)
+    ]
+    print(f"graph: {n} nodes, {adjacency.nnz} edges (+self loops), "
+          f"features {feature_dims[0]} -> {feature_dims[-1]}")
+
+    reference_out = None
+    print(f"\n{'device':<28} {'sim. time':>12} {'speedup':>9}")
+    baseline = None
+    for name in ("reference", "omp", "cuda", "hip"):
+        dev = pg.device(name, fresh=True)
+        start = dev.clock.now
+        out = gcn_forward(dev, adjacency, features, weights)
+        elapsed = dev.clock.now - start
+        if baseline is None:
+            baseline = elapsed
+            reference_out = out
+        else:
+            np.testing.assert_allclose(out, reference_out, atol=1e-3)
+        print(f"{dev.spec.name:<28} {elapsed * 1e3:>9.2f} ms "
+              f"{baseline / elapsed:>8.1f}x")
+    print("\nembedding sample (node 0):", np.round(reference_out[0, :5], 4))
+
+
+if __name__ == "__main__":
+    main()

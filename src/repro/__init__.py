@@ -1,0 +1,103 @@
+"""repro — a reproduction of pyGinkgo (ICPP 2025) in pure Python.
+
+``import repro as pg`` gives the paper's user-facing API::
+
+    import repro as pg
+    import numpy as np
+
+    dev = pg.device("cuda")
+    mtx = pg.read(device=dev, path="m1.mtx", dtype="double", format="Csr")
+    n_rows = mtx.size[0]
+    b = pg.as_tensor(device=dev, dim=(n_rows, 1), dtype="double", fill=1.0)
+    x = pg.as_tensor(device=dev, dim=(n_rows, 1), dtype="double", fill=0.0)
+    preconditioner = pg.preconditioner.Ilu(dev, mtx)
+    solver = pg.solver.gmres(
+        dev, mtx, preconditioner,
+        max_iters=1000, krylov_dim=30, reduction_factor=1e-6,
+    )
+    logger, result = solver.apply(b, x)
+
+Subpackages:
+
+* :mod:`repro.core` — the Pythonic API (this module re-exports it);
+* :mod:`repro.bindings` — the simulated pybind11 layer with
+  type-suffixed pre-instantiated symbols;
+* :mod:`repro.ginkgo` — the computational engine (executors, LinOp,
+  formats, solvers, preconditioners, config-solver, MTX I/O);
+* :mod:`repro.perfmodel` — the roofline hardware model substituting for
+  the paper's A100/MI100/Xeon testbed;
+* :mod:`repro.baselines` — SciPy (real) and CuPy/PyTorch/TensorFlow
+  (simulated) comparators;
+* :mod:`repro.suitesparse` — synthetic stand-ins for the SuiteSparse
+  benchmark matrices;
+* :mod:`repro.bench` — the harness regenerating every table and figure.
+"""
+
+from repro.core import (
+    RitzPairs,
+    SolverHandle,
+    TABLE1,
+    Tensor,
+    arnoldi,
+    array,
+    as_tensor,
+    build_config,
+    clear_device_cache,
+    config_solver,
+    config_to_json,
+    device,
+    from_numpy,
+    from_scipy,
+    index_dtype,
+    lanczos,
+    matrix,
+    orthonormalize,
+    power_iteration,
+    preconditioner,
+    rayleigh_ritz,
+    rayleigh_ritz_eigensolver,
+    read,
+    shares_memory,
+    solve,
+    solver,
+    to_numpy,
+    to_scipy,
+    value_dtype,
+    write,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RitzPairs",
+    "SolverHandle",
+    "TABLE1",
+    "Tensor",
+    "__version__",
+    "arnoldi",
+    "array",
+    "as_tensor",
+    "build_config",
+    "clear_device_cache",
+    "config_solver",
+    "config_to_json",
+    "device",
+    "from_numpy",
+    "from_scipy",
+    "index_dtype",
+    "lanczos",
+    "matrix",
+    "orthonormalize",
+    "power_iteration",
+    "preconditioner",
+    "rayleigh_ritz",
+    "rayleigh_ritz_eigensolver",
+    "read",
+    "shares_memory",
+    "solve",
+    "solver",
+    "to_numpy",
+    "to_scipy",
+    "value_dtype",
+    "write",
+]

@@ -1,0 +1,33 @@
+"""Comparator libraries benchmarked in the paper.
+
+SciPy is installed and used for real; CuPy, PyTorch, and TensorFlow are not
+available in this environment, so each is re-implemented as a *simulated
+backend*: the numerics run on NumPy/SciPy (identical results), while the
+timing comes from the shared roofline model configured with that library's
+measured efficiency profile (:mod:`repro.perfmodel.libraries`) and — for
+the solvers — with each library's actual dispatch behaviour (CuPy's
+per-op Python dispatch, scalar device-to-host synchronisation, unfused
+element-wise updates, CPU Hessenberg least-squares in GMRES, per-restart
+residual checks).
+
+All backends implement the :class:`~repro.baselines.base.Backend`
+interface so the benchmark harness treats them uniformly.
+"""
+
+from repro.baselines.base import Backend, MatrixHandle
+from repro.baselines.scipy_backend import ScipyBackend
+from repro.baselines.cupy_sim import CupyBackend
+from repro.baselines.torch_sim import PyTorchBackend
+from repro.baselines.tf_sim import TensorFlowBackend
+from repro.baselines.ginkgo_backend import GinkgoNativeBackend, PyGinkgoBackend
+
+__all__ = [
+    "Backend",
+    "CupyBackend",
+    "GinkgoNativeBackend",
+    "MatrixHandle",
+    "PyGinkgoBackend",
+    "PyTorchBackend",
+    "ScipyBackend",
+    "TensorFlowBackend",
+]

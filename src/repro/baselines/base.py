@@ -1,0 +1,161 @@
+"""Common interface of the comparator backends."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ginkgo.exceptions import NotSupported
+from repro.perfmodel import SimClock, dot_cost, blas1_cost, spmv_cost
+from repro.perfmodel.specs import DeviceSpec
+
+
+@dataclass
+class MatrixHandle:
+    """A matrix as prepared by one backend.
+
+    Attributes:
+        matrix: The CSR matrix used for the numerics.
+        fmt: The storage format the backend pretends to use (drives costs).
+        dtype: Value dtype of the prepared data.
+        index_bytes: Bytes per index of the pretend storage.
+    """
+
+    matrix: sp.csr_matrix
+    fmt: str
+    dtype: np.dtype
+    index_bytes: int = 4
+
+    @property
+    def shape(self) -> tuple:
+        return self.matrix.shape
+
+    @property
+    def nnz(self) -> int:
+        return int(self.matrix.nnz)
+
+    @property
+    def value_bytes(self) -> int:
+        return int(self.dtype.itemsize)
+
+
+class Backend:
+    """A library under benchmark: numerics + its own simulated clock.
+
+    Args:
+        spec: Device the library runs on.
+        num_threads: CPU thread count (ignored on GPUs).
+        seed: Clock noise seed.
+        noisy: Disable for exact analytic timings.
+    """
+
+    #: Library profile name registered in :mod:`repro.perfmodel.libraries`.
+    library = "scipy"
+    #: Display name used in benchmark tables.
+    display_name = "backend"
+    #: Storage formats the library supports.
+    supported_formats: tuple = ("csr", "coo")
+    #: Iterative solvers the library supports.
+    supported_solvers: tuple = ()
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        num_threads: int | None = None,
+        seed: int = 0,
+        noisy: bool = True,
+    ) -> None:
+        self.spec = spec
+        self.num_threads = num_threads
+        self.clock = SimClock(
+            spec, library=self.library, num_threads=num_threads,
+            seed=seed, noisy=noisy,
+        )
+
+    # ------------------------------------------------------------------
+    # preparation
+    # ------------------------------------------------------------------
+    def prepare(self, matrix: sp.spmatrix, fmt: str = "csr", dtype=np.float32) -> MatrixHandle:
+        """Convert a SciPy matrix into this backend's benchmark handle."""
+        fmt = fmt.lower()
+        if fmt not in self.supported_formats:
+            raise NotSupported(
+                f"{self.display_name} does not support the {fmt!r} format; "
+                f"supported: {self.supported_formats}"
+            )
+        dtype = np.dtype(dtype)
+        csr = sp.csr_matrix(matrix)
+        compute_dtype = np.float32 if dtype == np.float16 else dtype
+        return MatrixHandle(
+            matrix=csr.astype(compute_dtype), fmt=fmt, dtype=dtype
+        )
+
+    # ------------------------------------------------------------------
+    # kernels
+    # ------------------------------------------------------------------
+    def _charge_spmv(self, handle: MatrixHandle, num_rhs: int = 1) -> None:
+        self.clock.record(
+            spmv_cost(
+                handle.fmt,
+                handle.shape[0],
+                handle.shape[1],
+                handle.nnz,
+                handle.value_bytes,
+                handle.index_bytes,
+                num_rhs=num_rhs,
+            )
+        )
+
+    def spmv(self, handle: MatrixHandle, x: np.ndarray) -> np.ndarray:
+        """Compute ``y = A x`` and charge the modeled kernel time."""
+        y = handle.matrix @ x
+        self._charge_spmv(handle, num_rhs=1 if x.ndim == 1 else x.shape[1])
+        return y
+
+    def _charge_dot(self, length: int, value_bytes: int, sync: bool = True) -> None:
+        self.clock.record(dot_cost(length, value_bytes))
+        if sync:
+            self.clock.synchronize()
+
+    def _charge_vector_op(
+        self, name: str, length: int, value_bytes: int,
+        num_vectors: int = 3, kernels: int = 1,
+    ) -> None:
+        cost = blas1_cost(name, length, value_bytes, num_vectors)
+        for _ in range(kernels):
+            self.clock.record(cost)
+
+    # ------------------------------------------------------------------
+    # solvers
+    # ------------------------------------------------------------------
+    def run_solver(
+        self, handle: MatrixHandle, solver: str, b: np.ndarray,
+        iterations: int, **kwargs,
+    ) -> dict:
+        """Run ``iterations`` of ``solver`` on ``A x = b``.
+
+        Returns:
+            Dict with ``x`` (the iterate), ``iterations``, ``elapsed``
+            (simulated seconds), and ``time_per_iteration``.
+        """
+        solver = solver.lower()
+        if solver not in self.supported_solvers:
+            raise NotSupported(
+                f"{self.display_name} does not provide the {solver!r} "
+                f"solver; supported: {self.supported_solvers}"
+            )
+        runner = getattr(self, f"_solve_{solver}")
+        start = self.clock.now
+        x = runner(handle, b.astype(handle.matrix.dtype), iterations, **kwargs)
+        elapsed = self.clock.now - start
+        return {
+            "x": x,
+            "iterations": iterations,
+            "elapsed": elapsed,
+            "time_per_iteration": elapsed / max(iterations, 1),
+        }
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} on {self.spec.name}>"

@@ -1,0 +1,184 @@
+"""Simulated CuPy backend.
+
+Reproduces the dispatch behaviour of ``cupyx.scipy.sparse.linalg`` that
+section 6.2.1 of the paper identifies as the performance-relevant
+differences from Ginkgo:
+
+* every logical operation is a separate Python-dispatched kernel launch
+  (the library profile carries the per-op host overhead and launch
+  multiplier);
+* element-wise vector updates are *unfused*: an expression like
+  ``r + beta * q`` launches one kernel per arithmetic operation and
+  allocates a temporary;
+* scalar reductions consumed by Python control flow synchronise the
+  device (``sync_overhead`` per dot);
+* GMRES uses the orthonormal-projection update (two batched GEMV kernels
+  per inner step instead of j sequential dots), solves the Hessenberg
+  least-squares problem **on the CPU**, and checks the residual only once
+  per restart cycle — the reasons it slightly outperforms Ginkgo's GMRES
+  under a fixed iteration budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Backend, MatrixHandle
+from repro.perfmodel import blas1_cost, dot_cost
+from repro.perfmodel.specs import NVIDIA_A100, DeviceSpec
+
+#: Device memory-pool allocation cost per temporary array (seconds).
+ALLOCATION_OVERHEAD = 1.5e-6
+
+
+class CupyBackend(Backend):
+    """CuPy on an (simulated) NVIDIA GPU."""
+
+    library = "cupy"
+    display_name = "CuPy"
+    supported_formats = ("csr", "coo")
+    supported_solvers = ("cg", "cgs", "gmres")
+
+    def __init__(self, spec: DeviceSpec = NVIDIA_A100, **kwargs) -> None:
+        super().__init__(spec, **kwargs)
+
+    # ------------------------------------------------------------------
+    # CuPy dispatch cost helpers
+    # ------------------------------------------------------------------
+    def _charge_unfused_update(
+        self, length: int, value_bytes: int, num_arith_ops: int
+    ) -> None:
+        """An element-wise expression with N arithmetic operations.
+
+        CuPy launches one kernel per operation and allocates a temporary
+        for each intermediate result.
+        """
+        for _ in range(num_arith_ops):
+            self.clock.record(
+                blas1_cost("elementwise", length, value_bytes, 3)
+            )
+            self.clock.advance(ALLOCATION_OVERHEAD)
+
+    def _charge_scalar_dot(self, length: int, value_bytes: int) -> None:
+        """A reduction whose result Python inspects: kernel + D2H sync."""
+        self.clock.record(dot_cost(length, value_bytes))
+        self.clock.synchronize()
+
+    # ------------------------------------------------------------------
+    # solvers (cupyx.scipy.sparse.linalg algorithms)
+    # ------------------------------------------------------------------
+    def _solve_cg(self, handle: MatrixHandle, b: np.ndarray, iterations: int):
+        n = b.shape[0]
+        vb = handle.value_bytes
+        x = np.zeros_like(b)
+        r = b.copy()
+        p = r.copy()
+        rs = float(r @ r)
+        self._charge_scalar_dot(n, vb)
+        for _ in range(iterations):
+            q = self.spmv(handle, p)
+            pq = float(p @ q)
+            self._charge_scalar_dot(n, vb)
+            alpha = rs / pq if pq != 0 else 0.0
+            x += alpha * p       # mul + iadd -> 2 kernels
+            self._charge_unfused_update(n, vb, 2)
+            r -= alpha * q
+            self._charge_unfused_update(n, vb, 2)
+            rs_new = float(r @ r)
+            self._charge_scalar_dot(n, vb)
+            beta = rs_new / rs if rs != 0 else 0.0
+            p = r + beta * p     # mul + add -> 2 kernels
+            self._charge_unfused_update(n, vb, 2)
+            rs = rs_new
+        return x
+
+    def _solve_cgs(self, handle: MatrixHandle, b: np.ndarray, iterations: int):
+        n = b.shape[0]
+        vb = handle.value_bytes
+        x = np.zeros_like(b)
+        r = b.copy()
+        r_tld = r.copy()
+        p = np.zeros_like(b)
+        q = np.zeros_like(b)
+        rho_old = 1.0
+        for _ in range(iterations):
+            rho = float(r_tld @ r)
+            self._charge_scalar_dot(n, vb)
+            beta = rho / rho_old if rho_old != 0 else 0.0
+            u = r + beta * q                 # 2 kernels
+            self._charge_unfused_update(n, vb, 2)
+            p = u + beta * (q + beta * p)    # 4 kernels
+            self._charge_unfused_update(n, vb, 4)
+            v = self.spmv(handle, p)
+            sigma = float(r_tld @ v)
+            self._charge_scalar_dot(n, vb)
+            alpha = rho / sigma if sigma != 0 else 0.0
+            q = u - alpha * v                # 2 kernels
+            self._charge_unfused_update(n, vb, 2)
+            t = u + q                        # 1 kernel
+            self._charge_unfused_update(n, vb, 1)
+            x += alpha * t                   # 2 kernels
+            self._charge_unfused_update(n, vb, 2)
+            w = self.spmv(handle, t)
+            r -= alpha * w                   # 2 kernels
+            self._charge_unfused_update(n, vb, 2)
+            rho_old = rho
+        return x
+
+    def _solve_gmres(
+        self, handle: MatrixHandle, b: np.ndarray, iterations: int,
+        restart: int = 30,
+    ):
+        """CuPy-style GMRES: batched-GEMV orthogonalisation, CPU LS solve.
+
+        Residual check happens once per restart cycle (after the full
+        Hessenberg is built), not after each update.
+        """
+        n = b.shape[0]
+        vb = handle.value_bytes
+        x = np.zeros_like(b)
+        done = 0
+        while done < iterations:
+            r = b - self.spmv(handle, x)
+            self._charge_unfused_update(n, vb, 1)
+            beta = float(np.linalg.norm(r))
+            self._charge_scalar_dot(n, vb)
+            if beta == 0:
+                return x
+            m = min(restart, iterations - done)
+            v = np.zeros((m + 1, n), dtype=b.dtype)
+            h = np.zeros((m + 1, m))
+            v[0] = r / beta
+            self._charge_unfused_update(n, vb, 1)
+            for j in range(m):
+                w = self.spmv(handle, v[j])
+                # Orthonormal projection with two batched GEMVs:
+                # h[:j+1] = V w ; w -= V^T h.
+                coeffs = v[: j + 1] @ w
+                h[: j + 1, j] = coeffs
+                w = w - v[: j + 1].T @ coeffs
+                self.clock.record(
+                    blas1_cost("gemv_project", n * (j + 1), vb, 2)
+                )
+                self.clock.record(
+                    blas1_cost("gemv_correct", n * (j + 1), vb, 2)
+                )
+                h[j + 1, j] = float(np.linalg.norm(w))
+                # The normalisation norm stays on the device (no Python
+                # control flow consumes it until the restart boundary).
+                self.clock.record(dot_cost(n, vb))
+                if h[j + 1, j] != 0:
+                    v[j + 1] = w / h[j + 1, j]
+                    self._charge_unfused_update(n, vb, 1)
+                done += 1
+            # Hessenberg least squares solved ON THE CPU: copy H down,
+            # solve with LAPACK, copy y back up.
+            self.clock.advance(2 * 8.0e-6)  # D2H + H2D of the small system
+            g = np.zeros(m + 1)
+            g[0] = beta
+            y, *_ = np.linalg.lstsq(h, g, rcond=None)
+            # Residual check: once per restart, after the cycle.
+            self._charge_scalar_dot(n, vb)
+            x = x + v[:m].T @ y
+            self.clock.record(blas1_cost("basis_update", n * m, vb, 2))
+        return x

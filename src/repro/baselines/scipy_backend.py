@@ -1,0 +1,166 @@
+"""SciPy baseline (the only comparator that is real in this environment).
+
+SciPy's sparse kernels are single-threaded C: on one core they are the
+fastest CPU baseline in the paper, but they do not scale with threads —
+which is exactly how the library profile models them (``parallel_cpu=
+False``).  The solver implementations below mirror ``scipy.sparse.linalg``'s
+unpreconditioned algorithms with per-operation cost charging.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Backend, MatrixHandle
+from repro.perfmodel.specs import INTEL_XEON_8368, DeviceSpec
+
+
+class ScipyBackend(Backend):
+    """scipy.sparse on one Xeon core."""
+
+    library = "scipy"
+    display_name = "SciPy"
+    supported_formats = ("csr", "coo", "csc")
+    supported_solvers = ("cg", "cgs", "gmres", "bicgstab")
+
+    def __init__(self, spec: DeviceSpec = INTEL_XEON_8368, **kwargs) -> None:
+        kwargs.setdefault("num_threads", 1)
+        super().__init__(spec, **kwargs)
+
+    # SciPy's C loop has no per-op dispatch penalty worth modelling beyond
+    # the profile's host_overhead_per_op; solvers just charge each BLAS op.
+
+    def _solve_cg(self, handle: MatrixHandle, b: np.ndarray, iterations: int):
+        a = handle.matrix
+        n = b.shape[0]
+        vb = handle.value_bytes
+        x = np.zeros_like(b)
+        r = b.copy()
+        p = r.copy()
+        rs = float(r @ r)
+        self._charge_dot(n, vb, sync=False)
+        for _ in range(iterations):
+            q = self.spmv(handle, p)
+            pq = float(p @ q)
+            self._charge_dot(n, vb, sync=False)
+            alpha = rs / pq if pq != 0 else 0.0
+            x += alpha * p
+            r -= alpha * q
+            self._charge_vector_op("axpy", n, vb)
+            self._charge_vector_op("axpy", n, vb)
+            rs_new = float(r @ r)
+            self._charge_dot(n, vb, sync=False)
+            beta = rs_new / rs if rs != 0 else 0.0
+            p = r + beta * p
+            self._charge_vector_op("xpby", n, vb)
+            rs = rs_new
+        return x
+
+    def _solve_cgs(self, handle: MatrixHandle, b: np.ndarray, iterations: int):
+        a = handle.matrix
+        n = b.shape[0]
+        vb = handle.value_bytes
+        x = np.zeros_like(b)
+        r = b.copy()
+        r_tld = r.copy()
+        p = np.zeros_like(b)
+        q = np.zeros_like(b)
+        rho_old = 1.0
+        for k in range(iterations):
+            rho = float(r_tld @ r)
+            self._charge_dot(n, vb, sync=False)
+            beta = rho / rho_old if rho_old != 0 else 0.0
+            u = r + beta * q
+            p = u + beta * (q + beta * p)
+            self._charge_vector_op("update", n, vb)
+            self._charge_vector_op("update", n, vb, num_vectors=4)
+            v = self.spmv(handle, p)
+            sigma = float(r_tld @ v)
+            self._charge_dot(n, vb, sync=False)
+            alpha = rho / sigma if sigma != 0 else 0.0
+            q = u - alpha * v
+            t = u + q
+            self._charge_vector_op("update", n, vb)
+            self._charge_vector_op("add", n, vb)
+            x += alpha * t
+            self._charge_vector_op("axpy", n, vb)
+            w = self.spmv(handle, t)
+            r -= alpha * w
+            self._charge_vector_op("axpy", n, vb)
+            rho_old = rho
+        return x
+
+    def _solve_bicgstab(self, handle: MatrixHandle, b: np.ndarray, iterations: int):
+        n = b.shape[0]
+        vb = handle.value_bytes
+        x = np.zeros_like(b)
+        r = b.copy()
+        r_tld = r.copy()
+        p = r.copy()
+        rho_old, alpha, omega = 1.0, 1.0, 1.0
+        v = np.zeros_like(b)
+        for k in range(iterations):
+            rho = float(r_tld @ r)
+            self._charge_dot(n, vb, sync=False)
+            if k > 0:
+                beta = (rho / rho_old) * (alpha / omega) if rho_old and omega else 0.0
+                p = r + beta * (p - omega * v)
+                self._charge_vector_op("update", n, vb, num_vectors=4)
+            v = self.spmv(handle, p)
+            denom = float(r_tld @ v)
+            self._charge_dot(n, vb, sync=False)
+            alpha = rho / denom if denom != 0 else 0.0
+            s = r - alpha * v
+            self._charge_vector_op("axpy", n, vb)
+            t = self.spmv(handle, s)
+            tt = float(t @ t)
+            ts = float(t @ s)
+            self._charge_dot(n, vb, sync=False)
+            self._charge_dot(n, vb, sync=False)
+            omega = ts / tt if tt != 0 else 0.0
+            x += alpha * p + omega * s
+            r = s - omega * t
+            self._charge_vector_op("update", n, vb, num_vectors=4)
+            self._charge_vector_op("axpy", n, vb)
+            rho_old = rho
+        return x
+
+    def _solve_gmres(
+        self, handle: MatrixHandle, b: np.ndarray, iterations: int,
+        restart: int = 30,
+    ):
+        n = b.shape[0]
+        vb = handle.value_bytes
+        x = np.zeros_like(b)
+        done = 0
+        while done < iterations:
+            r = b - self.spmv(handle, x)
+            self._charge_vector_op("residual", n, vb)
+            beta = float(np.linalg.norm(r))
+            self._charge_dot(n, vb, sync=False)
+            if beta == 0:
+                return x
+            m = min(restart, iterations - done)
+            v = np.zeros((m + 1, n), dtype=b.dtype)
+            h = np.zeros((m + 1, m))
+            v[0] = r / beta
+            self._charge_vector_op("scale", n, vb, num_vectors=2)
+            for j in range(m):
+                w = self.spmv(handle, v[j])
+                for i in range(j + 1):
+                    h[i, j] = float(v[i] @ w)
+                    w -= h[i, j] * v[i]
+                    self._charge_dot(n, vb, sync=False)
+                    self._charge_vector_op("axpy", n, vb)
+                h[j + 1, j] = float(np.linalg.norm(w))
+                self._charge_dot(n, vb, sync=False)
+                if h[j + 1, j] != 0:
+                    v[j + 1] = w / h[j + 1, j]
+                    self._charge_vector_op("scale", n, vb, num_vectors=2)
+                done += 1
+            g = np.zeros(m + 1)
+            g[0] = beta
+            y, *_ = np.linalg.lstsq(h, g, rcond=None)
+            x = x + v[:m].T @ y
+            self._charge_vector_op("basis_update", n, vb, num_vectors=m + 1)
+        return x

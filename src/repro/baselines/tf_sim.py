@@ -1,0 +1,23 @@
+"""Simulated TensorFlow backend.
+
+``tf.sparse`` supports only the COO format (paper section 2), provides no
+iterative solvers, and carries the heaviest per-op dispatch cost of the
+compared frameworks; its measured SpMV peak on the A100 is ~50 GFLOP/s.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import Backend
+from repro.perfmodel.specs import NVIDIA_A100, DeviceSpec
+
+
+class TensorFlowBackend(Backend):
+    """tf.sparse on a (simulated) GPU or CPU."""
+
+    library = "tensorflow"
+    display_name = "TensorFlow"
+    supported_formats = ("coo",)  # COO only
+    supported_solvers = ()
+
+    def __init__(self, spec: DeviceSpec = NVIDIA_A100, **kwargs) -> None:
+        super().__init__(spec, **kwargs)

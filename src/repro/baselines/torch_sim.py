@@ -1,0 +1,25 @@
+"""Simulated PyTorch backend.
+
+``torch.sparse`` provides SpMV for COO and CSR tensors but no iterative
+solvers or preconditioners (paper sections 2 and 6.2.1).  On GPU its fp32
+SpMV is decent (~110 GFLOP/s measured in the paper); fp64 is heavily
+de-prioritised, and the CPU sparse kernels are poor and scale badly —
+all encoded in the ``pytorch`` library profile.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import Backend
+from repro.perfmodel.specs import NVIDIA_A100, DeviceSpec
+
+
+class PyTorchBackend(Backend):
+    """torch.sparse on a (simulated) GPU or CPU."""
+
+    library = "pytorch"
+    display_name = "PyTorch"
+    supported_formats = ("csr", "coo")
+    supported_solvers = ()  # no iterative solvers
+
+    def __init__(self, spec: DeviceSpec = NVIDIA_A100, **kwargs) -> None:
+        super().__init__(spec, **kwargs)

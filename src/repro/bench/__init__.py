@@ -1,0 +1,45 @@
+"""Benchmark harness regenerating every table and figure of the paper.
+
+The harness wires the matrix suites (:mod:`repro.suitesparse`) through the
+backends (:mod:`repro.baselines`) and reports the same rows/series the
+paper plots.  Each figure has a dedicated entry point in
+:mod:`repro.bench.figures`; the ``benchmarks/`` directory wraps them in
+pytest-benchmark targets.
+"""
+
+from repro.bench.timing import (
+    geometric_mean,
+    measure_solver,
+    measure_spmv,
+)
+from repro.bench.reporting import format_series, format_table
+from repro.bench.figures import (
+    fig3a_spmv_gpu,
+    fig3b_spmv_cpu,
+    fig3c_solver_gpu,
+    fig4_representative,
+    fig5a_gpu_formats,
+    fig5b_overhead,
+    fig5c_timediff,
+    solver_cpu_comparison,
+    table1_types,
+    table2_matrices,
+)
+
+__all__ = [
+    "fig3a_spmv_gpu",
+    "fig3b_spmv_cpu",
+    "fig3c_solver_gpu",
+    "fig4_representative",
+    "fig5a_gpu_formats",
+    "fig5b_overhead",
+    "fig5c_timediff",
+    "format_series",
+    "format_table",
+    "geometric_mean",
+    "measure_solver",
+    "measure_spmv",
+    "solver_cpu_comparison",
+    "table1_types",
+    "table2_matrices",
+]

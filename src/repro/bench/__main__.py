@@ -1,0 +1,51 @@
+"""Command-line entry point: ``python -m repro.bench``.
+
+Prints every table and figure of the paper at a reduced suite size
+(pass ``--full`` for the paper-sized 30/40/45-matrix suites; expect
+several minutes).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import figures
+from repro.suitesparse import overhead_suite, solver_suite, spmv_suite
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    full = "--full" in argv
+    if full:
+        spmv = spmv_suite()
+        solver = solver_suite()
+        overhead = overhead_suite()
+        iterations = 1000
+    else:
+        spmv = spmv_suite(count=10, max_nnz=1e6)
+        solver = solver_suite(count=8, max_nnz=5e5)
+        overhead = overhead_suite(count=10, max_nnz=5e6)
+        iterations = 200
+
+    print(figures.table1_types()["text"], "\n")
+    print(figures.table2_matrices(scale=1.0 if full else 0.1)["text"], "\n")
+    print(figures.fig3a_spmv_gpu(spmv)["text"], "\n")
+    print(figures.fig3b_spmv_cpu(spmv)["text"], "\n")
+    print(
+        figures.fig3c_solver_gpu(solver, iterations=iterations)["text"], "\n"
+    )
+    print(
+        figures.fig4_representative(scale=1.0 if full else 0.05)["text"],
+        "\n",
+    )
+    print(figures.fig5a_gpu_formats(overhead)["text"], "\n")
+    print(figures.fig5b_overhead(overhead)["text"], "\n")
+    print(figures.fig5c_timediff(overhead)["text"], "\n")
+    print(
+        figures.solver_cpu_comparison(solver, iterations=iterations)["text"]
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,68 @@
+"""Persist benchmark results (figure series / tables) to CSV.
+
+Every figure entry point returns ``{"series": {name: [(x, y), ...]}}`` or
+``{"rows": [...]}``; these helpers write them in a form external plotting
+tools can consume, so the reproduction's data is portable.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+
+
+def save_series_csv(result: dict, path) -> None:
+    """Write a figure's series to CSV with columns ``x,<curve names...>``.
+
+    Args:
+        result: A figure dict containing ``series``.
+        path: Destination file path.
+    """
+    series = result.get("series")
+    if not series:
+        raise ValueError("result has no 'series' to export")
+    names = sorted(series)
+    xs = sorted({x for points in series.values() for x, _ in points})
+    lookup = {
+        name: {x: y for x, y in points} for name, points in series.items()
+    }
+    with open(os.fspath(path), "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["x"] + names)
+        for x in xs:
+            writer.writerow(
+                [x] + [lookup[name].get(x, "") for name in names]
+            )
+
+
+def save_rows_csv(result: dict, headers, path, key: str = "rows") -> None:
+    """Write a figure's row table to CSV.
+
+    Args:
+        result: A figure dict containing ``key`` (default ``rows``).
+        headers: Column names for the header line.
+        path: Destination file path.
+        key: Which entry of ``result`` holds the rows.
+    """
+    rows = result.get(key)
+    if rows is None:
+        raise ValueError(f"result has no {key!r} to export")
+    with open(os.fspath(path), "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        writer.writerows(rows)
+
+
+def load_series_csv(path) -> dict:
+    """Read a series CSV back into ``{name: [(x, y), ...]}``."""
+    with open(os.fspath(path), newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        names = header[1:]
+        series: dict = {name: [] for name in names}
+        for row in reader:
+            x = float(row[0])
+            for name, cell in zip(names, row[1:]):
+                if cell != "":
+                    series[name].append((x, float(cell)))
+    return series

@@ -1,0 +1,57 @@
+"""Plain-text rendering of benchmark tables and figure series."""
+
+from __future__ import annotations
+
+
+def format_table(headers, rows, title: str = "") -> str:
+    """Render an aligned ASCII table.
+
+    Args:
+        headers: Column names.
+        rows: Iterable of row tuples; cells are stringified with ``str``
+            (floats pre-format upstream).
+        title: Optional heading line.
+    """
+    headers = [str(h) for h in headers]
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_series(series: dict, x_label: str = "x", title: str = "") -> str:
+    """Render {name: [(x, y), ...]} figure series as aligned columns."""
+    names = sorted(series)
+    xs = sorted({x for points in series.values() for x, _ in points})
+    lookup = {
+        name: {x: y for x, y in points} for name, points in series.items()
+    }
+    headers = [x_label] + names
+    rows = []
+    for x in xs:
+        row = [_cell(float(x))]
+        for name in names:
+            y = lookup[name].get(x)
+            row.append("-" if y is None else _cell(float(y)))
+        rows.append(row)
+    return format_table(headers, rows, title=title)

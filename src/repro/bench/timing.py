@@ -1,0 +1,56 @@
+"""Timing utilities over the backends' simulated clocks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Backend, MatrixHandle
+
+
+def measure_spmv(
+    backend: Backend,
+    handle: MatrixHandle,
+    x: np.ndarray,
+    repetitions: int = 10,
+    warmup: int = 2,
+) -> float:
+    """Average simulated seconds per SpMV over ``repetitions`` runs.
+
+    Mirrors the paper's methodology: warm-up runs first, then the mean of
+    timed repetitions, with device synchronisation folded into the clock.
+    """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    for _ in range(warmup):
+        backend.spmv(handle, x)
+    start = backend.clock.now
+    for _ in range(repetitions):
+        backend.spmv(handle, x)
+    return (backend.clock.now - start) / repetitions
+
+
+def measure_solver(
+    backend: Backend,
+    handle: MatrixHandle,
+    solver: str,
+    b: np.ndarray,
+    iterations: int,
+    **kwargs,
+) -> dict:
+    """Run a fixed-iteration solve; returns the backend's result dict."""
+    return backend.run_solver(handle, solver, b, iterations, **kwargs)
+
+
+def spmv_gflops(nnz: int, seconds: float) -> float:
+    """Achieved GFLOP/s of one SpMV (2 flops per stored nonzero)."""
+    if seconds <= 0:
+        return 0.0
+    return 2.0 * nnz / seconds / 1e9
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean, ignoring non-positive entries."""
+    arr = np.asarray([v for v in values if v > 0], dtype=np.float64)
+    if arr.size == 0:
+        return float("nan")
+    return float(np.exp(np.log(arr).mean()))

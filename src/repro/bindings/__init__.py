@@ -1,0 +1,51 @@
+"""Simulated pybind11 bindings layer (``pyGinkgo.pyGinkgoBindings``).
+
+The paper's architecture (section 5.1) pre-instantiates every C++ template
+combination and exposes it as a *type-suffixed* Python symbol —
+``funcxx_int`` / ``funcxx_float`` — because Python has no function
+overloading; the Pythonic layer on top dispatches to the right suffix from
+the argument types.
+
+This package reproduces that layer faithfully: :mod:`repro.bindings.generate`
+auto-generates one callable per (class, value type, index type) combination
+(``dense_float``, ``csr_double_int32``, ``cg_factory_double``, ...), and
+every call through the layer charges the per-call binding overhead of
+:class:`repro.perfmodel.BindingOverheadModel` to the executor's simulated
+clock.  Disabling the overhead (``set_binding_overhead(False)``) models
+calling native Ginkgo directly — the comparison behind Figs. 5b/5c.
+
+Access symbols as attributes::
+
+    from repro import bindings
+    mat = bindings.csr_double_int32(exec_, size, row_ptrs, col_idxs, values)
+"""
+
+from repro.bindings.overhead import (
+    binding_overhead_enabled,
+    charge_binding,
+    set_binding_overhead,
+)
+from repro.bindings.registry import BINDINGS, binding_names, get_binding
+
+__all__ = [
+    "BINDINGS",
+    "binding_names",
+    "binding_overhead_enabled",
+    "charge_binding",
+    "get_binding",
+    "set_binding_overhead",
+]
+
+
+def __getattr__(name: str):
+    """Expose every generated binding as a module attribute."""
+    try:
+        return get_binding(name)
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+
+
+def __dir__():
+    return sorted(set(__all__) | set(binding_names()))

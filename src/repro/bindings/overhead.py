@@ -1,0 +1,56 @@
+"""Per-call binding-overhead accounting.
+
+Every crossing of the simulated Python/C++ boundary costs a small fixed
+amount (argument conversion, GIL, smart-pointer marshalling).  The charge
+lands on the executor's simulated clock, so it shows up in measured spans
+exactly like it would with real pybind11 bindings.  A global switch turns
+the charge off to model native C++ calls (the Ginkgo side of Fig. 5b/5c).
+"""
+
+from __future__ import annotations
+
+from repro.perfmodel import BindingOverheadModel
+
+_ENABLED = True
+
+#: One shared model per device family so the jitter streams are stable.
+_MODELS: dict[str, BindingOverheadModel] = {}
+
+
+def set_binding_overhead(enabled: bool) -> None:
+    """Globally enable/disable binding-overhead charging."""
+    global _ENABLED
+    _ENABLED = bool(enabled)
+
+
+def binding_overhead_enabled() -> bool:
+    """Whether binding calls currently charge overhead."""
+    return _ENABLED
+
+
+def _device_family(exec_) -> str:
+    if exec_.spec.kind == "cpu":
+        return "cpu"
+    return "gpu-amd" if "AMD" in exec_.spec.name else "gpu-nvidia"
+
+
+def overhead_model_for(exec_) -> BindingOverheadModel:
+    """The (shared) overhead model for an executor's device family."""
+    family = _device_family(exec_)
+    if family not in _MODELS:
+        _MODELS[family] = BindingOverheadModel.for_device(family)
+    return _MODELS[family]
+
+
+def charge_binding(exec_, num_arguments: int = 2) -> float:
+    """Charge one binding crossing to the executor clock; returns seconds."""
+    if not _ENABLED or exec_ is None:
+        return 0.0
+    overhead = overhead_model_for(exec_).sample(num_arguments)
+    exec_.clock.advance(overhead)
+    return overhead
+
+
+def reset_models() -> None:
+    """Drop the cached models (restarts their jitter streams)."""
+    _MODELS.clear()

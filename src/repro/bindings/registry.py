@@ -1,0 +1,213 @@
+"""Auto-generated type-suffixed binding symbols.
+
+Reproduces the paper's pre-instantiation scheme (section 5.1): for every
+(value type x index type) combination the C++ side would instantiate, a
+suffixed Python callable exists here.  Value-type suffixes follow Ginkgo's
+C++ names (``half``/``float``/``double``); index suffixes are
+``int32``/``int64``.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+import numpy as np
+
+from repro.bindings.overhead import charge_binding
+from repro.ginkgo.executor import (
+    CudaExecutor,
+    HipExecutor,
+    OmpExecutor,
+    ReferenceExecutor,
+)
+from repro.ginkgo.matrix import Coo, Csr, Dense, Ell, Hybrid, Sellp
+from repro.ginkgo.mtx_io import read_mtx
+from repro.ginkgo.preconditioner import Ic, Ilu, Isai, Jacobi
+from repro.ginkgo.multigrid import Pgm
+from repro.ginkgo.solver import (
+    Bicg,
+    Bicgstab,
+    CbGmres,
+    Cg,
+    Cgs,
+    Direct,
+    Fcg,
+    Gmres,
+    Idr,
+    Ir,
+    LowerTrs,
+    Minres,
+    UpperTrs,
+)
+
+#: C++-style value-type suffix -> numpy dtype (paper Table 1).
+VALUE_TYPES = {
+    "half": np.float16,
+    "float": np.float32,
+    "double": np.float64,
+}
+
+#: Index-type suffix -> numpy dtype (paper Table 1).
+INDEX_TYPES = {
+    "int32": np.int32,
+    "int64": np.int64,
+}
+
+_SOLVER_FACTORIES = {
+    "cg": Cg,
+    "fcg": Fcg,
+    "cgs": Cgs,
+    "bicg": Bicg,
+    "bicgstab": Bicgstab,
+    "gmres": Gmres,
+    "cb_gmres": CbGmres,
+    "idr": Idr,
+    "minres": Minres,
+    "ir": Ir,
+}
+
+
+def _bound(func, num_arguments: int):
+    """Wrap an engine entry point with binding-overhead accounting.
+
+    The first positional argument of every binding is the executor, which
+    is where the crossing cost is charged.
+    """
+
+    def wrapper(exec_, *args, **kwargs):
+        charge_binding(exec_, num_arguments)
+        return func(exec_, *args, **kwargs)
+
+    wrapper.__name__ = getattr(func, "__name__", "binding")
+    wrapper.__doc__ = func.__doc__
+    return wrapper
+
+
+def _make_dense(value_dtype):
+    def dense(exec_, data):
+        data = np.asarray(data, dtype=value_dtype)
+        return Dense(exec_, data)
+
+    dense.__doc__ = f"Create a Dense matrix with {np.dtype(value_dtype).name} values."
+    return dense
+
+
+def _make_dense_empty(value_dtype):
+    def dense_empty(exec_, rows, cols=1):
+        return Dense.zeros(exec_, (int(rows), int(cols)), value_dtype)
+
+    dense_empty.__doc__ = (
+        f"Allocate a zero Dense matrix with {np.dtype(value_dtype).name} values."
+    )
+    return dense_empty
+
+
+def _make_sparse(cls, value_dtype, index_dtype):
+    def factory(exec_, scipy_matrix, **kwargs):
+        return cls.from_scipy(
+            exec_,
+            scipy_matrix,
+            value_dtype=value_dtype,
+            index_dtype=index_dtype,
+            **kwargs,
+        )
+
+    factory.__doc__ = (
+        f"Create a {cls.__name__} matrix "
+        f"({np.dtype(value_dtype).name} values, "
+        f"{np.dtype(index_dtype).name} indices) from a SciPy matrix."
+    )
+    return factory
+
+
+def _make_read(cls, value_dtype, index_dtype):
+    def reader(exec_, path, **kwargs):
+        return cls.from_scipy(
+            exec_,
+            read_mtx(path),
+            value_dtype=value_dtype,
+            index_dtype=index_dtype,
+            **kwargs,
+        )
+
+    reader.__doc__ = (
+        f"Read a MatrixMarket file into a {cls.__name__} matrix "
+        f"({np.dtype(value_dtype).name}/{np.dtype(index_dtype).name})."
+    )
+    return reader
+
+
+def _make_solver_factory(cls):
+    def factory(exec_, *args, **kwargs):
+        return cls(exec_, *args, **kwargs)
+
+    factory.__doc__ = f"Create a {cls.__name__} solver factory."
+    return factory
+
+
+def _build_registry() -> dict:
+    registry: dict = {}
+
+    # Executor classes are bound once, not per type (they are untemplated).
+    registry["CUDA"] = CudaExecutor
+    registry["HIP"] = HipExecutor
+    registry["Omp"] = OmpExecutor
+    registry["Reference"] = ReferenceExecutor
+
+    for vt_name, vt in VALUE_TYPES.items():
+        registry[f"dense_{vt_name}"] = _bound(_make_dense(vt), 2)
+        registry[f"dense_empty_{vt_name}"] = _bound(_make_dense_empty(vt), 3)
+        for solver_name, solver_cls in _SOLVER_FACTORIES.items():
+            registry[f"{solver_name}_factory_{vt_name}"] = _bound(
+                _make_solver_factory(solver_cls), 3
+            )
+        registry[f"direct_factory_{vt_name}"] = _bound(
+            _make_solver_factory(Direct), 1
+        )
+        registry[f"lower_trs_factory_{vt_name}"] = _bound(
+            _make_solver_factory(LowerTrs), 2
+        )
+        registry[f"upper_trs_factory_{vt_name}"] = _bound(
+            _make_solver_factory(UpperTrs), 2
+        )
+        registry[f"jacobi_factory_{vt_name}"] = _bound(
+            _make_solver_factory(Jacobi), 2
+        )
+        registry[f"ilu_factory_{vt_name}"] = _bound(
+            _make_solver_factory(Ilu), 1
+        )
+        registry[f"ic_factory_{vt_name}"] = _bound(_make_solver_factory(Ic), 1)
+        registry[f"isai_factory_{vt_name}"] = _bound(
+            _make_solver_factory(Isai), 2
+        )
+        registry[f"multigrid_factory_{vt_name}"] = _bound(
+            _make_solver_factory(Pgm), 2
+        )
+        for it_name, it in INDEX_TYPES.items():
+            for cls, prefix in (
+                (Csr, "csr"),
+                (Coo, "coo"),
+                (Ell, "ell"),
+                (Sellp, "sellp"),
+                (Hybrid, "hybrid"),
+            ):
+                registry[f"{prefix}_{vt_name}_{it_name}"] = _bound(
+                    _make_sparse(cls, vt, it), 3
+                )
+                registry[f"read_{prefix}_{vt_name}_{it_name}"] = _bound(
+                    _make_read(cls, vt, it), 2
+                )
+    return registry
+
+
+BINDINGS: dict = _build_registry()
+
+
+def get_binding(name: str):
+    """Look up one generated binding symbol by its suffixed name."""
+    return BINDINGS[name]
+
+
+def binding_names() -> list:
+    """All generated binding symbol names (sorted)."""
+    return sorted(BINDINGS)

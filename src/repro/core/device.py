@@ -1,0 +1,84 @@
+"""The ``pg.device`` factory (paper section 4.1).
+
+``device(name, id=0)`` abstracts Ginkgo's executor: it decides where data
+lives and kernels run.  Devices are cached per (name, id, threads) so the
+same executor instance (and its memory space and clock) is shared across a
+program, matching Ginkgo's shared-pointer executor semantics.
+"""
+
+from __future__ import annotations
+
+from repro.ginkgo.exceptions import GinkgoError
+from repro.ginkgo.executor import (
+    CudaExecutor,
+    Executor,
+    HipExecutor,
+    OmpExecutor,
+    ReferenceExecutor,
+)
+
+_EXECUTOR_CLASSES = {
+    "cuda": CudaExecutor,
+    "hip": HipExecutor,
+    "omp": OmpExecutor,
+    "openmp": OmpExecutor,
+    "cpu": OmpExecutor,
+    "reference": ReferenceExecutor,
+    "ref": ReferenceExecutor,
+}
+
+_CACHE: dict = {}
+
+
+def device(
+    name: str = "reference",
+    id: int = 0,
+    num_threads: int | None = None,
+    fresh: bool = False,
+    **kwargs,
+) -> Executor:
+    """Create (or fetch the cached) executor for a device.
+
+    Args:
+        name: ``"cuda"``, ``"hip"``, ``"omp"`` (aliases ``openmp``/``cpu``),
+            or ``"reference"`` (alias ``ref``).  Case-insensitive.
+        id: Device ordinal for GPU executors.
+        num_threads: Thread count for the OpenMP executor.
+        fresh: Bypass the cache and build a brand-new executor (own memory
+            space, clock, and noise stream) — used by benchmarks that need
+            isolated timelines.
+        **kwargs: Forwarded to the executor constructor (e.g. ``seed``,
+            ``noisy``, ``library``).
+
+    Returns:
+        The executor instance.
+
+    Raises:
+        GinkgoError: For unknown device names.
+    """
+    key = str(name).lower()
+    if key not in _EXECUTOR_CLASSES:
+        raise GinkgoError(
+            f"unknown device {name!r}; available: "
+            f"{sorted(set(_EXECUTOR_CLASSES))}"
+        )
+    cls = _EXECUTOR_CLASSES[key]
+    cache_key = (cls, id, num_threads, tuple(sorted(kwargs.items())))
+    if fresh:
+        return _create(cls, id, num_threads, kwargs)
+    if cache_key not in _CACHE:
+        _CACHE[cache_key] = _create(cls, id, num_threads, kwargs)
+    return _CACHE[cache_key]
+
+
+def _create(cls, id: int, num_threads, kwargs) -> Executor:
+    if cls is OmpExecutor:
+        return cls.create(num_threads=num_threads, **kwargs)
+    if cls is ReferenceExecutor:
+        return cls.create(**kwargs)
+    return cls.create(device_id=id, **kwargs)
+
+
+def clear_device_cache() -> None:
+    """Drop all cached executors (mainly for test isolation)."""
+    _CACHE.clear()

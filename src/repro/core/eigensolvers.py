@@ -1,0 +1,183 @@
+"""Krylov eigensolvers composed from engine primitives (pure Python).
+
+Companions to :mod:`repro.core.rayleigh_ritz`: Lanczos (symmetric) and
+Arnoldi (general) factorisations plus a power iteration, all driven through
+the LinOp apply interface so they run on any executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ginkgo.exceptions import GinkgoError
+from repro.ginkgo.lin_op import LinOp
+from repro.ginkgo.matrix.dense import Dense
+
+
+@dataclass
+class LanczosResult:
+    """Lanczos factorisation ``A V ~= V T`` with tridiagonal T."""
+
+    alphas: np.ndarray
+    betas: np.ndarray
+    basis: Dense
+
+    def eigenvalues(self) -> np.ndarray:
+        """Eigenvalues of the tridiagonal projection (ascending)."""
+        from scipy.linalg import eigh_tridiagonal
+
+        if self.alphas.size == 1:
+            return self.alphas.copy()
+        return eigh_tridiagonal(self.alphas, self.betas)[0]
+
+
+def lanczos(
+    operator: LinOp, num_steps: int, seed: int = 0, reorthogonalize: bool = True
+) -> LanczosResult:
+    """Run ``num_steps`` of the Lanczos iteration on a symmetric operator.
+
+    Args:
+        operator: Symmetric LinOp.
+        num_steps: Krylov steps (= size of the tridiagonal projection).
+        seed: Seed for the random start vector.
+        reorthogonalize: Apply full reorthogonalisation (costlier, stabler).
+
+    Returns:
+        :class:`LanczosResult`; ``result.eigenvalues()`` gives the Ritz
+        values.
+    """
+    if not operator.size.is_square:
+        raise GinkgoError(f"Lanczos needs a square operator, got {operator.size}")
+    n = operator.size.rows
+    m = min(num_steps, n)
+    if m < 1:
+        raise GinkgoError(f"num_steps must be >= 1, got {num_steps}")
+    exec_ = operator.executor
+    rng = np.random.default_rng(seed)
+
+    v = Dense(exec_, rng.standard_normal((n, 1)))
+    v.scale(1.0 / float(v.compute_norm2()[0]))
+    basis = [v]
+    alphas, betas = [], []
+    w = Dense.empty(exec_, v.size, v.dtype)
+
+    for j in range(m):
+        operator.apply(basis[j], w)
+        alpha = float(basis[j].compute_dot(w)[0])
+        alphas.append(alpha)
+        w.sub_scaled(alpha, basis[j])
+        if j > 0:
+            w.sub_scaled(betas[-1], basis[j - 1])
+        if reorthogonalize:
+            for q in basis:
+                coeff = float(q.compute_dot(w)[0])
+                w.sub_scaled(coeff, q)
+        beta = float(w.compute_norm2()[0])
+        if j + 1 < m:
+            if beta <= 1e-14:
+                break  # invariant subspace found
+            betas.append(beta)
+            nxt = w.clone()
+            nxt.scale(1.0 / beta)
+            basis.append(nxt)
+            w = Dense.empty(exec_, v.size, v.dtype)
+
+    block = Dense.empty(exec_, (n, len(basis)), v.dtype)
+    for j, q in enumerate(basis):
+        block._data[:, j : j + 1] = q._data
+    return LanczosResult(
+        alphas=np.asarray(alphas[: len(basis)]),
+        betas=np.asarray(betas[: len(basis) - 1]),
+        basis=block,
+    )
+
+
+@dataclass
+class ArnoldiResult:
+    """Arnoldi factorisation ``A V_m = V_{m+1} H``."""
+
+    hessenberg: np.ndarray
+    basis: Dense
+
+    def eigenvalues(self) -> np.ndarray:
+        """Ritz values from the square part of the Hessenberg matrix."""
+        m = self.hessenberg.shape[1]
+        return np.linalg.eigvals(self.hessenberg[:m, :m])
+
+
+def arnoldi(operator: LinOp, num_steps: int, seed: int = 0) -> ArnoldiResult:
+    """Run ``num_steps`` of the Arnoldi iteration on a general operator."""
+    if not operator.size.is_square:
+        raise GinkgoError(f"Arnoldi needs a square operator, got {operator.size}")
+    n = operator.size.rows
+    m = min(num_steps, n)
+    if m < 1:
+        raise GinkgoError(f"num_steps must be >= 1, got {num_steps}")
+    exec_ = operator.executor
+    rng = np.random.default_rng(seed)
+
+    v = Dense(exec_, rng.standard_normal((n, 1)))
+    v.scale(1.0 / float(v.compute_norm2()[0]))
+    basis = [v]
+    h = np.zeros((m + 1, m))
+    w = Dense.empty(exec_, v.size, v.dtype)
+
+    actual = m
+    for j in range(m):
+        operator.apply(basis[j], w)
+        for i in range(j + 1):
+            h[i, j] = float(basis[i].compute_dot(w)[0])
+            w.sub_scaled(h[i, j], basis[i])
+        h[j + 1, j] = float(w.compute_norm2()[0])
+        if h[j + 1, j] <= 1e-14:
+            actual = j + 1
+            break
+        nxt = w.clone()
+        nxt.scale(1.0 / h[j + 1, j])
+        basis.append(nxt)
+        w = Dense.empty(exec_, v.size, v.dtype)
+
+    block = Dense.empty(exec_, (n, len(basis)), v.dtype)
+    for j, q in enumerate(basis):
+        block._data[:, j : j + 1] = q._data
+    # Without breakdown the basis holds m+1 vectors and H is (m+1, m);
+    # on a lucky breakdown after `actual` steps the last subdiagonal is
+    # zero and the relation closes with a square H.
+    return ArnoldiResult(hessenberg=h[: len(basis), :actual], basis=block)
+
+
+def power_iteration(
+    operator: LinOp, num_iterations: int = 100, seed: int = 0, tol: float = 0.0
+):
+    """Dominant eigenpair by power iteration.
+
+    Returns:
+        ``(eigenvalue, eigenvector)`` where the eigenvector is an ``n x 1``
+        Dense on the operator's executor.
+    """
+    if not operator.size.is_square:
+        raise GinkgoError(
+            f"power iteration needs a square operator, got {operator.size}"
+        )
+    n = operator.size.rows
+    exec_ = operator.executor
+    rng = np.random.default_rng(seed)
+    v = Dense(exec_, rng.standard_normal((n, 1)))
+    v.scale(1.0 / float(v.compute_norm2()[0]))
+    w = Dense.empty(exec_, v.size, v.dtype)
+    eigenvalue = 0.0
+    for _ in range(num_iterations):
+        operator.apply(v, w)
+        new_eigenvalue = float(v.compute_dot(w)[0])
+        norm = float(w.compute_norm2()[0])
+        if norm == 0.0:
+            return 0.0, v
+        w.scale(1.0 / norm)
+        v, w = w, v
+        if tol and abs(new_eigenvalue - eigenvalue) <= tol * abs(new_eigenvalue):
+            eigenvalue = new_eigenvalue
+            break
+        eigenvalue = new_eigenvalue
+    return eigenvalue, v

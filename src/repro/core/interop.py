@@ -1,0 +1,95 @@
+"""Interoperability helpers (paper section 5.2).
+
+Zero-copy exchange with NumPy via the buffer protocol on host executors,
+and conversion to/from SciPy sparse matrices.  Device-resident data follows
+GPU semantics: an explicit copy is required (and modeled).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.device import device as _device_factory
+from repro.core.tensor import Tensor
+from repro.core.types import index_dtype, value_dtype
+from repro.ginkgo.executor import Executor
+from repro.ginkgo.matrix.base import SparseBase
+from repro.ginkgo.matrix.csr import Csr
+from repro.ginkgo.matrix.dense import Dense
+
+
+def from_numpy(array: np.ndarray, device=None, dtype=None) -> Tensor:
+    """Wrap/copy a NumPy array into a tensor.
+
+    On host executors the engine copies once into its tracked memory space;
+    the returned tensor then shares that buffer zero-copy with
+    ``numpy.asarray(tensor)``.
+    """
+    exec_ = (
+        device
+        if isinstance(device, Executor)
+        else _device_factory(device or "reference")
+    )
+    arr = np.asarray(array)
+    if dtype is not None:
+        arr = arr.astype(value_dtype(dtype), copy=False)
+    return Tensor(Dense(exec_, arr))
+
+
+def to_numpy(operand) -> np.ndarray:
+    """Copy any tensor/Dense/engine-sparse operand out to NumPy."""
+    if isinstance(operand, Tensor):
+        return operand.numpy()
+    if isinstance(operand, Dense):
+        return operand.to_numpy()
+    if isinstance(operand, SparseBase):
+        return np.asarray(operand._scipy_view().todense())
+    return np.asarray(operand)
+
+
+def from_scipy(
+    matrix: sp.spmatrix,
+    device=None,
+    dtype=None,
+    index_type="int32",
+    format: str = "csr",
+    **kwargs,
+):
+    """Convert a SciPy sparse matrix to an engine matrix on a device."""
+    from repro.core.io import matrix as _matrix
+
+    exec_ = (
+        device
+        if isinstance(device, Executor)
+        else _device_factory(device or "reference")
+    )
+    dt = value_dtype(dtype) if dtype is not None else matrix.dtype
+    return _matrix(
+        device=exec_,
+        data=matrix,
+        dtype=np.dtype(dt).name if not isinstance(dt, str) else dt,
+        format=format,
+        index_dtype=index_type,
+        **kwargs,
+    )
+
+
+def to_scipy(matrix) -> sp.spmatrix:
+    """Copy an engine sparse matrix out as a SciPy sparse matrix."""
+    if isinstance(matrix, SparseBase):
+        return matrix.to_scipy()
+    if sp.issparse(matrix):
+        return matrix
+    raise TypeError(
+        f"to_scipy expects an engine sparse matrix, got {type(matrix).__name__}"
+    )
+
+
+def shares_memory(tensor: Tensor, array: np.ndarray) -> bool:
+    """Whether a host tensor and a NumPy array view the same buffer."""
+    try:
+        view = np.asarray(tensor)
+    except Exception:
+        return False
+    return np.shares_memory(view, array)

@@ -1,0 +1,107 @@
+"""The ``pg.read``/``pg.write`` front-end (Listing 1's matrix loading)."""
+
+from __future__ import annotations
+
+from repro import bindings
+from repro.core.device import device as _device_factory
+from repro.core.types import index_suffix, value_suffix
+from repro.ginkgo.exceptions import GinkgoError
+from repro.ginkgo.executor import Executor
+from repro.ginkgo.mtx_io import write_mtx
+
+#: Format name (as used in Listing 1's ``format="Csr"``) -> binding prefix.
+FORMAT_PREFIXES = {
+    "csr": "csr",
+    "coo": "coo",
+    "ell": "ell",
+    "sellp": "sellp",
+    "hybrid": "hybrid",
+}
+
+
+def read(
+    device=None,
+    path=None,
+    dtype="double",
+    format="Csr",
+    index_dtype="int32",
+    **kwargs,
+):
+    """Read a MatrixMarket file into a device-resident sparse matrix.
+
+    Mirrors Listing 1::
+
+        mtx = pg.read(device=dev, path="m1.mtx", dtype="double",
+                      format="Csr")
+
+    Args:
+        device: Target executor or device name.
+        path: Path to the ``.mtx`` file.
+        dtype: Value type name (``half``/``float``/``double``/...).
+        format: Storage format (``Csr``, ``Coo``, ``Ell``, ``Sellp``,
+            ``Hybrid``); case-insensitive.
+        index_dtype: Index type name (``int32``/``int64``).
+        **kwargs: Format-specific options (e.g. ``strategy=`` for CSR).
+
+    Returns:
+        The engine matrix (a LinOp) resident on the device.
+    """
+    if path is None:
+        raise GinkgoError("read() requires a path")
+    exec_ = (
+        device
+        if isinstance(device, Executor)
+        else _device_factory(device or "reference")
+    )
+    fmt = str(format).lower()
+    if fmt not in FORMAT_PREFIXES:
+        raise GinkgoError(
+            f"unknown matrix format {format!r}; "
+            f"available: {sorted(FORMAT_PREFIXES)}"
+        )
+    name = (
+        f"read_{FORMAT_PREFIXES[fmt]}_{value_suffix(dtype)}_"
+        f"{index_suffix(index_dtype)}"
+    )
+    return bindings.get_binding(name)(exec_, path, **kwargs)
+
+
+def matrix(
+    device=None,
+    data=None,
+    dtype="double",
+    format="Csr",
+    index_dtype="int32",
+    **kwargs,
+):
+    """Build a device-resident sparse matrix from a SciPy matrix or array.
+
+    The in-memory companion of :func:`read`; accepts anything
+    ``scipy.sparse`` can convert.
+    """
+    if data is None:
+        raise GinkgoError("matrix() requires data")
+    exec_ = (
+        device
+        if isinstance(device, Executor)
+        else _device_factory(device or "reference")
+    )
+    fmt = str(format).lower()
+    if fmt not in FORMAT_PREFIXES:
+        raise GinkgoError(
+            f"unknown matrix format {format!r}; "
+            f"available: {sorted(FORMAT_PREFIXES)}"
+        )
+    name = (
+        f"{FORMAT_PREFIXES[fmt]}_{value_suffix(dtype)}_"
+        f"{index_suffix(index_dtype)}"
+    )
+    import scipy.sparse as sp
+
+    mat = data if sp.issparse(data) else sp.csr_matrix(data)
+    return bindings.get_binding(name)(exec_, mat, **kwargs)
+
+
+def write(path, matrix, **kwargs) -> None:
+    """Write an engine matrix (or SciPy matrix) to MatrixMarket format."""
+    write_mtx(path, matrix, **kwargs)

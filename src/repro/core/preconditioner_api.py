@@ -1,0 +1,55 @@
+"""The ``pg.preconditioner`` namespace (Listing 1's ``pg.preconditioner.Ilu``).
+
+Each entry point dispatches through the type-suffixed binding for the
+matrix's value type and immediately generates the preconditioner on the
+matrix, returning an operator ready to pass to a solver.
+"""
+
+from __future__ import annotations
+
+from repro import bindings
+from repro.core.types import value_suffix
+
+
+def Ilu(device, mtx, algorithm: str = "exact", sweeps: int = 5):
+    """ILU(0) preconditioner generated on ``mtx`` (Listing 1).
+
+    ``algorithm="parilu"`` selects Ginkgo's fixed-point construction with
+    the given number of ``sweeps``.
+    """
+    factory = bindings.get_binding(f"ilu_factory_{value_suffix(mtx.dtype)}")(
+        device, algorithm=algorithm, sweeps=sweeps
+    )
+    return factory.generate(mtx)
+
+
+def Ic(device, mtx):
+    """IC(0) preconditioner for symmetric positive-definite matrices."""
+    factory = bindings.get_binding(f"ic_factory_{value_suffix(mtx.dtype)}")(
+        device
+    )
+    return factory.generate(mtx)
+
+
+def Jacobi(device, mtx, max_block_size: int = 1):
+    """Scalar (block size 1) or block Jacobi preconditioner."""
+    factory = bindings.get_binding(
+        f"jacobi_factory_{value_suffix(mtx.dtype)}"
+    )(device, max_block_size=max_block_size)
+    return factory.generate(mtx)
+
+
+def Isai(device, mtx, sparsity_power: int = 1):
+    """Incomplete sparse approximate inverse preconditioner."""
+    factory = bindings.get_binding(
+        f"isai_factory_{value_suffix(mtx.dtype)}"
+    )(device, sparsity_power=sparsity_power)
+    return factory.generate(mtx)
+
+
+def Amg(device, mtx, **kwargs):
+    """Aggregation-AMG preconditioner (one V-cycle per apply)."""
+    factory = bindings.get_binding(
+        f"multigrid_factory_{value_suffix(mtx.dtype)}"
+    )(device, **kwargs)
+    return factory.generate(mtx)

@@ -1,0 +1,99 @@
+"""Value/index type registry and dispatch helpers (paper Table 1).
+
+The Pythonic API accepts friendly type names ("double", "float32", ...)
+and dispatches to the pre-instantiated binding whose suffix matches —
+the ``funcxx(a) -> funcxx_float(a)`` mechanism of section 5.1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ginkgo.exceptions import GinkgoError
+
+#: Friendly name -> numpy value dtype.
+VALUE_TYPE_NAMES = {
+    "half": np.float16,
+    "float16": np.float16,
+    "single": np.float32,
+    "float": np.float32,
+    "float32": np.float32,
+    "double": np.float64,
+    "float64": np.float64,
+}
+
+#: Friendly name -> numpy index dtype.
+INDEX_TYPE_NAMES = {
+    "int": np.int32,
+    "int32": np.int32,
+    "long": np.int64,
+    "int64": np.int64,
+}
+
+#: numpy value dtype -> C++-style binding suffix.
+VALUE_SUFFIXES = {
+    np.dtype(np.float16): "half",
+    np.dtype(np.float32): "float",
+    np.dtype(np.float64): "double",
+}
+
+#: numpy index dtype -> binding suffix.
+INDEX_SUFFIXES = {
+    np.dtype(np.int32): "int32",
+    np.dtype(np.int64): "int64",
+}
+
+#: Rows of the paper's Table 1: (size bytes, value type, index type).
+TABLE1 = (
+    (2, "half", None),
+    (4, "float", "int32"),
+    (8, "double", "int64"),
+)
+
+
+def value_dtype(dtype) -> np.dtype:
+    """Normalise a value-type name or dtype to a supported numpy dtype."""
+    if isinstance(dtype, str):
+        key = dtype.lower()
+        if key not in VALUE_TYPE_NAMES:
+            raise GinkgoError(
+                f"unknown value type {dtype!r}; "
+                f"available: {sorted(set(VALUE_TYPE_NAMES))}"
+            )
+        return np.dtype(VALUE_TYPE_NAMES[key])
+    dt = np.dtype(dtype)
+    if dt not in VALUE_SUFFIXES:
+        raise GinkgoError(
+            f"unsupported value dtype {dt}; supported: "
+            f"{sorted(str(k) for k in VALUE_SUFFIXES)}"
+        )
+    return dt
+
+
+def index_dtype(dtype) -> np.dtype:
+    """Normalise an index-type name or dtype to a supported numpy dtype."""
+    if isinstance(dtype, str):
+        key = dtype.lower()
+        if key not in INDEX_TYPE_NAMES:
+            raise GinkgoError(
+                f"unknown index type {dtype!r}; "
+                f"available: {sorted(set(INDEX_TYPE_NAMES))}"
+            )
+        return np.dtype(INDEX_TYPE_NAMES[key])
+    dt = np.dtype(dtype)
+    if dt not in INDEX_SUFFIXES:
+        raise GinkgoError(
+            f"unsupported index dtype {dt}; supported: "
+            f"{sorted(str(k) for k in INDEX_SUFFIXES)}"
+        )
+    return dt
+
+
+def value_suffix(dtype) -> str:
+    """Binding suffix ('half'/'float'/'double') for a value dtype."""
+    return VALUE_SUFFIXES[value_dtype(dtype)]
+
+
+def index_suffix(dtype) -> str:
+    """Binding suffix ('int32'/'int64') for an index dtype."""
+    return INDEX_SUFFIXES[index_dtype(dtype)]

@@ -1,0 +1,68 @@
+"""Pure-Python re-implementation of the Ginkgo computational engine.
+
+This package substitutes for Ginkgo's C++ core in the pyGinkgo
+reproduction: executors, the LinOp abstraction, sparse matrix formats,
+Krylov solvers, preconditioners, factorizations, stopping criteria,
+loggers, the generic config-solver entry point, and MatrixMarket I/O.
+
+The class architecture deliberately mirrors Ginkgo's (executors created via
+static ``create`` factories, ``LinOpFactory.generate(matrix)`` producing
+solver LinOps, criteria factories, ...) so that the binding layer in
+:mod:`repro.bindings` and the Pythonic API in :mod:`repro.core` relate to
+this engine exactly the way the paper's pybind11 layer relates to Ginkgo.
+
+Numerics are computed with NumPy/SciPy; execution time is modeled by the
+executor's simulated clock (see :mod:`repro.perfmodel`).
+"""
+
+from repro.ginkgo.dim import Dim
+from repro.ginkgo.exceptions import (
+    AllocationError,
+    BadDimension,
+    CudaError,
+    DimensionMismatch,
+    ExecutorMismatch,
+    GinkgoError,
+    NotConverged,
+    NotSupported,
+)
+from repro.ginkgo.executor import (
+    CudaExecutor,
+    Executor,
+    HipExecutor,
+    OmpExecutor,
+    ReferenceExecutor,
+)
+from repro.ginkgo.array import Array
+from repro.ginkgo.lin_op import (
+    Combination,
+    Composition,
+    Identity,
+    LinOp,
+    LinOpFactory,
+    Perturbation,
+)
+
+__all__ = [
+    "AllocationError",
+    "Array",
+    "BadDimension",
+    "Combination",
+    "Composition",
+    "CudaError",
+    "CudaExecutor",
+    "Dim",
+    "DimensionMismatch",
+    "Executor",
+    "ExecutorMismatch",
+    "GinkgoError",
+    "HipExecutor",
+    "Identity",
+    "LinOp",
+    "LinOpFactory",
+    "NotConverged",
+    "NotSupported",
+    "OmpExecutor",
+    "Perturbation",
+    "ReferenceExecutor",
+]

@@ -1,0 +1,26 @@
+"""Generic config-solver entry point (paper section 5).
+
+Ginkgo exposes all solvers/preconditioners through configuration
+parameters (JSON/dict); pyGinkgo leverages this so new Ginkgo features need
+no explicit bindings.  :func:`parse` turns a configuration dictionary into
+a solver factory; :func:`validate` checks it against the schema first
+(the paper notes Ginkgo itself ships no JSON schema — we provide one).
+"""
+
+from repro.ginkgo.config.registry import (
+    PRECONDITIONER_REGISTRY,
+    SOLVER_REGISTRY,
+    STOP_REGISTRY,
+)
+from repro.ginkgo.config.parser import parse, parse_json
+from repro.ginkgo.config.validate import ConfigError, validate
+
+__all__ = [
+    "ConfigError",
+    "PRECONDITIONER_REGISTRY",
+    "SOLVER_REGISTRY",
+    "STOP_REGISTRY",
+    "parse",
+    "parse_json",
+    "validate",
+]

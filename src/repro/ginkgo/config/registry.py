@@ -1,0 +1,94 @@
+"""Type registries for the config-solver.
+
+Maps the ``type`` strings used in configuration dictionaries (Listing 2 of
+the paper uses e.g. ``solver::Gmres``, ``preconditioner::Jacobi``,
+``stop::Iteration``) onto the engine's factory classes, together with the
+parameter names each accepts.
+"""
+
+from __future__ import annotations
+
+from repro.ginkgo.preconditioner import Ic, Ilu, Isai, Jacobi
+from repro.ginkgo.multigrid import Pgm
+from repro.ginkgo.solver import (
+    Bicg,
+    Bicgstab,
+    CbGmres,
+    Cg,
+    Cgs,
+    Direct,
+    Fcg,
+    Gmres,
+    Idr,
+    Ir,
+    LowerTrs,
+    Minres,
+    UpperTrs,
+)
+from repro.ginkgo.stop import Iteration, ResidualNorm, Time
+
+#: Solver type name -> (factory class, accepted parameter names).
+SOLVER_REGISTRY = {
+    "solver::Cg": (Cg, ()),
+    "solver::Fcg": (Fcg, ()),
+    "solver::Cgs": (Cgs, ()),
+    "solver::Bicg": (Bicg, ()),
+    "solver::Bicgstab": (Bicgstab, ()),
+    "solver::Gmres": (Gmres, ("krylov_dim",)),
+    "solver::CbGmres": (CbGmres, ("krylov_dim", "storage_precision")),
+    "solver::Idr": (Idr, ("subspace_dim", "deterministic", "kappa")),
+    "solver::Minres": (Minres, ()),
+    "solver::Ir": (Ir, ("relaxation_factor",)),
+    "solver::Direct": (Direct, ()),
+    "solver::LowerTrs": (LowerTrs, ("unit_diagonal",)),
+    "solver::UpperTrs": (UpperTrs, ("unit_diagonal",)),
+}
+
+#: Preconditioner type name -> (factory class, accepted parameter names).
+PRECONDITIONER_REGISTRY = {
+    "preconditioner::Jacobi": (Jacobi, ("max_block_size",)),
+    "preconditioner::Ilu": (Ilu, ("algorithm", "sweeps")),
+    "preconditioner::Ic": (Ic, ()),
+    "preconditioner::Isai": (Isai, ("sparsity_power",)),
+    "preconditioner::Multigrid": (
+        Pgm,
+        (
+            "max_levels",
+            "coarse_size",
+            "smoother_relaxation",
+            "pre_smoother_steps",
+            "post_smoother_steps",
+        ),
+    ),
+}
+
+#: Criterion type name -> (factory class, accepted parameter names).
+STOP_REGISTRY = {
+    "stop::Iteration": (Iteration, ("max_iters",)),
+    "stop::ResidualNorm": (ResidualNorm, ("reduction_factor", "baseline")),
+    "stop::Time": (Time, ("time_limit",)),
+}
+
+#: Short aliases accepted in configs for user convenience.
+SOLVER_ALIASES = {
+    "cg": "solver::Cg",
+    "fcg": "solver::Fcg",
+    "cgs": "solver::Cgs",
+    "bicg": "solver::Bicg",
+    "bicgstab": "solver::Bicgstab",
+    "gmres": "solver::Gmres",
+    "cb_gmres": "solver::CbGmres",
+    "idr": "solver::Idr",
+    "minres": "solver::Minres",
+    "ir": "solver::Ir",
+    "direct": "solver::Direct",
+}
+
+PRECONDITIONER_ALIASES = {
+    "jacobi": "preconditioner::Jacobi",
+    "ilu": "preconditioner::Ilu",
+    "ic": "preconditioner::Ic",
+    "isai": "preconditioner::Isai",
+    "multigrid": "preconditioner::Multigrid",
+    "amg": "preconditioner::Multigrid",
+}

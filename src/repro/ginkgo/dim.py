@@ -1,0 +1,86 @@
+"""The ``gko::dim<2>`` equivalent: a validated (rows, cols) pair."""
+
+from __future__ import annotations
+
+from repro.ginkgo.exceptions import BadDimension
+
+
+class Dim:
+    """Two-dimensional size of a linear operator.
+
+    Behaves like a tuple ``(rows, cols)`` and supports the operations
+    Ginkgo's ``dim<2>`` supports: equality, transposition, multiplication
+    (operator composition), and truthiness (a dim is falsy when empty).
+    """
+
+    __slots__ = ("rows", "cols")
+
+    def __init__(self, rows: int, cols: int | None = None) -> None:
+        if cols is None:
+            cols = rows
+        if rows < 0 or cols < 0:
+            raise BadDimension(f"dimensions must be non-negative: ({rows}, {cols})")
+        self.rows = int(rows)
+        self.cols = int(cols)
+
+    def __getitem__(self, index: int) -> int:
+        if index == 0:
+            return self.rows
+        if index == 1:
+            return self.cols
+        raise IndexError(f"Dim index out of range: {index}")
+
+    def __len__(self) -> int:
+        return 2
+
+    def __iter__(self):
+        yield self.rows
+        yield self.cols
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Dim):
+            return self.rows == other.rows and self.cols == other.cols
+        if isinstance(other, (tuple, list)) and len(other) == 2:
+            return self.rows == other[0] and self.cols == other[1]
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.rows, self.cols))
+
+    def __bool__(self) -> bool:
+        return self.rows > 0 and self.cols > 0
+
+    def __mul__(self, other: "Dim") -> "Dim":
+        """Size of the composition ``self @ other``."""
+        other = Dim.of(other)
+        if self.cols != other.rows:
+            raise BadDimension(
+                f"cannot compose dims {self} and {other}: inner sizes differ"
+            )
+        return Dim(self.rows, other.cols)
+
+    @property
+    def transposed(self) -> "Dim":
+        return Dim(self.cols, self.rows)
+
+    @property
+    def is_square(self) -> bool:
+        return self.rows == self.cols
+
+    @property
+    def num_elements(self) -> int:
+        return self.rows * self.cols
+
+    @classmethod
+    def of(cls, value) -> "Dim":
+        """Coerce a ``Dim``, tuple, list, or int into a :class:`Dim`."""
+        if isinstance(value, Dim):
+            return value
+        if isinstance(value, int):
+            return cls(value, value)
+        if isinstance(value, (tuple, list)) and len(value) == 2:
+            return cls(int(value[0]), int(value[1]))
+        raise BadDimension(f"cannot interpret {value!r} as a 2-D dimension")
+
+    def __repr__(self) -> str:
+        return f"Dim({self.rows}, {self.cols})"

@@ -1,0 +1,68 @@
+"""Exception hierarchy mirroring Ginkgo's error types."""
+
+from __future__ import annotations
+
+
+class GinkgoError(Exception):
+    """Base class for all engine errors."""
+
+
+class DimensionMismatch(GinkgoError):
+    """Operands passed to an apply have incompatible dimensions."""
+
+    def __init__(self, op_name: str, expected, got) -> None:
+        super().__init__(
+            f"{op_name}: dimension mismatch, expected {expected}, got {got}"
+        )
+        self.expected = expected
+        self.got = got
+
+
+class BadDimension(GinkgoError):
+    """An object was constructed with an invalid dimension."""
+
+
+class ExecutorMismatch(GinkgoError):
+    """Operands live on different executors without an explicit copy."""
+
+    def __init__(self, op_name: str, expected, got) -> None:
+        super().__init__(
+            f"{op_name}: operands live on executor {got!r} but the operator "
+            f"lives on {expected!r}; copy the data explicitly first"
+        )
+
+
+class AllocationError(GinkgoError):
+    """Device memory exhausted (models cudaErrorMemoryAllocation)."""
+
+    def __init__(self, executor_name: str, requested: int, available: int) -> None:
+        super().__init__(
+            f"{executor_name}: failed to allocate {requested} bytes "
+            f"({available} bytes available)"
+        )
+        self.requested = requested
+        self.available = available
+
+
+class CudaError(GinkgoError):
+    """A device-side failure on a CUDA/HIP executor."""
+
+
+class NotSupported(GinkgoError):
+    """The requested operation is not implemented for this type."""
+
+
+class NotConverged(GinkgoError):
+    """A solver exhausted its stopping criteria without converging.
+
+    Ginkgo itself does not throw on non-convergence (the logger reports it);
+    this exception is only raised by APIs that request strict behaviour.
+    """
+
+    def __init__(self, iterations: int, residual_norm: float) -> None:
+        super().__init__(
+            f"solver did not converge after {iterations} iterations "
+            f"(residual norm {residual_norm:.3e})"
+        )
+        self.iterations = iterations
+        self.residual_norm = residual_norm

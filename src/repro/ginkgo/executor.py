@@ -1,0 +1,236 @@
+"""Executors: where data lives and kernels run.
+
+This mirrors Ginkgo's executor hierarchy (section 4.1 of the paper):
+
+* :class:`ReferenceExecutor` — sequential host execution for verification;
+* :class:`OmpExecutor` — multi-threaded host execution;
+* :class:`CudaExecutor` — an NVIDIA GPU (simulated as an A100);
+* :class:`HipExecutor` — an AMD GPU (simulated as an MI100).
+
+As in Ginkgo, constructors are protected: concrete executors are built via
+the static ``create`` factories, which return the (shared) instance — the
+paper highlights this create-returns-smart-pointer design as the reason it
+chose pybind11's smart-pointer holder types.
+
+Device executors own a distinct *memory space*.  NumPy buffers tagged with a
+device executor must be copied explicitly (``Array.copy_to`` /
+``Dense.copy_to``) before host code may view them, emulating the
+discrete-memory semantics of real GPUs.  All data movement and kernel
+execution advances the executor's simulated :class:`~repro.perfmodel.SimClock`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ginkgo.exceptions import AllocationError, GinkgoError
+from repro.perfmodel import (
+    AMD_MI100,
+    GENERIC_HOST,
+    INTEL_XEON_8368,
+    NVIDIA_A100,
+    KernelCost,
+    SimClock,
+)
+from repro.perfmodel.specs import DeviceSpec
+
+#: Effective host<->device interconnect bandwidth (PCIe gen4 x16), bytes/s.
+PCIE_BANDWIDTH = 25e9
+#: One-way host<->device transfer latency, seconds.
+PCIE_LATENCY = 8.0e-6
+
+
+class Executor:
+    """Base class of all executors.
+
+    Use the subclasses' ``create`` factories; direct construction raises,
+    matching Ginkgo's protected constructors.
+    """
+
+    _allow_construction = False
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        device_id: int = 0,
+        library: str = "ginkgo",
+        num_threads: int | None = None,
+        seed: int = 0,
+        noisy: bool = True,
+    ) -> None:
+        if not Executor._allow_construction:
+            raise TypeError(
+                f"{type(self).__name__} cannot be constructed directly; "
+                "use the static create() factory"
+            )
+        self.spec = spec
+        self.device_id = device_id
+        self.num_threads = num_threads
+        self.clock = SimClock(
+            spec, library=library, num_threads=num_threads, seed=seed, noisy=noisy
+        )
+        self._bytes_allocated = 0
+        self._allocation_count = 0
+        self._peak_bytes = 0
+
+    # ------------------------------------------------------------------
+    # factory
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, *args, **kwargs) -> "Executor":
+        """Create an executor instance (Ginkgo-style static factory)."""
+        Executor._allow_construction = True
+        try:
+            return cls(*args, **kwargs)
+        finally:
+            Executor._allow_construction = False
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return type(self).__name__.replace("Executor", "").lower()
+
+    @property
+    def is_host(self) -> bool:
+        """True when host code may view this executor's buffers directly."""
+        return self.spec.kind == "cpu"
+
+    def get_master(self) -> "Executor":
+        """The host executor associated with this device (Ginkgo API)."""
+        return self if self.is_host else self._master
+
+    # ------------------------------------------------------------------
+    # memory management
+    # ------------------------------------------------------------------
+    def alloc(self, shape, dtype) -> np.ndarray:
+        """Allocate a zero-initialised buffer in this memory space."""
+        arr = np.zeros(shape, dtype=dtype)
+        self._track_alloc(arr.nbytes)
+        return arr
+
+    def alloc_like(self, data: np.ndarray) -> np.ndarray:
+        """Allocate an uninitialised buffer with ``data``'s shape/dtype."""
+        arr = np.empty_like(data)
+        self._track_alloc(arr.nbytes)
+        return arr
+
+    def _track_alloc(self, nbytes: int) -> None:
+        if self._bytes_allocated + nbytes > self.spec.memory_capacity:
+            raise AllocationError(
+                self.name,
+                requested=nbytes,
+                available=int(self.spec.memory_capacity - self._bytes_allocated),
+            )
+        self._bytes_allocated += nbytes
+        self._allocation_count += 1
+        self._peak_bytes = max(self._peak_bytes, self._bytes_allocated)
+
+    def free(self, data: np.ndarray) -> None:
+        """Return a buffer to the memory space (bookkeeping only)."""
+        self._bytes_allocated = max(0, self._bytes_allocated - data.nbytes)
+
+    @property
+    def bytes_allocated(self) -> int:
+        return self._bytes_allocated
+
+    @property
+    def allocation_count(self) -> int:
+        return self._allocation_count
+
+    @property
+    def peak_bytes_allocated(self) -> int:
+        return self._peak_bytes
+
+    # ------------------------------------------------------------------
+    # data movement
+    # ------------------------------------------------------------------
+    def copy_from(self, src_exec: "Executor", data: np.ndarray) -> np.ndarray:
+        """Copy ``data`` (resident on ``src_exec``) into this memory space.
+
+        Models the transfer time: PCIe for host<->device and device<->device
+        hops, DRAM streaming for host<->host.
+        """
+        out = self.alloc_like(np.ascontiguousarray(data))
+        np.copyto(out, data)
+        nbytes = data.nbytes
+        if src_exec is self:
+            self.clock.record(
+                KernelCost("device_memcpy", 0.0, 2.0 * nbytes, launches=1)
+            )
+        elif self.is_host and src_exec.is_host:
+            self.clock.advance(nbytes / self.spec.memory_bandwidth)
+        else:
+            transfer = PCIE_LATENCY + nbytes / PCIE_BANDWIDTH
+            self.clock.advance(transfer)
+            src_exec.clock.advance(transfer)
+        return out
+
+    def synchronize(self) -> None:
+        """Wait for all outstanding device work (models stream sync)."""
+        self.clock.synchronize()
+
+    # ------------------------------------------------------------------
+    # kernel execution
+    # ------------------------------------------------------------------
+    def run(self, cost: KernelCost) -> float:
+        """Execute one modeled kernel; returns its simulated duration."""
+        return self.clock.record(cost)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} id={self.device_id}>"
+
+
+class ReferenceExecutor(Executor):
+    """Sequential host executor used for verification (Ginkgo `reference`)."""
+
+    def __init__(self, **kwargs) -> None:
+        kwargs.setdefault("library", "ginkgo")
+        super().__init__(GENERIC_HOST, device_id=0, num_threads=1, **{
+            k: v for k, v in kwargs.items() if k != "num_threads"
+        })
+
+
+class OmpExecutor(Executor):
+    """Multi-threaded host executor (Ginkgo `omp`)."""
+
+    def __init__(self, num_threads: int | None = None, **kwargs) -> None:
+        spec = kwargs.pop("spec", INTEL_XEON_8368)
+        if num_threads is not None and num_threads < 1:
+            raise GinkgoError(
+                f"OmpExecutor needs >= 1 thread, got {num_threads}"
+            )
+        threads = num_threads or spec.cores
+        super().__init__(spec, device_id=0, num_threads=threads, **kwargs)
+
+
+class _DeviceExecutor(Executor):
+    """Shared behaviour of discrete-memory device executors."""
+
+    def __init__(self, device_id: int = 0, master: Executor | None = None, **kwargs):
+        spec = kwargs.pop("spec", self._default_spec())
+        super().__init__(spec, device_id=device_id, **kwargs)
+        self._master = master or OmpExecutor.create(
+            seed=kwargs.get("seed", 0), noisy=kwargs.get("noisy", True)
+        )
+
+    @classmethod
+    def _default_spec(cls) -> DeviceSpec:
+        raise NotImplementedError
+
+
+class CudaExecutor(_DeviceExecutor):
+    """An NVIDIA GPU executor, simulated as an A100 (Ginkgo `cuda`)."""
+
+    @classmethod
+    def _default_spec(cls) -> DeviceSpec:
+        return NVIDIA_A100
+
+
+class HipExecutor(_DeviceExecutor):
+    """An AMD GPU executor, simulated as an MI100 (Ginkgo `hip`)."""
+
+    @classmethod
+    def _default_spec(cls) -> DeviceSpec:
+        return AMD_MI100

@@ -1,0 +1,17 @@
+"""Incomplete and complete factorizations (``gko::factorization``)."""
+
+from repro.ginkgo.factorization.ilu0 import Ilu0Factorization, ilu0
+from repro.ginkgo.factorization.ic0 import Ic0Factorization, ic0
+from repro.ginkgo.factorization.lu import LuFactorization, lu
+from repro.ginkgo.factorization.parilu import ParIluFactorization, parilu
+
+__all__ = [
+    "Ic0Factorization",
+    "Ilu0Factorization",
+    "LuFactorization",
+    "ParIluFactorization",
+    "ic0",
+    "ilu0",
+    "lu",
+    "parilu",
+]

@@ -1,0 +1,123 @@
+"""IC(0): incomplete Cholesky factorisation with zero fill-in.
+
+Computes ``A ~= L L^T`` for a symmetric positive-definite matrix, where L
+carries the lower-triangular part of A's sparsity pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ginkgo.exceptions import BadDimension, GinkgoError
+from repro.ginkgo.matrix.csr import Csr
+from repro.perfmodel import factorization_cost
+
+
+@dataclass
+class Ic0Factorization:
+    """Result of an IC(0) factorisation: the lower-triangular factor L."""
+
+    l_factor: Csr
+
+    @property
+    def lt_factor(self) -> Csr:
+        """The transposed factor ``L^T`` (computed on demand)."""
+        return self.l_factor.transpose()
+
+
+def _ic0_arrays(a: sp.csr_matrix) -> sp.csr_matrix:
+    """Row-wise IC(0) on the lower triangle of a sorted CSR matrix."""
+    n = a.shape[0]
+    lower = sp.tril(a).tocsr()
+    lower.sort_indices()
+    indptr, indices, data = lower.indptr, lower.indices, lower.data.astype(
+        np.float64
+    )
+    l_rows: list[dict] = [dict() for _ in range(n)]
+
+    for i in range(n):
+        start, stop = indptr[i], indptr[i + 1]
+        cols = indices[start:stop]
+        vals = data[start:stop]
+        if cols.size == 0 or cols[-1] != i:
+            raise GinkgoError(
+                f"IC(0) requires a full diagonal; row {i} has no diagonal "
+                "entry"
+            )
+        li = l_rows[i]
+        for c, v in zip(cols, vals):
+            j = int(c)
+            lj = l_rows[j]
+            # s = a_ij - sum_{k<j} L[i,k] * L[j,k] over the shared pattern.
+            s = float(v)
+            if len(li) <= len(lj):
+                for k, lik in li.items():
+                    if k < j:
+                        ljk = lj.get(k)
+                        if ljk is not None:
+                            s -= lik * ljk
+            else:
+                for k, ljk in lj.items():
+                    if k < j:
+                        lik = li.get(k)
+                        if lik is not None:
+                            s -= lik * ljk
+            if j < i:
+                ljj = lj.get(j, 0.0)
+                if ljj == 0.0:
+                    raise GinkgoError(f"IC(0) breakdown: zero pivot in row {j}")
+                li[j] = s / ljj
+            else:
+                if s <= 0.0:
+                    raise GinkgoError(
+                        f"IC(0) breakdown: non-positive pivot {s:.3e} in "
+                        f"row {i}; the matrix may not be positive definite"
+                    )
+                li[i] = np.sqrt(s)
+
+    counts = np.fromiter((len(r) for r in l_rows), dtype=np.int64, count=n)
+    ptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=ptr[1:])
+    idx = np.empty(ptr[-1], dtype=np.int64)
+    val = np.empty(ptr[-1], dtype=np.float64)
+    for i, r in enumerate(l_rows):
+        base = ptr[i]
+        for off, c in enumerate(sorted(r)):
+            idx[base + off] = c
+            val[base + off] = r[c]
+    return sp.csr_matrix((val, idx, ptr), shape=(n, n))
+
+
+def ic0(matrix: Csr) -> Ic0Factorization:
+    """Factorise a symmetric positive-definite CSR matrix as ``A ~= L L^T``.
+
+    Args:
+        matrix: Square CSR matrix (only its lower triangle is read).
+
+    Returns:
+        An :class:`Ic0Factorization` holding the executor-resident L.
+    """
+    if not matrix.size.is_square:
+        raise BadDimension(f"IC(0) requires a square matrix, got {matrix.size}")
+    a = matrix._scipy_view().tocsr().astype(np.float64)
+    a.sort_indices()
+    l_mat = _ic0_arrays(a)
+    exec_ = matrix.executor
+    exec_.run(
+        factorization_cost(
+            "ic0",
+            matrix.size.rows,
+            matrix.nnz,
+            matrix.value_bytes,
+            matrix.index_bytes,
+        )
+    )
+    return Ic0Factorization(
+        l_factor=Csr.from_scipy(
+            exec_, l_mat, value_dtype=matrix.dtype,
+            index_dtype=matrix.index_dtype,
+        )
+    )

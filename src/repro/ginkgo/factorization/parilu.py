@@ -1,0 +1,137 @@
+"""ParILU: fixed-point iterative ILU(0) (``gko::factorization::ParIlu``).
+
+Ginkgo's parallel incomplete factorisation replaces the inherently
+sequential IKJ elimination with a Jacobi-style fixed-point iteration over
+the factorisation equations
+
+    l_ij = (a_ij - sum_{k<j} l_ik u_kj) / u_jj      (i > j)
+    u_ij =  a_ij - sum_{k<i} l_ik u_kj              (i <= j)
+
+restricted to A's sparsity pattern.  Every entry updates independently per
+sweep — massively parallel on GPUs — and the iteration converges to the
+exact ILU(0) factors (Chow & Patel, 2015).  A handful of sweeps usually
+yields a preconditioner as effective as exact ILU(0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ginkgo.exceptions import BadDimension, GinkgoError
+from repro.ginkgo.factorization.ilu0 import Ilu0Factorization
+from repro.ginkgo.matrix.csr import Csr
+from repro.perfmodel import factorization_cost
+
+
+@dataclass
+class ParIluFactorization(Ilu0Factorization):
+    """ILU factors produced by the fixed-point iteration."""
+
+    sweeps: int = 0
+
+
+def parilu(matrix: Csr, sweeps: int = 5) -> ParIluFactorization:
+    """Approximate ``A ~= L U`` on A's pattern via fixed-point sweeps.
+
+    Args:
+        matrix: Square CSR matrix with a structurally full diagonal.
+        sweeps: Fixed-point iterations; each sweep updates every stored
+            entry once from the previous sweep's values (Jacobi style).
+
+    Returns:
+        :class:`ParIluFactorization` with unit-lower L and upper U.
+    """
+    if not matrix.size.is_square:
+        raise BadDimension(
+            f"ParILU requires a square matrix, got {matrix.size}"
+        )
+    if sweeps < 1:
+        raise GinkgoError(f"sweeps must be >= 1, got {sweeps}")
+    a = matrix._scipy_view().tocsr().astype(np.float64)
+    a.sort_indices()
+    n = a.shape[0]
+    indptr, indices, values = a.indptr, a.indices, a.data
+
+    # Row-dict views of the current iterate; initial guess: L strictly
+    # lower part of A (unit diag), U upper part including diagonal.
+    l_rows: list[dict] = [dict() for _ in range(n)]
+    u_rows: list[dict] = [dict() for _ in range(n)]
+    for i in range(n):
+        has_diag = False
+        for p in range(indptr[i], indptr[i + 1]):
+            j = int(indices[p])
+            v = float(values[p])
+            if j < i:
+                l_rows[i][j] = v
+            else:
+                u_rows[i][j] = v
+                has_diag = has_diag or j == i
+        if not has_diag:
+            raise GinkgoError(
+                f"ParILU requires a full diagonal; row {i} has no diagonal "
+                "entry"
+            )
+        l_rows[i][i] = 1.0
+
+    for _ in range(sweeps):
+        new_l: list[dict] = [dict() for _ in range(n)]
+        new_u: list[dict] = [dict() for _ in range(n)]
+        for i in range(n):
+            li = l_rows[i]
+            for p in range(indptr[i], indptr[i + 1]):
+                j = int(indices[p])
+                a_ij = float(values[p])
+                bound = min(i, j)
+                s = a_ij
+                # sum over k < min(i, j) on the shared pattern.
+                for k, lik in li.items():
+                    if k < bound:
+                        ukj = u_rows[k].get(j)
+                        if ukj is not None:
+                            s -= lik * ukj
+                if i > j:
+                    ujj = u_rows[j].get(j, 0.0)
+                    new_l[i][j] = s / ujj if ujj != 0.0 else 0.0
+                else:
+                    new_u[i][j] = s
+            new_l[i][i] = 1.0
+        l_rows, u_rows = new_l, new_u
+
+    exec_ = matrix.executor
+    exec_.run(
+        factorization_cost(
+            "ilu0",
+            matrix.size.rows,
+            matrix.nnz,
+            matrix.value_bytes,
+            matrix.index_bytes,
+        ).scaled(sweeps / 4.0)
+    )
+
+    def _build(rows: list[dict]) -> sp.csr_matrix:
+        counts = np.fromiter((len(r) for r in rows), dtype=np.int64, count=n)
+        ptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=ptr[1:])
+        idx = np.empty(ptr[-1], dtype=np.int64)
+        val = np.empty(ptr[-1], dtype=np.float64)
+        for i, r in enumerate(rows):
+            base = ptr[i]
+            for off, c in enumerate(sorted(r)):
+                idx[base + off] = c
+                val[base + off] = r[c]
+        return sp.csr_matrix((val, idx, ptr), shape=(n, n))
+
+    return ParIluFactorization(
+        l_factor=Csr.from_scipy(
+            exec_, _build(l_rows), value_dtype=matrix.dtype,
+            index_dtype=matrix.index_dtype,
+        ),
+        u_factor=Csr.from_scipy(
+            exec_, _build(u_rows), value_dtype=matrix.dtype,
+            index_dtype=matrix.index_dtype,
+        ),
+        sweeps=sweeps,
+    )

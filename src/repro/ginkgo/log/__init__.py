@@ -1,0 +1,23 @@
+"""Loggers (``gko::log``).
+
+Loggers attach to any LinOp and receive events (`apply_started`,
+`iteration_complete`, ...).  The paper's Listing 1 returns a convergence
+logger from ``solver.apply``, exposing iteration counts and the residual
+history.
+"""
+
+from repro.ginkgo.log.logger import (
+    ConvergenceLogger,
+    Logger,
+    PerformanceLogger,
+    RecordLogger,
+    StreamLogger,
+)
+
+__all__ = [
+    "ConvergenceLogger",
+    "Logger",
+    "PerformanceLogger",
+    "RecordLogger",
+    "StreamLogger",
+]

@@ -1,0 +1,37 @@
+"""Matrix formats of the Ginkgo engine.
+
+Provides dense and sparse storage schemes with SpMV kernels and
+conversions, mirroring Ginkgo's ``gko::matrix`` namespace:
+
+* :class:`Dense` — row-major dense matrices and (multi-)vectors;
+* :class:`Csr` — compressed sparse row with selectable kernel strategy;
+* :class:`Coo` — coordinate format;
+* :class:`Ell` — ELLPACK with padded rows;
+* :class:`Sellp` — sliced ELLPACK (SELL-P);
+* :class:`Hybrid` — ELL + COO split;
+* :class:`SparsityCsr` — pattern-only CSR (values implicitly 1);
+* :class:`Diagonal` — diagonal matrices;
+* :class:`Permutation` — row permutations.
+"""
+
+from repro.ginkgo.matrix.dense import Dense
+from repro.ginkgo.matrix.csr import Csr
+from repro.ginkgo.matrix.coo import Coo
+from repro.ginkgo.matrix.ell import Ell
+from repro.ginkgo.matrix.sellp import Sellp
+from repro.ginkgo.matrix.hybrid import Hybrid
+from repro.ginkgo.matrix.sparsity_csr import SparsityCsr
+from repro.ginkgo.matrix.diagonal import Diagonal
+from repro.ginkgo.matrix.permutation import Permutation
+
+__all__ = [
+    "Coo",
+    "Csr",
+    "Dense",
+    "Diagonal",
+    "Ell",
+    "Hybrid",
+    "Permutation",
+    "Sellp",
+    "SparsityCsr",
+]

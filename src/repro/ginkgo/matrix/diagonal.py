@@ -1,0 +1,58 @@
+"""Diagonal matrices (``gko::matrix::Diagonal``)."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ginkgo.dim import Dim
+from repro.ginkgo.executor import Executor
+from repro.ginkgo.matrix.base import SparseBase, check_value_dtype
+from repro.perfmodel import blas1_cost
+
+
+class Diagonal(SparseBase):
+    """A square diagonal operator storing only the diagonal entries."""
+
+    _format_name = "diagonal"
+
+    def __init__(self, exec_: Executor, diag) -> None:
+        diag = np.asarray(diag).reshape(-1)
+        super().__init__(
+            exec_,
+            Dim(diag.size, diag.size),
+            value_dtype=check_value_dtype(diag.dtype),
+            index_dtype=np.int32,
+        )
+        self._diag = exec_.alloc_like(diag)
+        np.copyto(self._diag, diag)
+
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self._diag))
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._diag
+
+    def _to_scipy(self) -> sp.dia_matrix:
+        return sp.diags(self._diag).tocsr()
+
+    def _spmv_arrays(self, b: np.ndarray) -> np.ndarray:
+        return self._diag[:, None] * b
+
+    def inverse(self) -> "Diagonal":
+        """Return the diagonal inverse (used by Jacobi preconditioning).
+
+        Zero entries invert to zero, matching Ginkgo's Jacobi behaviour of
+        skipping empty diagonal blocks rather than dividing by zero.
+        """
+        inv = np.zeros_like(self._diag)
+        mask = self._diag != 0
+        inv[mask] = 1.0 / self._diag[mask]
+        self._exec.run(blas1_cost("diag_inverse", self._diag.size, self.value_bytes, 2))
+        return Diagonal(self._exec, inv)
+
+    def transpose(self) -> "Diagonal":
+        """A diagonal matrix is its own transpose."""
+        return Diagonal(self._exec, self._diag)

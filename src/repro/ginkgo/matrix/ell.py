@@ -1,0 +1,160 @@
+"""ELLPACK format (``gko::matrix::Ell``).
+
+Stores a dense ``rows x max_row_nnz`` block of values and column indices,
+padded with zeros.  Regular row lengths make this format SIMD-friendly; the
+padding makes it wasteful for imbalanced matrices.  The SpMV here is a real
+vectorised ELL kernel (column-at-a-time gather), not a SciPy fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ginkgo.dim import Dim
+from repro.ginkgo.exceptions import BadDimension
+from repro.ginkgo.executor import Executor
+from repro.ginkgo.matrix.base import SparseBase, check_index_dtype, check_value_dtype
+from repro.perfmodel import conversion_cost
+
+
+class Ell(SparseBase):
+    """ELL matrix with padded ``values``/``col_idxs`` blocks."""
+
+    _format_name = "ell"
+
+    def __init__(self, exec_: Executor, size, col_idxs, values) -> None:
+        size = Dim.of(size)
+        col_idxs = np.asarray(col_idxs)
+        values = np.asarray(values)
+        if col_idxs.shape != values.shape or col_idxs.ndim != 2:
+            raise BadDimension(
+                f"ELL blocks must be matching 2-D arrays, got "
+                f"{col_idxs.shape} and {values.shape}"
+            )
+        if col_idxs.shape[0] != size.rows:
+            raise BadDimension(
+                f"ELL block has {col_idxs.shape[0]} rows for a "
+                f"{size.rows}-row matrix"
+            )
+        super().__init__(
+            exec_,
+            size,
+            value_dtype=values.dtype,
+            index_dtype=check_index_dtype(col_idxs.dtype),
+        )
+        self._col_idxs = exec_.alloc_like(col_idxs)
+        np.copyto(self._col_idxs, col_idxs)
+        self._values = exec_.alloc_like(values)
+        np.copyto(self._values, values)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_scipy(
+        cls,
+        exec_: Executor,
+        mat: sp.spmatrix,
+        value_dtype=None,
+        index_dtype=np.int32,
+    ) -> "Ell":
+        """Build from a SciPy sparse matrix, padding rows to equal length."""
+        csr = sp.csr_matrix(mat)
+        csr.sort_indices()
+        value_dtype = check_value_dtype(value_dtype or csr.dtype)
+        index_dtype = check_index_dtype(index_dtype)
+        rows = csr.shape[0]
+        row_nnz = np.diff(csr.indptr)
+        width = int(row_nnz.max()) if rows else 0
+        col_idxs = np.zeros((rows, width), dtype=index_dtype)
+        values = np.zeros((rows, width), dtype=value_dtype)
+        for r in range(rows):
+            start, stop = csr.indptr[r], csr.indptr[r + 1]
+            n = stop - start
+            col_idxs[r, :n] = csr.indices[start:stop]
+            values[r, :n] = csr.data[start:stop]
+        return cls(exec_, Dim(*csr.shape), col_idxs, values)
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self._values))
+
+    @property
+    def stored_elements(self) -> int:
+        """Total stored slots including padding."""
+        return int(self._values.size)
+
+    @property
+    def num_stored_elements_per_row(self) -> int:
+        return int(self._values.shape[1])
+
+    @property
+    def col_idxs(self) -> np.ndarray:
+        return self._col_idxs
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._values
+
+    # ------------------------------------------------------------------
+    # SpMV: real vectorised ELL kernel
+    # ------------------------------------------------------------------
+    def _spmv_arrays(self, b: np.ndarray) -> np.ndarray:
+        compute = np.float32 if self._value_dtype == np.float16 else self._value_dtype
+        x = b.astype(compute, copy=False)
+        y = np.zeros((self._size.rows, x.shape[1]), dtype=compute)
+        vals = self._values.astype(compute, copy=False)
+        for k in range(self._values.shape[1]):
+            y += vals[:, k : k + 1] * x[self._col_idxs[:, k], :]
+        return y.astype(self._value_dtype, copy=False)
+
+    def _to_scipy(self) -> sp.csr_matrix:
+        rows = np.repeat(
+            np.arange(self._size.rows), self._values.shape[1]
+        ).reshape(self._values.shape)
+        mask = self._values != 0
+        return sp.csr_matrix(
+            (
+                self._values[mask],
+                (rows[mask], self._col_idxs[mask]),
+            ),
+            shape=self.shape,
+        )
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def convert_to_csr(self, strategy: str = "load_balance"):
+        """Convert to :class:`~repro.ginkgo.matrix.csr.Csr`."""
+        from repro.ginkgo.matrix.csr import Csr
+
+        self._exec.run(
+            conversion_cost(
+                "ell", "csr", self._size.rows, self.nnz,
+                self.value_bytes, self.index_bytes,
+            )
+        )
+        return Csr.from_scipy(
+            self._exec,
+            self._to_scipy(),
+            value_dtype=self._value_dtype,
+            index_dtype=self._index_dtype,
+            strategy=strategy,
+        )
+
+    def copy_to(self, exec_: Executor) -> "Ell":
+        """Return a copy resident on ``exec_``."""
+        obj = Ell.__new__(Ell)
+        SparseBase.__init__(
+            obj, exec_, self._size, self._value_dtype, self._index_dtype
+        )
+        obj._col_idxs = exec_.copy_from(self._exec, self._col_idxs)
+        obj._values = exec_.copy_from(self._exec, self._values)
+        return obj
+
+    def clone(self) -> "Ell":
+        return self.copy_to(self._exec)

@@ -1,0 +1,135 @@
+"""Hybrid ELL+COO format (``gko::matrix::Hybrid``).
+
+The regular part of each row (up to a percentile-based width) is stored in
+ELL; the irregular remainder spills into COO.  The SpMV applies both parts,
+which the cost model reflects as two kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ginkgo.dim import Dim
+from repro.ginkgo.exceptions import BadDimension
+from repro.ginkgo.executor import Executor
+from repro.ginkgo.matrix.base import SparseBase, check_index_dtype, check_value_dtype
+from repro.ginkgo.matrix.coo import Coo
+from repro.ginkgo.matrix.ell import Ell
+from repro.perfmodel import conversion_cost
+
+
+class Hybrid(SparseBase):
+    """ELL + COO split storage."""
+
+    _format_name = "hybrid"
+
+    def __init__(self, exec_: Executor, size, ell: Ell, coo: Coo) -> None:
+        size = Dim.of(size)
+        if ell.size != size or coo.size != size:
+            raise BadDimension(
+                f"hybrid parts must both be {size}, got ell={ell.size}, "
+                f"coo={coo.size}"
+            )
+        super().__init__(
+            exec_, size, value_dtype=ell.dtype, index_dtype=ell.index_dtype
+        )
+        self._ell = ell
+        self._coo = coo
+
+    @classmethod
+    def from_scipy(
+        cls,
+        exec_: Executor,
+        mat: sp.spmatrix,
+        percent: float = 0.8,
+        value_dtype=None,
+        index_dtype=np.int32,
+    ) -> "Hybrid":
+        """Split ``mat`` at the ``percent`` row-length percentile.
+
+        Rows keep their first ``width`` entries in ELL, where ``width`` is
+        the ``percent`` quantile of row lengths; the rest spill to COO.
+        """
+        if not 0.0 <= percent <= 1.0:
+            raise ValueError(f"percent must be in [0, 1], got {percent}")
+        csr = sp.csr_matrix(mat)
+        csr.sort_indices()
+        value_dtype = check_value_dtype(value_dtype or csr.dtype)
+        index_dtype = check_index_dtype(index_dtype)
+        rows = csr.shape[0]
+        row_nnz = np.diff(csr.indptr)
+        width = int(np.quantile(row_nnz, percent)) if rows else 0
+
+        ell_cols = np.zeros((rows, max(width, 1)), dtype=index_dtype)
+        ell_vals = np.zeros((rows, max(width, 1)), dtype=value_dtype)
+        coo_r, coo_c, coo_v = [], [], []
+        for r in range(rows):
+            start, stop = csr.indptr[r], csr.indptr[r + 1]
+            n = stop - start
+            keep = min(n, width)
+            ell_cols[r, :keep] = csr.indices[start : start + keep]
+            ell_vals[r, :keep] = csr.data[start : start + keep]
+            if n > keep:
+                coo_r.extend([r] * (n - keep))
+                coo_c.extend(csr.indices[start + keep : stop])
+                coo_v.extend(csr.data[start + keep : stop])
+        ell = Ell(exec_, Dim(*csr.shape), ell_cols, ell_vals)
+        coo = Coo(
+            exec_,
+            Dim(*csr.shape),
+            np.asarray(coo_r, dtype=index_dtype),
+            np.asarray(coo_c, dtype=index_dtype),
+            np.asarray(coo_v, dtype=value_dtype),
+        )
+        return cls(exec_, Dim(*csr.shape), ell, coo)
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return self._ell.nnz + self._coo.nnz
+
+    @property
+    def ell_part(self) -> Ell:
+        return self._ell
+
+    @property
+    def coo_part(self) -> Coo:
+        return self._coo
+
+    # ------------------------------------------------------------------
+    # SpMV: apply both parts
+    # ------------------------------------------------------------------
+    def _spmv_arrays(self, b: np.ndarray) -> np.ndarray:
+        y = self._ell._spmv_arrays(b).astype(
+            self._value_dtype, copy=False
+        )
+        if self._coo.nnz:
+            y = y + self._coo._spmv_arrays(b).reshape(y.shape)
+        return y
+
+    def _to_scipy(self) -> sp.csr_matrix:
+        out = self._ell._to_scipy().tocsr()
+        if self._coo.nnz:
+            out = (out + self._coo._to_scipy().tocsr()).tocsr()
+        return out
+
+    def convert_to_csr(self, strategy: str = "load_balance"):
+        """Convert to :class:`~repro.ginkgo.matrix.csr.Csr`."""
+        from repro.ginkgo.matrix.csr import Csr
+
+        self._exec.run(
+            conversion_cost(
+                "hybrid", "csr", self._size.rows, self.nnz,
+                self.value_bytes, self.index_bytes,
+            )
+        )
+        return Csr.from_scipy(
+            self._exec,
+            self._to_scipy(),
+            value_dtype=self._value_dtype,
+            index_dtype=self._index_dtype,
+            strategy=strategy,
+        )

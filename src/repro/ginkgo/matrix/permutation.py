@@ -1,0 +1,54 @@
+"""Row permutation operators (``gko::matrix::Permutation``)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ginkgo.dim import Dim
+from repro.ginkgo.exceptions import BadDimension
+from repro.ginkgo.executor import Executor
+from repro.ginkgo.lin_op import LinOp
+from repro.perfmodel import blas1_cost
+
+
+class Permutation(LinOp):
+    """A permutation operator ``(Pb)_i = b_{perm[i]}``."""
+
+    def __init__(self, exec_: Executor, permutation) -> None:
+        perm = np.asarray(permutation)
+        if perm.ndim != 1:
+            raise BadDimension("permutation must be one-dimensional")
+        if perm.size and not np.array_equal(np.sort(perm), np.arange(perm.size)):
+            raise BadDimension(
+                "permutation must contain each index 0..n-1 exactly once"
+            )
+        super().__init__(exec_, Dim(perm.size, perm.size))
+        self._perm = exec_.alloc_like(perm.astype(np.int64))
+        np.copyto(self._perm, perm.astype(np.int64))
+
+    @property
+    def permutation(self) -> np.ndarray:
+        return self._perm
+
+    def inverse(self) -> "Permutation":
+        """Return ``P^{-1}`` (= ``P^T`` for permutations)."""
+        inv = np.empty_like(self._perm)
+        inv[self._perm] = np.arange(self._perm.size)
+        return Permutation(self._exec, inv)
+
+    def _apply_impl(self, b, x) -> None:
+        np.copyto(x._data, b._data[self._perm, :])
+        self._exec.run(
+            blas1_cost("permute", b.size.num_elements, b.value_bytes, 2)
+        )
+
+    def _apply_advanced_impl(self, alpha, b, beta, x) -> None:
+        from repro.ginkgo.matrix.dense import _scalar_value
+
+        a = _scalar_value(alpha)
+        bt = _scalar_value(beta)
+        x._data *= x.dtype.type(bt)
+        x._data += x.dtype.type(a) * b._data[self._perm, :]
+        self._exec.run(
+            blas1_cost("permute", b.size.num_elements, b.value_bytes, 3)
+        )

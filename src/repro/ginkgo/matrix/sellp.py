@@ -1,0 +1,229 @@
+"""Sliced ELLPACK format, SELL-P (``gko::matrix::Sellp``).
+
+Rows are grouped into slices of ``slice_size``; each slice is padded to its
+own maximum row length, avoiding ELL's global padding blow-up on imbalanced
+matrices.  We store the real sliced layout (per-slice column-major blocks,
+exactly like Ginkgo) and run the SpMV slice by slice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ginkgo.dim import Dim
+from repro.ginkgo.exceptions import BadDimension
+from repro.ginkgo.executor import Executor
+from repro.ginkgo.matrix.base import SparseBase, check_index_dtype, check_value_dtype
+from repro.perfmodel import conversion_cost
+
+DEFAULT_SLICE_SIZE = 32
+
+
+class Sellp(SparseBase):
+    """SELL-P matrix with per-slice padded blocks."""
+
+    _format_name = "sellp"
+
+    def __init__(
+        self,
+        exec_: Executor,
+        size,
+        slice_size: int,
+        slice_lengths,
+        slice_sets,
+        col_idxs,
+        values,
+    ) -> None:
+        size = Dim.of(size)
+        if slice_size < 1:
+            raise BadDimension(f"slice_size must be >= 1, got {slice_size}")
+        slice_lengths = np.asarray(slice_lengths)
+        slice_sets = np.asarray(slice_sets)
+        col_idxs = np.asarray(col_idxs)
+        values = np.asarray(values)
+        num_slices = -(-size.rows // slice_size) if size.rows else 0
+        if slice_lengths.size != num_slices:
+            raise BadDimension(
+                f"expected {num_slices} slice lengths, got {slice_lengths.size}"
+            )
+        if slice_sets.size != num_slices + 1:
+            raise BadDimension(
+                f"expected {num_slices + 1} slice offsets, got {slice_sets.size}"
+            )
+        if col_idxs.size != values.size:
+            raise BadDimension("col_idxs and values differ in length")
+        super().__init__(
+            exec_,
+            size,
+            value_dtype=values.dtype,
+            index_dtype=check_index_dtype(col_idxs.dtype),
+        )
+        self._slice_size = int(slice_size)
+        self._slice_lengths = exec_.alloc_like(slice_lengths)
+        np.copyto(self._slice_lengths, slice_lengths)
+        self._slice_sets = exec_.alloc_like(slice_sets)
+        np.copyto(self._slice_sets, slice_sets)
+        self._col_idxs = exec_.alloc_like(col_idxs)
+        np.copyto(self._col_idxs, col_idxs)
+        self._values = exec_.alloc_like(values)
+        np.copyto(self._values, values)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_scipy(
+        cls,
+        exec_: Executor,
+        mat: sp.spmatrix,
+        slice_size: int = DEFAULT_SLICE_SIZE,
+        value_dtype=None,
+        index_dtype=np.int32,
+    ) -> "Sellp":
+        """Build the sliced layout from a SciPy sparse matrix."""
+        csr = sp.csr_matrix(mat)
+        csr.sort_indices()
+        value_dtype = check_value_dtype(value_dtype or csr.dtype)
+        index_dtype = check_index_dtype(index_dtype)
+        rows = csr.shape[0]
+        num_slices = -(-rows // slice_size) if rows else 0
+        row_nnz = np.diff(csr.indptr)
+
+        slice_lengths = np.zeros(num_slices, dtype=index_dtype)
+        for s in range(num_slices):
+            lo, hi = s * slice_size, min((s + 1) * slice_size, rows)
+            slice_lengths[s] = row_nnz[lo:hi].max() if hi > lo else 0
+        slice_sets = np.zeros(num_slices + 1, dtype=index_dtype)
+        np.cumsum(slice_lengths * slice_size, out=slice_sets[1:])
+
+        total = int(slice_sets[-1])
+        col_idxs = np.zeros(total, dtype=index_dtype)
+        values = np.zeros(total, dtype=value_dtype)
+        for s in range(num_slices):
+            lo = s * slice_size
+            hi = min(lo + slice_size, rows)
+            length = int(slice_lengths[s])
+            base = int(slice_sets[s])
+            for local, r in enumerate(range(lo, hi)):
+                start, stop = csr.indptr[r], csr.indptr[r + 1]
+                n = stop - start
+                # Column-major within the slice: entry k of row `local`
+                # lives at base + k * slice_size + local.
+                dest = base + np.arange(n) * slice_size + local
+                col_idxs[dest] = csr.indices[start:stop]
+                values[dest] = csr.data[start:stop]
+        return cls(
+            exec_,
+            Dim(*csr.shape),
+            slice_size,
+            slice_lengths,
+            slice_sets,
+            col_idxs,
+            values,
+        )
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self._values))
+
+    @property
+    def stored_elements(self) -> int:
+        return int(self._values.size)
+
+    @property
+    def slice_size(self) -> int:
+        return self._slice_size
+
+    @property
+    def slice_lengths(self) -> np.ndarray:
+        return self._slice_lengths
+
+    @property
+    def slice_sets(self) -> np.ndarray:
+        return self._slice_sets
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._values
+
+    @property
+    def col_idxs(self) -> np.ndarray:
+        return self._col_idxs
+
+    # ------------------------------------------------------------------
+    # SpMV: real sliced kernel
+    # ------------------------------------------------------------------
+    def _spmv_arrays(self, b: np.ndarray) -> np.ndarray:
+        compute = np.float32 if self._value_dtype == np.float16 else self._value_dtype
+        x = b.astype(compute, copy=False)
+        rows = self._size.rows
+        y = np.zeros((rows, x.shape[1]), dtype=compute)
+        ss = self._slice_size
+        for s in range(self._slice_lengths.size):
+            lo = s * ss
+            hi = min(lo + ss, rows)
+            count = hi - lo
+            length = int(self._slice_lengths[s])
+            base = int(self._slice_sets[s])
+            if length == 0 or count == 0:
+                continue
+            block = slice(base, base + length * ss)
+            vals = self._values[block].reshape(length, ss)[:, :count]
+            cols = self._col_idxs[block].reshape(length, ss)[:, :count]
+            acc = np.einsum(
+                "kr,krj->rj", vals.astype(compute, copy=False), x[cols, :]
+            )
+            y[lo:hi, :] = acc
+        return y.astype(self._value_dtype, copy=False)
+
+    def _to_scipy(self) -> sp.csr_matrix:
+        rows_list, cols_list, vals_list = [], [], []
+        ss = self._slice_size
+        nrows = self._size.rows
+        for s in range(self._slice_lengths.size):
+            lo = s * ss
+            hi = min(lo + ss, nrows)
+            count = hi - lo
+            length = int(self._slice_lengths[s])
+            base = int(self._slice_sets[s])
+            if length == 0 or count == 0:
+                continue
+            block = slice(base, base + length * ss)
+            vals = self._values[block].reshape(length, ss)[:, :count]
+            cols = self._col_idxs[block].reshape(length, ss)[:, :count]
+            mask = vals != 0
+            k_idx, r_idx = np.nonzero(mask)
+            rows_list.append(lo + r_idx)
+            cols_list.append(cols[mask])
+            vals_list.append(vals[mask])
+        if not rows_list:
+            return sp.csr_matrix(self.shape, dtype=self._value_dtype)
+        return sp.csr_matrix(
+            (
+                np.concatenate(vals_list),
+                (np.concatenate(rows_list), np.concatenate(cols_list)),
+            ),
+            shape=self.shape,
+        )
+
+    def convert_to_csr(self, strategy: str = "load_balance"):
+        """Convert to :class:`~repro.ginkgo.matrix.csr.Csr`."""
+        from repro.ginkgo.matrix.csr import Csr
+
+        self._exec.run(
+            conversion_cost(
+                "sellp", "csr", self._size.rows, self.nnz,
+                self.value_bytes, self.index_bytes,
+            )
+        )
+        return Csr.from_scipy(
+            self._exec,
+            self._to_scipy(),
+            value_dtype=self._value_dtype,
+            index_dtype=self._index_dtype,
+            strategy=strategy,
+        )

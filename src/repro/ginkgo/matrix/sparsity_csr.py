@@ -1,0 +1,109 @@
+"""Pattern-only CSR (``gko::matrix::SparsityCsr``).
+
+Stores only the sparsity pattern; all values are implicitly one (times an
+optional uniform ``value``).  Used for graph adjacency operators and as the
+pattern carrier inside factorizations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ginkgo.dim import Dim
+from repro.ginkgo.exceptions import BadDimension
+from repro.ginkgo.executor import Executor
+from repro.ginkgo.matrix.base import SparseBase, check_index_dtype, check_value_dtype
+
+
+class SparsityCsr(SparseBase):
+    """CSR pattern with a single uniform value."""
+
+    _format_name = "sparsity_csr"
+
+    def __init__(
+        self,
+        exec_: Executor,
+        size,
+        row_ptrs,
+        col_idxs,
+        value: float = 1.0,
+        value_dtype=np.float64,
+    ) -> None:
+        size = Dim.of(size)
+        row_ptrs = np.asarray(row_ptrs)
+        col_idxs = np.asarray(col_idxs)
+        if row_ptrs.size != size.rows + 1:
+            raise BadDimension(
+                f"row_ptrs has {row_ptrs.size} entries for {size.rows} rows"
+            )
+        super().__init__(
+            exec_,
+            size,
+            value_dtype=check_value_dtype(value_dtype),
+            index_dtype=check_index_dtype(col_idxs.dtype),
+        )
+        self._row_ptrs = exec_.alloc_like(row_ptrs)
+        np.copyto(self._row_ptrs, row_ptrs)
+        self._col_idxs = exec_.alloc_like(col_idxs)
+        np.copyto(self._col_idxs, col_idxs)
+        self._value = self._value_dtype.type(value)
+
+    @classmethod
+    def from_scipy(
+        cls,
+        exec_: Executor,
+        mat: sp.spmatrix,
+        value: float = 1.0,
+        value_dtype=np.float64,
+        index_dtype=np.int32,
+    ) -> "SparsityCsr":
+        """Extract the pattern of any SciPy sparse matrix."""
+        csr = sp.csr_matrix(mat)
+        csr.sort_indices()
+        index_dtype = check_index_dtype(index_dtype)
+        return cls(
+            exec_,
+            Dim(*csr.shape),
+            csr.indptr.astype(index_dtype),
+            csr.indices.astype(index_dtype),
+            value=value,
+            value_dtype=value_dtype,
+        )
+
+    @property
+    def nnz(self) -> int:
+        return int(self._col_idxs.size)
+
+    @property
+    def value(self):
+        """The uniform value of all stored entries."""
+        return self._value
+
+    @property
+    def row_ptrs(self) -> np.ndarray:
+        return self._row_ptrs
+
+    @property
+    def col_idxs(self) -> np.ndarray:
+        return self._col_idxs
+
+    def _to_scipy(self) -> sp.csr_matrix:
+        values = np.full(self.nnz, self._value, dtype=self._value_dtype)
+        return sp.csr_matrix(
+            (values, self._col_idxs, self._row_ptrs), shape=self.shape
+        )
+
+    def convert_to_csr(self, strategy: str = "load_balance"):
+        """Materialise as a value-carrying CSR matrix."""
+        from repro.ginkgo.matrix.csr import Csr
+
+        values = np.full(self.nnz, self._value, dtype=self._value_dtype)
+        return Csr(
+            self._exec,
+            self._size,
+            self._row_ptrs,
+            self._col_idxs,
+            values,
+            strategy=strategy,
+        )

@@ -1,0 +1,202 @@
+"""MatrixMarket I/O (the paper's ``pg.read`` loads ``.mtx`` files).
+
+A self-contained MatrixMarket reader/writer supporting the coordinate and
+array formats, real/integer/pattern fields, and general/symmetric/
+skew-symmetric symmetries — the subset covering the SuiteSparse collection
+the paper benchmarks on.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ginkgo.exceptions import GinkgoError
+
+HEADER_PREFIX = "%%MatrixMarket"
+FORMATS = ("coordinate", "array")
+FIELDS = ("real", "integer", "pattern")
+SYMMETRIES = ("general", "symmetric", "skew-symmetric")
+
+
+class MtxError(GinkgoError):
+    """Malformed MatrixMarket content."""
+
+
+def read_mtx(path_or_file) -> sp.coo_matrix:
+    """Read a MatrixMarket file into a SciPy COO matrix.
+
+    Args:
+        path_or_file: Filesystem path or readable text file object.
+
+    Returns:
+        The matrix as ``scipy.sparse.coo_matrix`` (float64 values; pattern
+        matrices get value 1.0 everywhere; symmetric storage is expanded).
+    """
+    if hasattr(path_or_file, "read"):
+        return _read_stream(path_or_file)
+    with open(os.fspath(path_or_file), "r", encoding="utf-8") as handle:
+        return _read_stream(handle)
+
+
+def _read_stream(stream) -> sp.coo_matrix:
+    header = stream.readline()
+    if not header.startswith(HEADER_PREFIX):
+        raise MtxError(
+            f"not a MatrixMarket file: header starts with {header[:30]!r}"
+        )
+    tokens = header.strip().split()
+    if len(tokens) < 5 or tokens[1] != "matrix":
+        raise MtxError(f"malformed MatrixMarket header: {header.strip()!r}")
+    fmt, field, symmetry = tokens[2], tokens[3], tokens[4]
+    if fmt not in FORMATS:
+        raise MtxError(f"unsupported format {fmt!r}; supported: {FORMATS}")
+    if field not in FIELDS:
+        raise MtxError(f"unsupported field {field!r}; supported: {FIELDS}")
+    if symmetry not in SYMMETRIES:
+        raise MtxError(
+            f"unsupported symmetry {symmetry!r}; supported: {SYMMETRIES}"
+        )
+
+    # Skip comments and blank lines to the size line.
+    line = stream.readline()
+    while line and (line.startswith("%") or not line.strip()):
+        line = stream.readline()
+    if not line:
+        raise MtxError("missing size line")
+
+    if fmt == "coordinate":
+        return _read_coordinate(stream, line, field, symmetry)
+    return _read_array(stream, line, field, symmetry)
+
+
+def _read_coordinate(stream, size_line, field, symmetry) -> sp.coo_matrix:
+    parts = size_line.split()
+    if len(parts) != 3:
+        raise MtxError(f"malformed coordinate size line: {size_line.strip()!r}")
+    rows, cols, nnz = (int(p) for p in parts)
+    r = np.empty(nnz, dtype=np.int64)
+    c = np.empty(nnz, dtype=np.int64)
+    v = np.empty(nnz, dtype=np.float64)
+    count = 0
+    for line in stream:
+        line = line.strip()
+        if not line or line.startswith("%"):
+            continue
+        entry = line.split()
+        if count >= nnz:
+            raise MtxError(f"more than the declared {nnz} entries")
+        if field == "pattern":
+            if len(entry) < 2:
+                raise MtxError(f"malformed pattern entry: {line!r}")
+            r[count], c[count], v[count] = int(entry[0]), int(entry[1]), 1.0
+        else:
+            if len(entry) < 3:
+                raise MtxError(f"malformed entry: {line!r}")
+            r[count], c[count] = int(entry[0]), int(entry[1])
+            v[count] = float(entry[2])
+        count += 1
+    if count != nnz:
+        raise MtxError(f"declared {nnz} entries but found {count}")
+    r -= 1  # MatrixMarket is 1-based
+    c -= 1
+    if np.any(r < 0) or np.any(c < 0) or np.any(r >= rows) or np.any(c >= cols):
+        raise MtxError("entry indices outside the declared dimensions")
+
+    if symmetry in ("symmetric", "skew-symmetric"):
+        # Mirror the off-diagonal entries into the upper triangle.
+        off = r != c
+        sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+        r, c, v = (
+            np.concatenate([r, c[off]]),
+            np.concatenate([c, r[off]]),
+            np.concatenate([v, sign * v[off]]),
+        )
+    return sp.coo_matrix((v, (r, c)), shape=(rows, cols))
+
+
+def _read_array(stream, size_line, field, symmetry) -> sp.coo_matrix:
+    parts = size_line.split()
+    if len(parts) != 2:
+        raise MtxError(f"malformed array size line: {size_line.strip()!r}")
+    rows, cols = (int(p) for p in parts)
+    values = []
+    for line in stream:
+        line = line.strip()
+        if not line or line.startswith("%"):
+            continue
+        values.append(float(line.split()[0]))
+    dense = np.zeros((rows, cols))
+    if symmetry == "general":
+        if len(values) != rows * cols:
+            raise MtxError(
+                f"array matrix declared {rows * cols} values, got {len(values)}"
+            )
+        dense = np.asarray(values).reshape((cols, rows)).T  # column-major
+    else:
+        expected = rows * (rows + 1) // 2
+        if len(values) != expected:
+            raise MtxError(
+                f"symmetric array matrix declared {expected} values, "
+                f"got {len(values)}"
+            )
+        index = 0
+        for j in range(cols):
+            for i in range(j, rows):
+                dense[i, j] = values[index]
+                if i != j:
+                    dense[j, i] = (
+                        -values[index]
+                        if symmetry == "skew-symmetric"
+                        else values[index]
+                    )
+                index += 1
+    return sp.coo_matrix(dense)
+
+
+def write_mtx(path_or_file, matrix, symmetry: str = "general", comment: str = "") -> None:
+    """Write a matrix to MatrixMarket coordinate format.
+
+    Args:
+        path_or_file: Destination path or writable text file object.
+        matrix: SciPy sparse matrix, engine sparse matrix, or 2-D array.
+        symmetry: ``general`` (default) writes all entries; ``symmetric``
+            writes only the lower triangle (caller asserts symmetry).
+        comment: Optional comment line(s) written after the header.
+    """
+    if symmetry not in ("general", "symmetric"):
+        raise MtxError(f"unsupported write symmetry {symmetry!r}")
+    if hasattr(matrix, "_scipy_view"):
+        coo = matrix._scipy_view().tocoo()
+    elif sp.issparse(matrix):
+        coo = matrix.tocoo()
+    else:
+        coo = sp.coo_matrix(np.atleast_2d(np.asarray(matrix)))
+
+    if symmetry == "symmetric":
+        mask = coo.row >= coo.col
+        coo = sp.coo_matrix(
+            (coo.data[mask], (coo.row[mask], coo.col[mask])), shape=coo.shape
+        )
+
+    def _write(handle) -> None:
+        handle.write(f"{HEADER_PREFIX} matrix coordinate real {symmetry}\n")
+        for line in comment.splitlines():
+            handle.write(f"% {line}\n")
+        handle.write(f"{coo.shape[0]} {coo.shape[1]} {coo.nnz}\n")
+        for i, j, v in zip(coo.row, coo.col, coo.data):
+            handle.write(f"{i + 1} {j + 1} {float(v)!r}\n")
+
+    if hasattr(path_or_file, "write"):
+        _write(path_or_file)
+    else:
+        with open(os.fspath(path_or_file), "w", encoding="utf-8") as handle:
+            _write(handle)
+
+
+def read_mtx_string(text: str) -> sp.coo_matrix:
+    """Read MatrixMarket content from a string."""
+    return _read_stream(io.StringIO(text))

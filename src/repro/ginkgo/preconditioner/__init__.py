@@ -1,0 +1,14 @@
+"""Preconditioners (``gko::preconditioner``).
+
+All preconditioners are LinOp factories: ``Jacobi(exec, ...).generate(A)``
+returns an operator whose ``apply(r, z)`` computes ``z ~= A^{-1} r``.
+The paper's Listing 1 uses ILU; the config-solver example (Listing 2) uses
+scalar Jacobi.
+"""
+
+from repro.ginkgo.preconditioner.jacobi import Jacobi
+from repro.ginkgo.preconditioner.ilu import Ilu
+from repro.ginkgo.preconditioner.ic import Ic
+from repro.ginkgo.preconditioner.isai import Isai
+
+__all__ = ["Ic", "Ilu", "Isai", "Jacobi"]

@@ -1,0 +1,43 @@
+"""IC preconditioning (``gko::preconditioner::Ic``).
+
+Generates an IC(0) factorisation of a symmetric positive-definite matrix
+and applies ``z = L^{-T} L^{-1} r``.
+"""
+
+from __future__ import annotations
+
+from repro.ginkgo.factorization.ic0 import ic0
+from repro.ginkgo.lin_op import Composition, LinOp, LinOpFactory
+from repro.ginkgo.solver.triangular import LowerTrs, UpperTrs
+
+
+class IcOperator(LinOp):
+    """Generated IC operator: L solve followed by L^T solve."""
+
+    def __init__(self, factory: "Ic", matrix) -> None:
+        super().__init__(matrix.executor, matrix.size)
+        self._factorization = ic0(matrix)
+        exec_ = matrix.executor
+        self._lower = LowerTrs(exec_).generate(self._factorization.l_factor)
+        self._upper = UpperTrs(exec_).generate(self._factorization.lt_factor)
+        self._composition = Composition(self._upper, self._lower)
+
+    @property
+    def factorization(self):
+        return self._factorization
+
+    def _apply_impl(self, b, x) -> None:
+        self._composition.apply(b, x)
+
+    def _apply_advanced_impl(self, alpha, b, beta, x) -> None:
+        self._composition.apply_advanced(alpha, b, beta, x)
+
+
+class Ic(LinOpFactory):
+    """IC preconditioner factory."""
+
+    def __init__(self, exec_) -> None:
+        super().__init__(exec_)
+
+    def generate(self, matrix) -> IcOperator:
+        return IcOperator(self, matrix)

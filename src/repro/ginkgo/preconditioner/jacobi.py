@@ -1,0 +1,121 @@
+"""Scalar and block Jacobi preconditioning (``gko::preconditioner::Jacobi``).
+
+``max_block_size=1`` gives scalar Jacobi (inverse diagonal).  Larger block
+sizes extract contiguous diagonal blocks, invert them (densely, batched),
+and apply the block inverses — Ginkgo's block-Jacobi without the adaptive
+precision storage optimisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ginkgo.exceptions import BadDimension, GinkgoError
+from repro.ginkgo.lin_op import LinOp, LinOpFactory
+from repro.ginkgo.matrix.dense import Dense, _scalar_value
+from repro.perfmodel import factorization_cost, spmv_cost
+
+
+class JacobiOperator(LinOp):
+    """Generated (block-)Jacobi operator."""
+
+    def __init__(self, factory: "Jacobi", matrix) -> None:
+        if not matrix.size.is_square:
+            raise BadDimension(
+                f"Jacobi requires a square matrix, got {matrix.size}"
+            )
+        super().__init__(matrix.executor, matrix.size)
+        self._matrix = matrix
+        self._block_size = factory.max_block_size
+        n = matrix.size.rows
+        dense_blocks = []
+        a = matrix._scipy_view().tocsr().astype(np.float64)
+        bs = self._block_size
+        if bs == 1:
+            diag = a.diagonal()
+            inv = np.zeros_like(diag)
+            mask = diag != 0
+            inv[mask] = 1.0 / diag[mask]
+            self._scalar_inverse = inv
+            self._block_inverses = None
+        else:
+            self._scalar_inverse = None
+            for start in range(0, n, bs):
+                stop = min(start + bs, n)
+                block = a[start:stop, start:stop].toarray()
+                try:
+                    inv_block = np.linalg.inv(block)
+                except np.linalg.LinAlgError as exc:
+                    raise GinkgoError(
+                        f"Jacobi block [{start}:{stop}) is singular"
+                    ) from exc
+                dense_blocks.append(inv_block)
+            self._block_inverses = dense_blocks
+        self._exec.run(
+            factorization_cost(
+                "jacobi", n, matrix.nnz, matrix.value_bytes,
+                matrix.index_bytes,
+            )
+        )
+
+    @property
+    def block_size(self) -> int:
+        return self._block_size
+
+    def _apply_arrays(self, rhs: np.ndarray) -> np.ndarray:
+        if self._scalar_inverse is not None:
+            return self._scalar_inverse[:, None] * rhs
+        out = np.empty_like(rhs, dtype=np.float64)
+        bs = self._block_size
+        for index, inv_block in enumerate(self._block_inverses):
+            start = index * bs
+            stop = start + inv_block.shape[0]
+            out[start:stop] = inv_block @ rhs[start:stop]
+        return out
+
+    def _record(self, num_rhs: int) -> None:
+        bs = self._block_size
+        stored = self._size.rows * bs  # block-diagonal storage
+        self._exec.run(
+            spmv_cost(
+                "csr",
+                self._size.rows,
+                self._size.rows,
+                stored,
+                self._matrix.value_bytes,
+                self._matrix.index_bytes,
+                num_rhs=num_rhs,
+            )
+        )
+
+    def _apply_impl(self, b: Dense, x: Dense) -> None:
+        np.copyto(x._data, self._apply_arrays(b._data).astype(x.dtype, copy=False))
+        self._record(b.size.cols)
+
+    def _apply_advanced_impl(self, alpha, b: Dense, beta, x: Dense) -> None:
+        a = _scalar_value(alpha)
+        bt = _scalar_value(beta)
+        result = self._apply_arrays(b._data)
+        x._data *= x.dtype.type(bt)
+        x._data += x.dtype.type(a) * result.astype(x.dtype, copy=False)
+        self._record(b.size.cols)
+
+
+class Jacobi(LinOpFactory):
+    """Jacobi factory.
+
+    Args:
+        exec_: Executor.
+        max_block_size: Diagonal block size; 1 (default) is scalar Jacobi.
+    """
+
+    def __init__(self, exec_, max_block_size: int = 1) -> None:
+        super().__init__(exec_)
+        if max_block_size < 1:
+            raise GinkgoError(
+                f"max_block_size must be >= 1, got {max_block_size}"
+            )
+        self.max_block_size = int(max_block_size)
+
+    def generate(self, matrix) -> JacobiOperator:
+        return JacobiOperator(self, matrix)

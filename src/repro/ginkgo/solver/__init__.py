@@ -1,0 +1,39 @@
+"""Iterative and direct solvers (``gko::solver``).
+
+All solvers follow Ginkgo's two-stage pattern: a factory holds the
+parameters (stopping criteria, preconditioner, solver-specific knobs), and
+``factory.generate(matrix)`` binds it to a system matrix, producing a LinOp
+whose ``apply(b, x)`` runs the solve with ``x`` as the initial guess.
+"""
+
+from repro.ginkgo.solver.base import IterativeSolver, SolverFactory
+from repro.ginkgo.solver.cg import Cg
+from repro.ginkgo.solver.fcg import Fcg
+from repro.ginkgo.solver.cgs import Cgs
+from repro.ginkgo.solver.bicg import Bicg
+from repro.ginkgo.solver.bicgstab import Bicgstab
+from repro.ginkgo.solver.gmres import Gmres
+from repro.ginkgo.solver.minres import Minres
+from repro.ginkgo.solver.ir import Ir
+from repro.ginkgo.solver.idr import Idr
+from repro.ginkgo.solver.cb_gmres import CbGmres
+from repro.ginkgo.solver.triangular import LowerTrs, UpperTrs
+from repro.ginkgo.solver.direct import Direct
+
+__all__ = [
+    "Bicg",
+    "Bicgstab",
+    "CbGmres",
+    "Cg",
+    "Cgs",
+    "Direct",
+    "Fcg",
+    "Gmres",
+    "Idr",
+    "Ir",
+    "IterativeSolver",
+    "LowerTrs",
+    "Minres",
+    "SolverFactory",
+    "UpperTrs",
+]

@@ -1,0 +1,193 @@
+"""Common machinery of the iterative solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ginkgo.dim import Dim
+from repro.ginkgo.exceptions import BadDimension, GinkgoError
+from repro.ginkgo.lin_op import Identity, LinOp, LinOpFactory
+from repro.ginkgo.matrix.dense import Dense
+from repro.ginkgo.stop import (
+    Combined,
+    CriterionContext,
+    Iteration,
+    ResidualNorm,
+)
+
+
+def _normalise_criteria(criteria):
+    """Coerce a factory, list of factories, or None into one factory."""
+    if criteria is None:
+        return Iteration(1000) | ResidualNorm(1e-12, baseline="rhs_norm")
+    if isinstance(criteria, (list, tuple)):
+        if not criteria:
+            raise GinkgoError("criteria list must not be empty")
+        combined = criteria[0]
+        for item in criteria[1:]:
+            combined = combined | item
+        return combined
+    return criteria
+
+
+class SolverFactory(LinOpFactory):
+    """Factory holding solver parameters (Ginkgo's ``Solver::build()``).
+
+    Args:
+        exec_: Executor to generate solvers on.
+        criteria: A criterion factory, a list of them (OR-combined), or
+            None for the default (1000 iterations or relative residual
+            1e-12).
+        preconditioner: Either a generated LinOp applied as the
+            preconditioner, or a factory with a ``generate(matrix)`` method.
+        **params: Solver-specific parameters, validated by the subclass.
+    """
+
+    #: Concrete solver class instantiated by :meth:`generate`.
+    solver_class: type | None = None
+    #: Names of accepted solver-specific parameters.
+    parameter_names: tuple = ()
+
+    def __init__(self, exec_, criteria=None, preconditioner=None, **params):
+        super().__init__(exec_)
+        unknown = set(params) - set(self.parameter_names)
+        if unknown:
+            raise GinkgoError(
+                f"{type(self).__name__} got unknown parameters {sorted(unknown)}; "
+                f"accepted: {sorted(self.parameter_names)}"
+            )
+        self.criteria = _normalise_criteria(criteria)
+        self.preconditioner = preconditioner
+        self.params = params
+
+    def generate(self, matrix: LinOp) -> "IterativeSolver":
+        """Bind the factory to a system matrix."""
+        if self.solver_class is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} does not define solver_class"
+            )
+        return self.solver_class(self, matrix)
+
+
+class IterativeSolver(LinOp):
+    """Base of all iterative solver LinOps.
+
+    ``apply(b, x)`` treats ``x`` as the initial guess and overwrites it with
+    the solution, firing ``iteration_complete`` / ``converged`` logger
+    events along the way, exactly like Ginkgo solvers.
+    """
+
+    #: Whether the solver requires a square system matrix.
+    requires_square = True
+
+    def __init__(self, factory: SolverFactory, matrix: LinOp) -> None:
+        if self.requires_square and not matrix.size.is_square:
+            raise BadDimension(
+                f"{type(self).__name__} requires a square matrix, "
+                f"got {matrix.size}"
+            )
+        super().__init__(matrix.executor, matrix.size)
+        self._factory = factory
+        self._matrix = matrix
+        self._preconditioner = self._generate_preconditioner(factory, matrix)
+        # Populated after each apply:
+        self.num_iterations = 0
+        self.converged = False
+        self.final_residual_norm = float("nan")
+
+    @staticmethod
+    def _generate_preconditioner(factory: SolverFactory, matrix: LinOp) -> LinOp:
+        precond = factory.preconditioner
+        if precond is None:
+            return Identity(matrix.executor, matrix.size.rows)
+        if isinstance(precond, LinOp):
+            return precond
+        if hasattr(precond, "generate"):
+            return precond.generate(matrix)
+        raise GinkgoError(
+            f"preconditioner must be a LinOp or a factory, got "
+            f"{type(precond).__name__}"
+        )
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def system_matrix(self) -> LinOp:
+        return self._matrix
+
+    @property
+    def preconditioner(self) -> LinOp:
+        return self._preconditioner
+
+    @property
+    def parameters(self) -> dict:
+        return dict(self._factory.params)
+
+    # ------------------------------------------------------------------
+    # LinOp interface
+    # ------------------------------------------------------------------
+    def _apply_impl(self, b: Dense, x: Dense) -> None:
+        context = CriterionContext(
+            rhs_norm=b.compute_norm2(),
+            clock=self._exec.clock,
+            start_time=self._exec.clock.now,
+        )
+        # Initial residual r0 = b - A x0.
+        r = b.clone()
+        self._matrix.apply_advanced(-1.0, x, 1.0, r)
+        context.initial_resnorm = r.compute_norm2()
+        criterion = self._factory.criteria.generate(context)
+
+        def monitor(iteration: int, residual_norm) -> bool:
+            self._log(
+                "iteration_complete",
+                iteration=iteration,
+                residual_norm=residual_norm,
+            )
+            # The host-driven iteration loop reads the stopping status back
+            # from the device once per check (Ginkgo behaviour).
+            self._exec.clock.synchronize()
+            stop = criterion.check(iteration, residual_norm)
+            self._log(
+                "criterion_check_completed", iteration=iteration, stopped=stop
+            )
+            if stop:
+                self.num_iterations = iteration
+                self.converged = criterion.converged
+                self.final_residual_norm = float(np.max(residual_norm))
+                if criterion.converged:
+                    self._log(
+                        "converged",
+                        iteration=iteration,
+                        residual_norm=residual_norm,
+                    )
+            return stop
+
+        # Check the initial residual before iterating (already converged?).
+        if monitor(0, context.initial_resnorm):
+            return
+        self._iterate(self._matrix, self._preconditioner, b, x, r, monitor)
+
+    def _apply_advanced_impl(self, alpha, b, beta, x) -> None:
+        tmp = x.clone()
+        self._apply_impl(b, tmp)
+        x.scale(beta)
+        x.add_scaled(alpha, tmp)
+
+    # ------------------------------------------------------------------
+    # to implement
+    # ------------------------------------------------------------------
+    def _iterate(self, A, M, b, x, r, monitor) -> None:
+        """Run the iteration.
+
+        Args:
+            A: System matrix LinOp.
+            M: Preconditioner LinOp (Identity when none configured).
+            b: Right-hand side (n x k Dense).
+            x: Solution / initial guess, updated in place.
+            r: Initial residual ``b - A x`` (may be reused as workspace).
+            monitor: ``monitor(iteration, residual_norm) -> bool``; call
+                once per iteration, stop when it returns True.
+        """
+        raise NotImplementedError

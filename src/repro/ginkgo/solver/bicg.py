@@ -1,0 +1,67 @@
+"""Biconjugate Gradient (``gko::solver::Bicg``).
+
+Classic BiCG for general (nonsymmetric) systems, using the transposed
+system matrix for the shadow sequence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ginkgo.exceptions import NotSupported
+from repro.ginkgo.matrix.dense import Dense
+from repro.ginkgo.solver.base import IterativeSolver, SolverFactory
+from repro.ginkgo.solver.cg import _safe_divide
+
+
+class BicgSolver(IterativeSolver):
+    """Generated BiCG operator."""
+
+    def _iterate(self, A, M, b, x, r, monitor) -> None:
+        if not hasattr(A, "transpose"):
+            raise NotSupported(
+                f"Bicg needs a transposable system matrix, got "
+                f"{type(A).__name__}"
+            )
+        At = A.transpose()
+        exec_ = self._exec
+        r2 = r.clone()  # shadow residual
+        z = Dense.empty(exec_, r.size, r.dtype)
+        z2 = Dense.empty(exec_, r.size, r.dtype)
+        q = Dense.empty(exec_, r.size, r.dtype)
+        q2 = Dense.empty(exec_, r.size, r.dtype)
+        M.apply(r, z)
+        M.apply(r2, z2)
+        p = z.clone()
+        p2 = z2.clone()
+        rz = r2.compute_dot(z)
+
+        iteration = 0
+        while True:
+            iteration += 1
+            A.apply(p, q)
+            At.apply(p2, q2)
+            pq = p2.compute_dot(q)
+            alpha = _safe_divide(rz, pq)
+            x.add_scaled(alpha, p)
+            r.sub_scaled(alpha, q)
+            r2.sub_scaled(alpha, q2)
+            res_norm = r.compute_norm2()
+            if monitor(iteration, res_norm):
+                return
+            M.apply(r, z)
+            M.apply(r2, z2)
+            rz_new = r2.compute_dot(z)
+            beta = _safe_divide(rz_new, rz)
+            p.scale(beta)
+            p.add_scaled(1.0, z)
+            p2.scale(beta)
+            p2.add_scaled(1.0, z2)
+            rz = rz_new
+
+
+class Bicg(SolverFactory):
+    """BiCG factory."""
+
+    solver_class = BicgSolver
+    parameter_names = ()

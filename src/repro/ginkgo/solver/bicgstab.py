@@ -1,0 +1,65 @@
+"""Biconjugate Gradient Stabilised (``gko::solver::Bicgstab``)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ginkgo.matrix.dense import Dense
+from repro.ginkgo.solver.base import IterativeSolver, SolverFactory
+from repro.ginkgo.solver.cg import _safe_divide
+
+
+class BicgstabSolver(IterativeSolver):
+    """Generated BiCGSTAB operator (van der Vorst's algorithm)."""
+
+    def _iterate(self, A, M, b, x, r, monitor) -> None:
+        exec_ = self._exec
+        r_tld = r.clone()
+        p = r.clone()
+        p_hat = Dense.empty(exec_, r.size, r.dtype)
+        s_hat = Dense.empty(exec_, r.size, r.dtype)
+        v = Dense.empty(exec_, r.size, r.dtype)
+        s = Dense.empty(exec_, r.size, r.dtype)
+        t = Dense.empty(exec_, r.size, r.dtype)
+        rho_old = None
+        alpha = np.ones(r.size.cols)
+        omega = np.ones(r.size.cols)
+
+        iteration = 0
+        while True:
+            iteration += 1
+            rho = r_tld.compute_dot(r)
+            if rho_old is not None:
+                beta = _safe_divide(rho * alpha, rho_old * omega)
+                # p = r + beta * (p - omega * v)
+                p.sub_scaled(omega, v)
+                p.scale(beta)
+                p.add_scaled(1.0, r)
+            M.apply(p, p_hat)
+            A.apply(p_hat, v)
+            alpha = _safe_divide(rho, r_tld.compute_dot(v))
+            # s = r - alpha v
+            s.copy_values_from(r)
+            s.sub_scaled(alpha, v)
+            # Early exit on half-step convergence.
+            s_norm = s.compute_norm2()
+            M.apply(s, s_hat)
+            A.apply(s_hat, t)
+            tt = t.compute_dot(t)
+            omega = _safe_divide(t.compute_dot(s), tt)
+            x.add_scaled(alpha, p_hat)
+            x.add_scaled(omega, s_hat)
+            # r = s - omega t
+            r.copy_values_from(s)
+            r.sub_scaled(omega, t)
+            rho_old = rho
+            res_norm = r.compute_norm2()
+            if monitor(iteration, res_norm):
+                return
+
+
+class Bicgstab(SolverFactory):
+    """BiCGSTAB factory."""
+
+    solver_class = BicgstabSolver
+    parameter_names = ()

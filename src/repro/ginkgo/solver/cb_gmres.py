@@ -1,0 +1,172 @@
+"""CB-GMRES — compressed-basis GMRES (``gko::solver::CbGmres``).
+
+Ginkgo's flagship mixed-precision solver: the Krylov basis — the dominant
+memory traffic of GMRES — is *stored* in a reduced precision while all
+arithmetic happens in the full working precision.  Because GMRES is
+memory-bandwidth bound, storing the basis in float32 (or float16) cuts
+per-iteration time almost proportionally with, usually, negligible effect
+on convergence (the basis only spans the search space; the Hessenberg
+recurrence stays in full precision).
+
+This reproduction stores the basis block in the configured storage dtype
+and charges basis-touching kernels (multi-dot, rank update, x-update) with
+the *storage* width, exactly the mechanism behind the real speedup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ginkgo.exceptions import GinkgoError
+from repro.ginkgo.matrix.base import check_value_dtype
+from repro.ginkgo.matrix.dense import Dense
+from repro.ginkgo.solver.base import IterativeSolver, SolverFactory
+from repro.ginkgo.solver.gmres import DEFAULT_KRYLOV_DIM
+from repro.perfmodel import KernelCost, blas1_cost
+
+
+class CbGmresSolver(IterativeSolver):
+    """Generated CB-GMRES operator (left-preconditioned)."""
+
+    def _iterate(self, A, M, b, x, r, monitor) -> None:
+        krylov_dim = int(
+            self._factory.params.get("krylov_dim", DEFAULT_KRYLOV_DIM)
+        )
+        if krylov_dim < 1:
+            raise GinkgoError(f"krylov_dim must be >= 1, got {krylov_dim}")
+        storage = check_value_dtype(
+            self._factory.params.get("storage_precision", np.float32)
+        )
+        for c in range(b.size.cols):
+            self._solve_column(
+                A,
+                M,
+                Dense._wrap(self._exec, b._data[:, c : c + 1]),
+                Dense._wrap(self._exec, x._data[:, c : c + 1]),
+                krylov_dim,
+                storage,
+                monitor,
+            )
+
+    def _solve_column(self, A, M, b, x, m, storage, monitor) -> bool:
+        exec_ = self._exec
+        n = b.size.rows
+        storage_bytes = storage.itemsize
+        total_iteration = 0
+        w = Dense.empty(exec_, b.size, b.dtype)
+        r = Dense.empty(exec_, b.size, b.dtype)
+
+        while True:
+            w.copy_values_from(b)
+            A.apply_advanced(-1.0, x, 1.0, w)
+            M.apply(w, r)
+            beta = float(r.compute_norm2()[0])
+            if beta == 0.0:
+                monitor(total_iteration, 0.0)
+                return True
+            # The compressed basis: stored in `storage` precision.
+            basis = np.zeros((n, m + 1), dtype=storage)
+            basis[:, 0] = (r._data[:, 0] / beta).astype(storage)
+            exec_.run(blas1_cost("cb_gmres_init", n, storage_bytes, 2))
+            hessenberg = np.zeros((m + 1, m))
+            givens_cos = np.zeros(m)
+            givens_sin = np.zeros(m)
+            g = np.zeros(m + 1)
+            g[0] = beta
+
+            inner = 0
+            stopped = False
+            for j in range(m):
+                # w = M^{-1} A v_j: decompress v_j to working precision.
+                w._data[:, 0] = basis[:, j].astype(np.float64)
+                A.apply(w, r)
+                M.apply(r, w)
+                # Fused multi-dot against the compressed basis: the reads
+                # move storage-precision bytes.
+                coeffs = basis[:, : j + 1].astype(np.float64).T @ w._data[:, 0]
+                exec_.run(
+                    blas1_cost(
+                        "cb_gmres_multidot", n * (j + 1), storage_bytes, 2
+                    )
+                )
+                hessenberg[: j + 1, j] = coeffs
+                w._data[:, 0] -= basis[:, : j + 1].astype(
+                    np.float64
+                ) @ coeffs
+                exec_.run(
+                    blas1_cost(
+                        "cb_gmres_update", n * (j + 1), storage_bytes, 2
+                    )
+                )
+                h_next = float(w.compute_norm2()[0])
+                hessenberg[j + 1, j] = h_next
+                if h_next != 0.0:
+                    basis[:, j + 1] = (w._data[:, 0] / h_next).astype(
+                        storage
+                    )
+                    exec_.run(
+                        blas1_cost("cb_gmres_scale", n, storage_bytes, 2)
+                    )
+                for i in range(j):
+                    hi, hi1 = hessenberg[i, j], hessenberg[i + 1, j]
+                    hessenberg[i, j] = (
+                        givens_cos[i] * hi + givens_sin[i] * hi1
+                    )
+                    hessenberg[i + 1, j] = (
+                        -givens_sin[i] * hi + givens_cos[i] * hi1
+                    )
+                denom = np.hypot(hessenberg[j, j], hessenberg[j + 1, j])
+                if denom == 0.0:
+                    givens_cos[j], givens_sin[j] = 1.0, 0.0
+                else:
+                    givens_cos[j] = hessenberg[j, j] / denom
+                    givens_sin[j] = hessenberg[j + 1, j] / denom
+                hessenberg[j, j] = denom
+                hessenberg[j + 1, j] = 0.0
+                g[j + 1] = -givens_sin[j] * g[j]
+                g[j] = givens_cos[j] * g[j]
+                exec_.run(
+                    KernelCost("givens_update", 6.0 * m, 24.0 * m, launches=3)
+                )
+                exec_.run(KernelCost("residual_check", 0.0, 64.0, launches=4))
+
+                residual_norm = abs(g[j + 1])
+                inner = j + 1
+                total_iteration += 1
+                stopped = monitor(total_iteration, residual_norm)
+                if stopped or h_next == 0.0:
+                    break
+
+            y = np.zeros(inner)
+            for i in range(inner - 1, -1, -1):
+                y[i] = (
+                    g[i] - hessenberg[i, i + 1 : inner] @ y[i + 1 : inner]
+                ) / hessenberg[i, i]
+            exec_.run(
+                KernelCost(
+                    "hessenberg_trsv",
+                    flops=float(inner * inner),
+                    bytes=8.0 * inner * inner,
+                    launches=max(inner, 1),
+                )
+            )
+            # x += V y, reading the compressed basis.
+            x._data[:, 0] += basis[:, :inner].astype(np.float64) @ y
+            exec_.run(
+                blas1_cost("cb_gmres_x_update", n * inner, storage_bytes, 2)
+            )
+            if stopped:
+                return True
+
+
+class CbGmres(SolverFactory):
+    """CB-GMRES factory.
+
+    Parameters:
+        krylov_dim: Restart length (default 30).
+        storage_precision: dtype the Krylov basis is stored in
+            (default float32; float16 for the most aggressive compression).
+    """
+
+    solver_class = CbGmresSolver
+    parameter_names = ("krylov_dim", "storage_precision")

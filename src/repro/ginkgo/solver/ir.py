@@ -1,0 +1,58 @@
+"""Iterative refinement / Richardson iteration (``gko::solver::Ir``).
+
+``x_{k+1} = x_k + relaxation * S(b - A x_k)`` where the inner solver ``S``
+defaults to the identity (plain Richardson).  With an inner solver factory
+this becomes classical iterative refinement, e.g. low-precision inner
+solves corrected in high precision.
+"""
+
+from __future__ import annotations
+
+from repro.ginkgo.lin_op import Identity, LinOp
+from repro.ginkgo.matrix.dense import Dense
+from repro.ginkgo.solver.base import IterativeSolver, SolverFactory
+
+
+class IrSolver(IterativeSolver):
+    """Generated IR operator."""
+
+    def __init__(self, factory, matrix) -> None:
+        super().__init__(factory, matrix)
+        inner = factory.params.get("solver")
+        if inner is None:
+            self._inner = Identity(matrix.executor, matrix.size.rows)
+        elif isinstance(inner, LinOp):
+            self._inner = inner
+        else:
+            self._inner = inner.generate(matrix)
+        self._relaxation = float(factory.params.get("relaxation_factor", 1.0))
+
+    @property
+    def inner_solver(self) -> LinOp:
+        return self._inner
+
+    def _iterate(self, A, M, b, x, r, monitor) -> None:
+        correction = Dense.empty(self._exec, r.size, r.dtype)
+        iteration = 0
+        while True:
+            iteration += 1
+            self._inner.apply(r, correction)
+            x.add_scaled(self._relaxation, correction)
+            # Recompute the true residual r = b - A x.
+            r.copy_values_from(b)
+            A.apply_advanced(-1.0, x, 1.0, r)
+            res_norm = r.compute_norm2()
+            if monitor(iteration, res_norm):
+                return
+
+
+class Ir(SolverFactory):
+    """IR factory.
+
+    Parameters:
+        solver: Inner solver (LinOp or factory); identity when omitted.
+        relaxation_factor: Richardson damping (default 1.0).
+    """
+
+    solver_class = IrSolver
+    parameter_names = ("solver", "relaxation_factor")

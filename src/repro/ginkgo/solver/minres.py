@@ -1,0 +1,108 @@
+"""MINRES (``gko::solver::Minres``) for symmetric (indefinite) systems.
+
+Implements the Paige & Saunders Lanczos/QR recurrence with support for a
+symmetric positive-definite preconditioner; the tracked residual norm is
+the ``phibar`` estimate of the preconditioned residual.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ginkgo.matrix.dense import Dense
+from repro.ginkgo.solver.base import IterativeSolver, SolverFactory
+
+
+class MinresSolver(IterativeSolver):
+    """Generated MINRES operator (multi-RHS handled column by column)."""
+
+    def _iterate(self, A, M, b, x, r, monitor) -> None:
+        stop = False
+        for c in range(b.size.cols):
+            stop = self._solve_column(
+                A,
+                M,
+                Dense._wrap(self._exec, b._data[:, c : c + 1]),
+                Dense._wrap(self._exec, x._data[:, c : c + 1]),
+                monitor,
+            )
+            if stop and b.size.cols == 1:
+                return
+
+    def _solve_column(self, A, M, b, x, monitor) -> bool:
+        exec_ = self._exec
+        # r1 = b - A x ; y = M^{-1} r1.
+        r1 = b.clone()
+        A.apply_advanced(-1.0, x, 1.0, r1)
+        y = Dense.empty(exec_, r1.size, r1.dtype)
+        M.apply(r1, y)
+        beta1 = float(r1.compute_dot(y)[0])
+        if beta1 < 0:
+            raise ValueError("MINRES preconditioner must be positive definite")
+        beta1 = np.sqrt(beta1)
+        if beta1 == 0.0:
+            monitor(0, 0.0)
+            return True
+
+        oldb, beta = 0.0, beta1
+        dbar, epsln = 0.0, 0.0
+        phibar = beta1
+        cs, sn = -1.0, 0.0
+        w = Dense.zeros(exec_, r1.size, r1.dtype)
+        w2 = Dense.zeros(exec_, r1.size, r1.dtype)
+        r2 = r1.clone()
+        v = Dense.empty(exec_, r1.size, r1.dtype)
+        tiny = np.finfo(np.float64).tiny
+
+        iteration = 0
+        while True:
+            iteration += 1
+            # Lanczos step.
+            v.copy_values_from(y)
+            v.scale(1.0 / beta)
+            A.apply(v, y)
+            if iteration >= 2:
+                y.sub_scaled(beta / oldb, r1)
+            alfa = float(v.compute_dot(y)[0])
+            y.sub_scaled(alfa / beta, r2)
+            r1.copy_values_from(r2)
+            r2.copy_values_from(y)
+            M.apply(r2, y)
+            oldb = beta
+            beta = float(r2.compute_dot(y)[0])
+            if beta < 0:
+                raise ValueError(
+                    "MINRES preconditioner must be positive definite"
+                )
+            beta = np.sqrt(beta)
+
+            # QR update via Givens rotations.
+            oldeps = epsln
+            delta = cs * dbar + sn * alfa
+            gbar = sn * dbar - cs * alfa
+            epsln = sn * beta
+            dbar = -cs * beta
+            gamma = max(np.hypot(gbar, beta), tiny)
+            cs = gbar / gamma
+            sn = beta / gamma
+            phi = cs * phibar
+            phibar = sn * phibar
+
+            # Solution update: w = (v - oldeps*w1 - delta*w2) / gamma.
+            w1 = w2
+            w2 = w
+            w = v.clone()
+            w.sub_scaled(oldeps, w1)
+            w.sub_scaled(delta, w2)
+            w.scale(1.0 / gamma)
+            x.add_scaled(phi, w)
+
+            if monitor(iteration, abs(phibar)):
+                return True
+
+
+class Minres(SolverFactory):
+    """MINRES factory."""
+
+    solver_class = MinresSolver
+    parameter_names = ()

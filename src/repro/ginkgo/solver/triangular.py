@@ -1,0 +1,116 @@
+"""Sparse triangular solvers (``gko::solver::LowerTrs`` / ``UpperTrs``).
+
+Direct forward/backward substitution on triangular CSR matrices.  These are
+the building blocks ILU/IC preconditioning composes, and the cost model
+charges them with level-scheduling launch counts (triangular solves expose
+far less parallelism than SpMV).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.linalg import spsolve_triangular
+
+from repro.ginkgo.exceptions import BadDimension, GinkgoError
+from repro.ginkgo.lin_op import LinOp, LinOpFactory
+from repro.ginkgo.matrix.dense import Dense, _scalar_value
+from repro.perfmodel import trsv_cost
+
+
+class _TrsSolver(LinOp):
+    """Shared implementation of the triangular solver LinOps."""
+
+    lower: bool = True
+
+    def __init__(self, factory, matrix) -> None:
+        if not matrix.size.is_square:
+            raise BadDimension(
+                f"{type(self).__name__} requires a square matrix, "
+                f"got {matrix.size}"
+            )
+        super().__init__(matrix.executor, matrix.size)
+        self._matrix = matrix
+        self._unit_diagonal = bool(factory.params.get("unit_diagonal", False))
+        tri = sp.csr_matrix(matrix._scipy_view(), dtype=np.float64)
+        if self._unit_diagonal:
+            tri = tri + sp.eye(tri.shape[0], format="csr") - sp.diags(
+                tri.diagonal()
+            )
+        else:
+            diag = tri.diagonal()
+            if np.any(diag == 0):
+                raise GinkgoError(
+                    f"{type(self).__name__}: zero on the diagonal; pass "
+                    "unit_diagonal=True for unit-diagonal factors"
+                )
+        self._tri = tri.tocsr()
+
+    @property
+    def system_matrix(self):
+        return self._matrix
+
+    def _record(self) -> None:
+        self._exec.run(
+            trsv_cost(
+                self._size.rows,
+                self._matrix.nnz,
+                self._matrix.value_bytes,
+                self._matrix.index_bytes,
+            )
+        )
+
+    def _apply_impl(self, b: Dense, x: Dense) -> None:
+        result = spsolve_triangular(
+            self._tri, b._data.astype(np.float64), lower=self.lower
+        )
+        np.copyto(x._data, result.astype(x.dtype, copy=False))
+        self._record()
+
+    def _apply_advanced_impl(self, alpha, b: Dense, beta, x: Dense) -> None:
+        a = _scalar_value(alpha)
+        bt = _scalar_value(beta)
+        result = spsolve_triangular(
+            self._tri, b._data.astype(np.float64), lower=self.lower
+        )
+        x._data *= x.dtype.type(bt)
+        x._data += x.dtype.type(a) * result.astype(x.dtype, copy=False)
+        self._record()
+
+
+class _LowerTrsSolver(_TrsSolver):
+    lower = True
+
+
+class _UpperTrsSolver(_TrsSolver):
+    lower = False
+
+
+class _TrsFactory(LinOpFactory):
+    """Factory for triangular solvers.
+
+    Parameters:
+        unit_diagonal: Treat the stored diagonal as ones (used for the L
+            factor of an ILU factorisation).
+    """
+
+    solver_class: type = _LowerTrsSolver
+
+    def __init__(self, exec_, unit_diagonal: bool = False) -> None:
+        super().__init__(exec_)
+        self.params = {"unit_diagonal": unit_diagonal}
+
+    def generate(self, matrix) -> _TrsSolver:
+        return self.solver_class(self, matrix)
+
+
+class LowerTrs(_TrsFactory):
+    """Forward-substitution solver factory for lower-triangular matrices."""
+
+    solver_class = _LowerTrsSolver
+
+
+class UpperTrs(_TrsFactory):
+    """Backward-substitution solver factory for upper-triangular matrices."""
+
+    solver_class = _UpperTrsSolver

@@ -1,0 +1,26 @@
+"""Stopping criteria (``gko::stop``).
+
+Criteria are built from factories and combined with OR semantics: the solver
+stops as soon as any criterion is satisfied.  The paper's Listing 1
+configures GMRES with ``max_iters=1000`` OR a relative residual reduction of
+``1e-6`` — exactly an :class:`Iteration` criterion combined with a
+:class:`ResidualNorm` criterion.
+"""
+
+from repro.ginkgo.stop.criterion import (
+    Combined,
+    Criterion,
+    CriterionContext,
+    Iteration,
+    ResidualNorm,
+    Time,
+)
+
+__all__ = [
+    "Combined",
+    "Criterion",
+    "CriterionContext",
+    "Iteration",
+    "ResidualNorm",
+    "Time",
+]

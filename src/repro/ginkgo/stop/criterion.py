@@ -1,0 +1,189 @@
+"""Stopping-criterion classes.
+
+Each criterion factory produces a stateful checker bound to one solve via
+:meth:`CriterionFactory.generate`; the solver calls :meth:`Criterion.check`
+once per residual update.  ``check`` returns ``True`` when the solve should
+stop; :attr:`Criterion.converged` distinguishes convergence (residual-based
+stops) from exhaustion (iteration/time limits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ginkgo.exceptions import GinkgoError
+
+#: Residual-norm baselines supported by Ginkgo's ResidualNorm criterion.
+RESIDUAL_BASELINES = ("rhs_norm", "initial_resnorm", "absolute")
+
+
+@dataclass
+class CriterionContext:
+    """Per-solve quantities criteria may compare against.
+
+    Attributes:
+        rhs_norm: Euclidean norm(s) of the right-hand side.
+        initial_resnorm: Norm(s) of the initial residual ``b - A x0``.
+        clock: The executor's simulated clock (for Time criteria).
+    """
+
+    rhs_norm: np.ndarray | float = 1.0
+    initial_resnorm: np.ndarray | float = 1.0
+    clock: object = None
+    start_time: float = field(default=0.0)
+
+
+class CriterionFactory:
+    """Base factory; ``generate(context)`` binds the criterion to a solve."""
+
+    def generate(self, context: CriterionContext) -> "Criterion":
+        raise NotImplementedError
+
+    def __or__(self, other: "CriterionFactory") -> "Combined":
+        factories = []
+        for item in (self, other):
+            if isinstance(item, Combined):
+                factories.extend(item.factories)
+            else:
+                factories.append(item)
+        return Combined(factories)
+
+
+class Criterion:
+    """Base class of bound criteria."""
+
+    def __init__(self) -> None:
+        self.converged = False
+
+    def check(self, iteration: int, residual_norm) -> bool:
+        """Return True when the solver should stop."""
+        raise NotImplementedError
+
+
+class Iteration(CriterionFactory):
+    """Stop after a fixed number of iterations."""
+
+    def __init__(self, max_iters: int) -> None:
+        if max_iters < 0:
+            raise GinkgoError(f"max_iters must be >= 0, got {max_iters}")
+        self.max_iters = int(max_iters)
+
+    def generate(self, context: CriterionContext) -> Criterion:
+        factory = self
+
+        class _Bound(Criterion):
+            def check(self, iteration: int, residual_norm) -> bool:
+                return iteration >= factory.max_iters
+
+        return _Bound()
+
+    def __repr__(self) -> str:
+        return f"Iteration(max_iters={self.max_iters})"
+
+
+class ResidualNorm(CriterionFactory):
+    """Stop when the residual norm falls below a (relative) threshold.
+
+    Args:
+        reduction_factor: The threshold.
+        baseline: What the residual is compared against — ``rhs_norm``
+            (default, matches Listing 1), ``initial_resnorm``, or
+            ``absolute``.
+    """
+
+    def __init__(
+        self, reduction_factor: float = 1e-15, baseline: str = "rhs_norm"
+    ) -> None:
+        if reduction_factor < 0:
+            raise GinkgoError(
+                f"reduction_factor must be >= 0, got {reduction_factor}"
+            )
+        if baseline not in RESIDUAL_BASELINES:
+            raise GinkgoError(
+                f"unknown baseline {baseline!r}; available: {RESIDUAL_BASELINES}"
+            )
+        self.reduction_factor = float(reduction_factor)
+        self.baseline = baseline
+
+    def generate(self, context: CriterionContext) -> Criterion:
+        if self.baseline == "rhs_norm":
+            reference = context.rhs_norm
+        elif self.baseline == "initial_resnorm":
+            reference = context.initial_resnorm
+        else:
+            reference = 1.0
+        threshold = self.reduction_factor * np.asarray(reference, dtype=np.float64)
+        factory = self
+
+        class _Bound(Criterion):
+            def check(self, iteration: int, residual_norm) -> bool:
+                norm = np.asarray(residual_norm, dtype=np.float64)
+                stop = bool(np.all(norm <= threshold))
+                if stop:
+                    self.converged = True
+                return stop
+
+        bound = _Bound()
+        bound.threshold = threshold
+        bound.factory = factory
+        return bound
+
+    def __repr__(self) -> str:
+        return (
+            f"ResidualNorm(reduction_factor={self.reduction_factor}, "
+            f"baseline={self.baseline!r})"
+        )
+
+
+class Time(CriterionFactory):
+    """Stop after a simulated-time limit (seconds on the executor clock)."""
+
+    def __init__(self, time_limit: float) -> None:
+        if time_limit <= 0:
+            raise GinkgoError(f"time_limit must be positive, got {time_limit}")
+        self.time_limit = float(time_limit)
+
+    def generate(self, context: CriterionContext) -> Criterion:
+        factory = self
+        clock = context.clock
+        start = context.start_time
+
+        class _Bound(Criterion):
+            def check(self, iteration: int, residual_norm) -> bool:
+                if clock is None:
+                    return False
+                return (clock.now - start) >= factory.time_limit
+
+        return _Bound()
+
+    def __repr__(self) -> str:
+        return f"Time(time_limit={self.time_limit})"
+
+
+class Combined(CriterionFactory):
+    """OR-combination: stop when any sub-criterion is satisfied."""
+
+    def __init__(self, factories) -> None:
+        self.factories = tuple(factories)
+        if not self.factories:
+            raise GinkgoError("Combined needs at least one criterion factory")
+
+    def generate(self, context: CriterionContext) -> Criterion:
+        bound = [f.generate(context) for f in self.factories]
+
+        class _Bound(Criterion):
+            def check(self, iteration: int, residual_norm) -> bool:
+                stop = False
+                for criterion in bound:
+                    if criterion.check(iteration, residual_norm):
+                        stop = True
+                        if criterion.converged:
+                            self.converged = True
+                return stop
+
+        return _Bound()
+
+    def __repr__(self) -> str:
+        return f"Combined({list(self.factories)!r})"

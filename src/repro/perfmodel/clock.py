@@ -1,0 +1,179 @@
+"""Simulated device clock.
+
+Each executor owns a :class:`SimClock` parameterised by a device spec and a
+library profile.  Kernels report their abstract :class:`KernelCost`; the
+clock converts the cost to seconds with the roofline formula, applies
+deterministic measurement noise, advances virtual time, and logs the event.
+
+Benchmark harnesses read time spans off the clock exactly like they would
+call ``time.perf_counter()`` around a real kernel.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.perfmodel.kernels import KernelCost
+from repro.perfmodel.libraries import LibraryProfile, get_library_profile
+from repro.perfmodel.noise import NoiseModel
+from repro.perfmodel.specs import DeviceSpec
+
+
+@dataclass(frozen=True)
+class KernelEvent:
+    """One executed kernel as recorded by the clock."""
+
+    name: str
+    start: float
+    duration: float
+    flops: float
+    bytes: float
+    launches: int
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    @property
+    def gflops(self) -> float:
+        """Achieved GFLOP/s of this event (0 for pure data movement)."""
+        if self.duration <= 0.0:
+            return 0.0
+        return self.flops / self.duration / 1e9
+
+
+class SimClock:
+    """Virtual clock that accumulates modeled kernel times.
+
+    Args:
+        spec: The device the kernels run on.
+        library: Library profile name or instance; defaults to ``ginkgo``.
+        num_threads: CPU thread count used for bandwidth scaling (ignored
+            for GPUs).
+        seed: Seed for the deterministic noise model.
+        noisy: Disable to make timings exactly reproducible analytic values
+            (used by unit tests).
+    """
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        library: str | LibraryProfile = "ginkgo",
+        num_threads: int | None = None,
+        seed: int = 0,
+        noisy: bool = True,
+    ) -> None:
+        self.spec = spec
+        self.library = (
+            library
+            if isinstance(library, LibraryProfile)
+            else get_library_profile(library)
+        )
+        self.num_threads = num_threads
+        self.noise = NoiseModel(spec.noise_sigma if noisy else 0.0, seed=seed)
+        self.now = 0.0
+        self.events: list[KernelEvent] = []
+        self.kernel_count = 0
+        self.bytes_moved = 0.0
+        self.flops_done = 0.0
+        self._log_events = False
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    def enable_event_log(self, enabled: bool = True) -> None:
+        """Record individual :class:`KernelEvent` objects (off by default)."""
+        self._log_events = enabled
+
+    def reset(self) -> None:
+        """Zero the clock and counters and restart the noise sequence."""
+        self.now = 0.0
+        self.events.clear()
+        self.kernel_count = 0
+        self.bytes_moved = 0.0
+        self.flops_done = 0.0
+        self.noise.reset()
+
+    # ------------------------------------------------------------------
+    # modelling
+    # ------------------------------------------------------------------
+    def kernel_time(self, cost: KernelCost) -> float:
+        """Noise-free modeled execution time of one kernel, in seconds."""
+        bandwidth = self.spec.effective_bandwidth(self.num_threads)
+        bandwidth *= self.library.efficiency(self.spec.kind, cost.dtype_name)
+        peak = self.spec.peak_flops_for(cost.dtype_name)
+        if self.spec.kind == "cpu" and self.library.parallel_cpu:
+            threads = self.num_threads or self.spec.cores
+            from repro.perfmodel.threads import parallel_efficiency
+
+            peak *= threads / self.spec.cores
+            peak *= parallel_efficiency(
+                threads, self.library.cpu_serial_fraction
+            )
+        elif self.spec.kind == "cpu":
+            # Single-threaded library: one core's share of the socket.
+            peak /= self.spec.cores
+            bandwidth = self.spec.effective_bandwidth(1) * self.library.efficiency(
+                self.spec.kind, cost.dtype_name
+            )
+        launches = cost.launches * self.library.launch_multiplier
+        fixed = launches * self.spec.launch_latency
+        fixed += self.library.host_overhead_per_op
+        streaming = cost.bytes / bandwidth if bandwidth > 0 else 0.0
+        compute = cost.flops / peak if peak > 0 else 0.0
+        return fixed + max(streaming, compute)
+
+    def record(self, cost: KernelCost) -> float:
+        """Execute one kernel on the virtual timeline; return its duration."""
+        duration = self.kernel_time(cost) * self.noise.sample()
+        if self._log_events:
+            self.events.append(
+                KernelEvent(
+                    name=cost.name,
+                    start=self.now,
+                    duration=duration,
+                    flops=cost.flops,
+                    bytes=cost.bytes,
+                    launches=cost.launches,
+                )
+            )
+        self.now += duration
+        self.kernel_count += cost.launches
+        self.bytes_moved += cost.bytes
+        self.flops_done += cost.flops
+        return duration
+
+    def advance(self, seconds: float) -> None:
+        """Advance virtual time by a raw amount (host-side overheads)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds} s")
+        self.now += seconds
+
+    def synchronize(self) -> None:
+        """Model a host-device synchronisation point."""
+        self.advance(self.library.sync_overhead * self.noise.sample())
+
+    # ------------------------------------------------------------------
+    # measurement helpers
+    # ------------------------------------------------------------------
+    @contextmanager
+    def region(self):
+        """Context manager yielding a mutable holder of the elapsed time.
+
+        Usage::
+
+            with clock.region() as span:
+                op.apply(b, x)
+            print(span.elapsed)
+        """
+
+        class _Span:
+            elapsed = 0.0
+
+        span = _Span()
+        start = self.now
+        try:
+            yield span
+        finally:
+            span.elapsed = self.now - start

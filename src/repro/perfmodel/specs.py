@@ -1,0 +1,147 @@
+"""Device specifications for the simulated hardware.
+
+Numbers are public datasheet values for the devices used in the paper's
+evaluation (HoreKa: Intel Xeon Platinum 8368 nodes with NVIDIA A100 GPUs,
+plus AMD Instinct MI100 accelerators on the Future Technologies partition).
+``effective_bandwidth_fraction`` captures the fraction of peak STREAM-like
+bandwidth a well-tuned sparse kernel achieves in practice; it is the single
+calibration knob that maps datasheet numbers onto the paper's measured
+GFLOP/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one device used by the roofline model.
+
+    Attributes:
+        name: Human-readable device name.
+        kind: ``"gpu"`` or ``"cpu"``.
+        memory_bandwidth: Peak DRAM bandwidth in bytes/s (per device for
+            GPUs, per socket for CPUs).
+        peak_flops: Peak arithmetic throughput in FLOP/s keyed by numpy
+            dtype name (``float16``/``float32``/``float64``).
+        launch_latency: Fixed cost of launching one kernel, in seconds.
+            For CPUs this models the cost of entering an OpenMP parallel
+            region (or a plain function call for single-threaded code).
+        cores: Physical core count (CPUs only; GPUs use 0).
+        single_core_bandwidth: Bandwidth achievable from a single core in
+            bytes/s (CPUs only).  A single core cannot saturate the socket.
+        effective_bandwidth_fraction: Fraction of ``memory_bandwidth`` an
+            optimally tuned sparse kernel sustains.
+        noise_sigma: Relative standard deviation of per-kernel timing noise.
+        memory_capacity: Device memory in bytes, used by the allocator to
+            emulate out-of-memory failures.
+    """
+
+    name: str
+    kind: str
+    memory_bandwidth: float
+    peak_flops: dict = field(default_factory=dict)
+    launch_latency: float = 5.0e-6
+    cores: int = 0
+    single_core_bandwidth: float = 0.0
+    effective_bandwidth_fraction: float = 0.85
+    noise_sigma: float = 0.03
+    memory_capacity: float = 32e9
+
+    def effective_bandwidth(self, num_threads: int | None = None) -> float:
+        """Sustained bandwidth in bytes/s for this device.
+
+        For CPUs, ``num_threads`` selects a point on the saturation curve;
+        ``None`` means "all cores".
+        """
+        if self.kind == "gpu" or self.cores == 0:
+            return self.memory_bandwidth * self.effective_bandwidth_fraction
+        from repro.perfmodel.threads import thread_scaling
+
+        threads = self.cores if num_threads is None else num_threads
+        socket_peak = self.memory_bandwidth * self.effective_bandwidth_fraction
+        return socket_peak * thread_scaling(
+            threads, self.cores, self.single_core_bandwidth, socket_peak
+        )
+
+    def peak_flops_for(self, dtype_name: str) -> float:
+        """Peak FLOP/s for the given value-type name."""
+        try:
+            return self.peak_flops[dtype_name]
+        except KeyError as exc:
+            raise KeyError(
+                f"device {self.name!r} has no peak-FLOP entry for {dtype_name!r}"
+            ) from exc
+
+
+NVIDIA_A100 = DeviceSpec(
+    name="NVIDIA A100",
+    kind="gpu",
+    memory_bandwidth=1555e9,
+    peak_flops={"float16": 78e12, "float32": 19.5e12, "float64": 9.7e12},
+    launch_latency=6.0e-6,
+    effective_bandwidth_fraction=0.78,
+    noise_sigma=0.03,
+    memory_capacity=40e9,
+)
+
+AMD_MI100 = DeviceSpec(
+    name="AMD Instinct MI100",
+    kind="gpu",
+    memory_bandwidth=1228e9,
+    peak_flops={"float16": 184.6e12, "float32": 23.1e12, "float64": 11.5e12},
+    launch_latency=9.0e-6,
+    effective_bandwidth_fraction=0.72,
+    noise_sigma=0.06,
+    memory_capacity=32e9,
+)
+
+# One socket of the HoreKa CPU node (the paper reports 2 sockets x 38 cores;
+# it quotes "76 physical cores" per node).  Thread sweeps in Fig. 3b stop at
+# 32 threads, i.e. within one socket.
+INTEL_XEON_8368 = DeviceSpec(
+    name="Intel Xeon Platinum 8368",
+    kind="cpu",
+    memory_bandwidth=204e9,
+    peak_flops={"float16": 1.4e12, "float32": 2.8e12, "float64": 1.4e12},
+    launch_latency=1.5e-6,
+    cores=38,
+    single_core_bandwidth=13e9,
+    effective_bandwidth_fraction=0.80,
+    noise_sigma=0.02,
+    memory_capacity=256e9,
+)
+
+# A deliberately modest host used by the reference executor: sequential,
+# unoptimised, mirroring Ginkgo's reference backend which exists for
+# correctness checking rather than speed.
+GENERIC_HOST = DeviceSpec(
+    name="Reference host",
+    kind="cpu",
+    memory_bandwidth=20e9,
+    peak_flops={"float16": 50e9, "float32": 100e9, "float64": 50e9},
+    launch_latency=0.5e-6,
+    cores=1,
+    single_core_bandwidth=10e9,
+    effective_bandwidth_fraction=0.60,
+    noise_sigma=0.01,
+    memory_capacity=256e9,
+)
+
+DEVICE_SPECS = {
+    "a100": NVIDIA_A100,
+    "mi100": AMD_MI100,
+    "xeon8368": INTEL_XEON_8368,
+    "reference": GENERIC_HOST,
+}
+
+
+def get_device_spec(name: str) -> DeviceSpec:
+    """Look up a :class:`DeviceSpec` by short name (case-insensitive)."""
+    key = name.lower()
+    if key not in DEVICE_SPECS:
+        raise KeyError(
+            f"unknown device spec {name!r}; available: {sorted(DEVICE_SPECS)}"
+        )
+    return DEVICE_SPECS[key]

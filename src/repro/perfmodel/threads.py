@@ -1,0 +1,63 @@
+"""CPU thread-scaling model.
+
+Sparse kernels on multicore CPUs are memory-bandwidth bound: throughput
+grows close to linearly while the aggregate per-core bandwidth is below the
+socket's sustainable bandwidth, then saturates.  We model this with the
+standard bandwidth-saturation form
+
+    bw(t) = min(t * bw_core, bw_socket) smoothed by a soft-min,
+
+which reproduces the near-linear region for few threads and the plateau the
+paper observes when pyGinkgo approaches 32 threads (its speedup over SciPy
+levels off at 7-35x for bandwidth-bound matrices).
+"""
+
+from __future__ import annotations
+
+
+def thread_scaling(
+    threads: int,
+    max_cores: int,
+    single_core_bandwidth: float,
+    socket_bandwidth: float,
+    smoothing: float = 4.0,
+) -> float:
+    """Fraction of socket bandwidth achieved with ``threads`` threads.
+
+    Args:
+        threads: Number of OpenMP threads in use (clamped to ``max_cores``).
+        max_cores: Physical cores on the socket.
+        single_core_bandwidth: Bytes/s a single core can stream.
+        socket_bandwidth: Sustainable socket bandwidth (bytes/s).
+        smoothing: Sharpness of the transition between the linear and
+            saturated regimes; larger is sharper.
+
+    Returns:
+        A value in (0, 1]: the achieved fraction of ``socket_bandwidth``.
+    """
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    if single_core_bandwidth <= 0 or socket_bandwidth <= 0:
+        raise ValueError("bandwidths must be positive")
+    t = min(threads, max_cores)
+    linear = t * single_core_bandwidth / socket_bandwidth
+    # Soft minimum of `linear` and 1.0: p-norm based smooth saturation.
+    p = smoothing
+    frac = linear / (1.0 + linear**p) ** (1.0 / p)
+    return min(frac, 1.0)
+
+
+def parallel_efficiency(threads: int, serial_fraction: float) -> float:
+    """Amdahl efficiency for compute-bound (non-bandwidth) kernel parts.
+
+    Args:
+        threads: Thread count.
+        serial_fraction: Fraction of work that does not parallelise.
+
+    Returns:
+        Speedup over one thread divided by ``threads``.
+    """
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise ValueError("serial_fraction must be within [0, 1]")
+    speedup = 1.0 / (serial_fraction + (1.0 - serial_fraction) / threads)
+    return speedup / threads

@@ -1,0 +1,50 @@
+"""Synthetic stand-ins for the SuiteSparse benchmark matrices.
+
+The paper benchmarks on 30 (SpMV), 40 (solvers), and 45 (overhead)
+matrices from the SuiteSparse collection, "with dimensions up to 1e6 and
+densities below 1% in all cases except for five with a density greater
+than 1%".  SuiteSparse is not downloadable here, so this package generates
+matrices that match the *attributes the figures depend on*: dimension,
+nonzero count, density, structure class (mesh / circuit / diagonal /
+random), and row-length imbalance.
+"""
+
+from repro.suitesparse.generators import (
+    banded,
+    circuit_like,
+    diagonal_mass,
+    kronecker_graph,
+    mesh_delaunay,
+    poisson_2d,
+    poisson_3d,
+    random_general,
+    spd_random,
+)
+from repro.suitesparse.collection import (
+    MatrixSpec,
+    TABLE2,
+    overhead_suite,
+    solver_suite,
+    spmv_suite,
+    table2_suite,
+)
+from repro.suitesparse.stats import matrix_stats
+
+__all__ = [
+    "MatrixSpec",
+    "TABLE2",
+    "banded",
+    "circuit_like",
+    "diagonal_mass",
+    "kronecker_graph",
+    "matrix_stats",
+    "mesh_delaunay",
+    "overhead_suite",
+    "poisson_2d",
+    "poisson_3d",
+    "random_general",
+    "solver_suite",
+    "spd_random",
+    "spmv_suite",
+    "table2_suite",
+]

@@ -1,0 +1,210 @@
+"""Sparse matrix generators by structure class.
+
+Each generator returns a ``scipy.sparse.csr_matrix`` and is deterministic
+for a given seed.  The classes mirror the kinds of matrices in the paper's
+SuiteSparse selection (Table 2): diagonal mass matrices (bcsstm*),
+circuit-simulation matrices (mult_dcop, ASIC), mesh graphs (delaunay_n17),
+and FEM/structural matrices (av41092).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def poisson_2d(nx: int, ny: int | None = None) -> sp.csr_matrix:
+    """5-point finite-difference Laplacian on an nx x ny grid (SPD)."""
+    if nx < 1:
+        raise ValueError(f"nx must be >= 1, got {nx}")
+    ny = ny or nx
+    ix = sp.identity(nx, format="csr")
+    iy = sp.identity(ny, format="csr")
+    tx = sp.diags(
+        [-np.ones(nx - 1), 2.0 * np.ones(nx), -np.ones(nx - 1)],
+        [-1, 0, 1],
+        format="csr",
+    )
+    ty = sp.diags(
+        [-np.ones(ny - 1), 2.0 * np.ones(ny), -np.ones(ny - 1)],
+        [-1, 0, 1],
+        format="csr",
+    )
+    out = (sp.kron(iy, tx) + sp.kron(ty, ix)).tocsr()
+    out.eliminate_zeros()  # scipy's kron stores explicit zeros (BSR blocks)
+    return out
+
+
+def poisson_3d(n: int) -> sp.csr_matrix:
+    """7-point finite-difference Laplacian on an n^3 grid (SPD)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    one = sp.identity(n, format="csr")
+    t = sp.diags(
+        [-np.ones(n - 1), 2.0 * np.ones(n), -np.ones(n - 1)],
+        [-1, 0, 1],
+        format="csr",
+    )
+    out = (
+        sp.kron(sp.kron(one, one), t)
+        + sp.kron(sp.kron(one, t), one)
+        + sp.kron(sp.kron(t, one), one)
+    ).tocsr()
+    out.eliminate_zeros()  # scipy's kron stores explicit zeros (BSR blocks)
+    return out
+
+
+def diagonal_mass(n: int, zero_fraction: float = 0.4, seed: int = 0) -> sp.csr_matrix:
+    """Diagonal mass matrix with a fraction of zero rows (bcsstm-style).
+
+    The bcsstm37/bcsstm39 matrices in Table 2 have *fewer* nonzeros than
+    rows: they are diagonal matrices whose constrained degrees of freedom
+    carry structural zeros.
+    """
+    if not 0.0 <= zero_fraction < 1.0:
+        raise ValueError(f"zero_fraction must be in [0, 1), got {zero_fraction}")
+    rng = np.random.default_rng(seed)
+    diag = rng.uniform(0.5, 2.0, size=n)
+    zero_count = int(n * zero_fraction)
+    if zero_count:
+        diag[rng.choice(n, size=zero_count, replace=False)] = 0.0
+    mat = sp.diags(diag, format="csr")
+    mat.eliminate_zeros()
+    return mat.tocsr()
+
+
+def mesh_delaunay(num_points: int, seed: int = 0) -> sp.csr_matrix:
+    """Graph Laplacian-like matrix of a planar Delaunay triangulation.
+
+    Mirrors the delaunay_nXX family: ~6 nonzeros per row, symmetric,
+    perfectly load-balanced — the structure class where GPUs shine.
+    """
+    from scipy.spatial import Delaunay
+
+    if num_points < 4:
+        raise ValueError(f"need at least 4 points, got {num_points}")
+    rng = np.random.default_rng(seed)
+    points = rng.random((num_points, 2))
+    tri = Delaunay(points)
+    simplices = tri.simplices
+    rows = np.concatenate(
+        [simplices[:, 0], simplices[:, 1], simplices[:, 2]]
+    )
+    cols = np.concatenate(
+        [simplices[:, 1], simplices[:, 2], simplices[:, 0]]
+    )
+    data = np.ones(rows.size)
+    adj = sp.coo_matrix((data, (rows, cols)), shape=(num_points, num_points))
+    adj = adj + adj.T
+    adj.data[:] = 1.0
+    degree = np.asarray(adj.sum(axis=1)).ravel()
+    return (sp.diags(degree + 1.0) - adj).tocsr()
+
+
+def circuit_like(
+    n: int,
+    avg_row_nnz: float = 6.0,
+    num_dense_rows: int = 4,
+    dense_row_fill: float = 0.3,
+    seed: int = 0,
+) -> sp.csr_matrix:
+    """Circuit-simulation style matrix (mult_dcop / ASIC style).
+
+    Mostly very sparse rows plus a handful of nearly dense rows/columns
+    (power/ground rails), producing the row-imbalance that penalises
+    classical CSR kernels.
+    """
+    rng = np.random.default_rng(seed)
+    nnz_target = int(n * avg_row_nnz)
+    rows = rng.integers(0, n, size=nnz_target)
+    cols = rng.integers(0, n, size=nnz_target)
+    vals = rng.standard_normal(nnz_target) * 0.1
+    # Dense rails.
+    rail_rows, rail_cols, rail_vals = [], [], []
+    for rail in range(num_dense_rows):
+        row = int(rng.integers(0, n))
+        picks = rng.choice(n, size=int(n * dense_row_fill), replace=False)
+        rail_rows.append(np.full(picks.size, row))
+        rail_cols.append(picks)
+        rail_vals.append(rng.standard_normal(picks.size) * 0.1)
+        # Mirror as a dense column too.
+        rail_rows.append(picks)
+        rail_cols.append(np.full(picks.size, row))
+        rail_vals.append(rng.standard_normal(picks.size) * 0.1)
+    rows = np.concatenate([rows] + rail_rows)
+    cols = np.concatenate([cols] + rail_cols)
+    vals = np.concatenate([vals] + rail_vals)
+    mat = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+    mat.sum_duplicates()
+    # Diagonal dominance keeps the matrix usable by factorisations.
+    row_sums = np.asarray(np.abs(mat).sum(axis=1)).ravel()
+    return (mat + sp.diags(row_sums + 1.0)).tocsr()
+
+
+def banded(n: int, bandwidth: int, seed: int = 0) -> sp.csr_matrix:
+    """Dense-banded matrix (structural/FEM style, av41092-like density)."""
+    if bandwidth < 0 or bandwidth >= n:
+        raise ValueError(f"bandwidth must be in [0, n), got {bandwidth}")
+    rng = np.random.default_rng(seed)
+    diagonals = [rng.standard_normal(n - abs(k)) for k in range(-bandwidth, bandwidth + 1)]
+    offsets = list(range(-bandwidth, bandwidth + 1))
+    mat = sp.diags(diagonals, offsets, format="csr")
+    row_sums = np.asarray(np.abs(mat).sum(axis=1)).ravel()
+    return (mat + sp.diags(row_sums + 1.0)).tocsr()
+
+
+def random_general(
+    n: int, density: float, seed: int = 0, diag_dominant: bool = True
+) -> sp.csr_matrix:
+    """Uniformly random sparse matrix of a given density."""
+    if not 0.0 < density <= 1.0:
+        raise ValueError(f"density must be in (0, 1], got {density}")
+    mat = sp.random(
+        n, n, density=density, format="csr",
+        random_state=np.random.default_rng(seed), dtype=np.float64,
+    )
+    if diag_dominant:
+        row_sums = np.asarray(np.abs(mat).sum(axis=1)).ravel()
+        mat = (mat + sp.diags(row_sums + 1.0)).tocsr()
+    return mat
+
+
+def spd_random(n: int, density: float, seed: int = 0) -> sp.csr_matrix:
+    """Random symmetric positive-definite matrix of roughly given density."""
+    half = sp.random(
+        n, n, density=density / 2.0, format="csr",
+        random_state=np.random.default_rng(seed), dtype=np.float64,
+    )
+    sym = half + half.T
+    row_sums = np.asarray(np.abs(sym).sum(axis=1)).ravel()
+    return (sym + sp.diags(row_sums + 1.0)).tocsr()
+
+
+def kronecker_graph(scale: int, edge_factor: int = 8, seed: int = 0) -> sp.csr_matrix:
+    """Graph500-style stochastic Kronecker graph adjacency (power-law rows).
+
+    Produces the heavy-tailed row-length distributions typical of social
+    network matrices in SuiteSparse.
+    """
+    if scale < 1 or scale > 24:
+        raise ValueError(f"scale must be in [1, 24], got {scale}")
+    rng = np.random.default_rng(seed)
+    n = 1 << scale
+    num_edges = n * edge_factor
+    a, b, c = 0.57, 0.19, 0.19
+    rows = np.zeros(num_edges, dtype=np.int64)
+    cols = np.zeros(num_edges, dtype=np.int64)
+    for level in range(scale):
+        r = rng.random(num_edges)
+        bit_row = (r > a + b).astype(np.int64)
+        r2 = rng.random(num_edges)
+        threshold = np.where(bit_row == 0, b / (a + b), c / (1 - a - b))
+        bit_col = (r2 < threshold).astype(np.int64)
+        rows |= bit_row << level
+        cols |= bit_col << level
+    vals = np.ones(num_edges)
+    mat = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+    mat.sum_duplicates()
+    mat.data[:] = 1.0
+    row_sums = np.asarray(mat.sum(axis=1)).ravel()
+    return (mat + sp.diags(row_sums + 1.0)).tocsr()

@@ -1,0 +1,43 @@
+"""Matrix attribute reporting for the benchmark tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def matrix_stats(matrix) -> dict:
+    """Attributes of a sparse matrix, as reported in the paper's Table 2.
+
+    Args:
+        matrix: SciPy sparse matrix or engine sparse matrix.
+
+    Returns:
+        Dict with rows, cols, nnz, density, avg/max row nnz, imbalance
+        (max/mean row nnz), and whether the pattern is symmetric.
+    """
+    if hasattr(matrix, "_scipy_view"):
+        matrix = matrix._scipy_view()
+    csr = sp.csr_matrix(matrix)
+    rows, cols = csr.shape
+    nnz = csr.nnz
+    row_nnz = np.diff(csr.indptr)
+    avg = float(row_nnz.mean()) if rows else 0.0
+    mx = int(row_nnz.max()) if rows else 0
+    density = nnz / (rows * cols) if rows and cols else 0.0
+    pattern_symmetric = False
+    if rows == cols:
+        pattern = csr.copy()
+        pattern.data = np.ones_like(pattern.data)
+        diff = pattern - pattern.T
+        pattern_symmetric = diff.nnz == 0
+    return {
+        "rows": rows,
+        "cols": cols,
+        "nnz": int(nnz),
+        "density": density,
+        "avg_row_nnz": avg,
+        "max_row_nnz": mx,
+        "imbalance": (mx / avg) if avg > 0 else 1.0,
+        "pattern_symmetric": pattern_symmetric,
+    }

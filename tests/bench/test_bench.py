@@ -1,0 +1,159 @@
+"""Benchmark-harness tests: the figure entry points produce data with the
+paper's qualitative shapes (on reduced suites)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    fig3a_spmv_gpu,
+    fig3b_spmv_cpu,
+    fig3c_solver_gpu,
+    fig5a_gpu_formats,
+    fig5b_overhead,
+    fig5c_timediff,
+    format_series,
+    format_table,
+    geometric_mean,
+    solver_cpu_comparison,
+    table1_types,
+    table2_matrices,
+)
+from repro.suitesparse import overhead_suite, solver_suite, spmv_suite
+
+
+@pytest.fixture(scope="module")
+def small_spmv_suite():
+    return spmv_suite(count=5, min_nnz=2e4, max_nnz=8e5)
+
+
+@pytest.fixture(scope="module")
+def small_solver_suite():
+    return solver_suite(count=4, min_nnz=2e4, max_nnz=3e5)
+
+
+@pytest.fixture(scope="module")
+def small_overhead_suite():
+    return overhead_suite(count=5, min_nnz=2e4, max_nnz=5e6)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [(1, 2.5), (10, 0.00001)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "1.000e-05" in text
+
+    def test_format_series(self):
+        text = format_series(
+            {"x2": [(1, 2.0), (2, 4.0)], "x3": [(1, 3.0)]}, x_label="n"
+        )
+        assert "n" in text
+        assert "-" in text  # missing point placeholder
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+        assert geometric_mean([2, 0, -5]) == pytest.approx(2.0)
+        assert np.isnan(geometric_mean([]))
+
+
+class TestTables:
+    def test_table1_rows(self):
+        result = table1_types()
+        assert result["rows"] == [
+            (2, "half", ""), (4, "float", "int32"), (8, "double", "int64"),
+        ]
+        assert "Table 1" in result["text"]
+
+    def test_table2_six_rows(self):
+        result = table2_matrices(scale=0.02)
+        assert len(result["rows"]) == 6
+        labels = [row[0] for row in result["rows"]]
+        assert labels == list("ABCDEF")
+
+
+class TestFig3a:
+    def test_shapes(self, small_spmv_suite):
+        result = fig3a_spmv_gpu(small_spmv_suite, reps=3)
+        series = result["series"]
+        assert set(series) == {"pyGinkgo", "PyTorch", "CuPy", "TensorFlow"}
+        # pyGinkgo consistently outperforms the alternatives (paper 6.1.1).
+        for i in range(len(small_spmv_suite)):
+            py = series["pyGinkgo"][i][1]
+            assert py >= series["CuPy"][i][1]
+            assert py >= series["TensorFlow"][i][1]
+        # Speedup grows with NNZ.
+        py_speedups = [y for _, y in series["pyGinkgo"]]
+        assert py_speedups[-1] > py_speedups[0]
+
+
+class TestFig3b:
+    def test_thread_scaling_shape(self, small_spmv_suite):
+        result = fig3b_spmv_cpu(
+            small_spmv_suite, threads=(1, 8, 32), reps=3
+        )
+        series = result["series"]
+        # More threads -> more speedup, for the largest matrix.
+        last = -1
+        s1 = series["pyGinkgo 1T"][last][1]
+        s8 = series["pyGinkgo 8T"][last][1]
+        s32 = series["pyGinkgo 32T"][last][1]
+        assert s1 < s8 < s32
+        # Paper: 7-35x for high-NNZ matrices at 32 threads.
+        assert 4 < s32 < 50
+        # SciPy wins single-threaded (speedup < ~1).
+        assert s1 < 1.5
+
+
+class TestFig3c:
+    def test_solver_speedups(self, small_solver_suite):
+        result = fig3c_solver_gpu(small_solver_suite, iterations=40)
+        series = result["series"]
+        for i in range(len(small_solver_suite)):
+            cg = series["CG"][i][1]
+            cgs = series["CGS"][i][1]
+            gmres = series["GMRES"][i][1]
+            # Paper 6.2.1: CGS highest, CG moderate (~2.5x), GMRES
+            # slightly below 1 (CuPy faster).
+            assert cgs > cg > 1.3
+            assert gmres < 1.15
+
+
+class TestFig5:
+    def test_fig5a_device_and_format_ordering(self, small_overhead_suite):
+        result = fig5a_gpu_formats(small_overhead_suite, reps=3)
+        series = result["series"]
+        # For the largest matrix: A100 >= MI100 and CSR >= COO.
+        a100_csr = series["A100 CSR"][-1][1]
+        a100_coo = series["A100 COO"][-1][1]
+        mi100_csr = series["MI100 CSR"][-1][1]
+        assert a100_csr > mi100_csr
+        assert a100_csr > a100_coo
+
+    def test_fig5b_overhead_amortises(self, small_overhead_suite):
+        result = fig5b_overhead(small_overhead_suite, reps=12)
+        for name, points in result["series"].items():
+            small_nnz_overhead = points[0][1]
+            large_nnz_overhead = points[-1][1]
+            assert small_nnz_overhead > large_nnz_overhead
+            assert large_nnz_overhead < 15.0  # <10-15% at 5e6+ nnz
+
+    def test_fig5c_time_difference_magnitudes(self, small_overhead_suite):
+        result = fig5c_timediff(small_overhead_suite, reps=12)
+        diffs = [
+            abs(y) for points in result["series"].values() for _, y in points
+        ]
+        # Paper: 1e-7 to 1e-5 s (NVIDIA), up to 1e-4 s (AMD).
+        assert max(diffs) < 1e-3
+        assert min(diffs) < 1e-4
+
+
+class TestCpuSolvers:
+    def test_paper_3_to_8x_band(self, small_solver_suite):
+        result = solver_cpu_comparison(
+            small_solver_suite, solvers=("cg",), iterations=30
+        )
+        speedups = [y for _, y in result["series"]["CG"]]
+        # Paper 6.2.2: around 3-8x faster than SciPy for CG.
+        assert all(1.5 < s < 20 for s in speedups)
+        assert any(3 <= s <= 8 for s in speedups)

@@ -1,0 +1,132 @@
+"""Bindings-layer tests: pre-instantiated symbols and overhead accounting."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import bindings
+from repro.bindings import (
+    binding_names,
+    binding_overhead_enabled,
+    charge_binding,
+    get_binding,
+    set_binding_overhead,
+)
+from repro.bindings.overhead import overhead_model_for
+from repro.ginkgo.executor import CudaExecutor, HipExecutor, ReferenceExecutor
+from repro.ginkgo.matrix import Coo, Csr, Dense
+
+
+@pytest.fixture(autouse=True)
+def _overhead_on():
+    """Keep the global switch in its default state around each test."""
+    set_binding_overhead(True)
+    yield
+    set_binding_overhead(True)
+
+
+class TestRegistry:
+    def test_all_type_combinations_instantiated(self):
+        names = set(binding_names())
+        # Paper section 5.1: pre-instantiation of every template combo.
+        for fmt in ("csr", "coo", "ell", "sellp", "hybrid"):
+            for vt in ("half", "float", "double"):
+                for it in ("int32", "int64"):
+                    assert f"{fmt}_{vt}_{it}" in names
+                    assert f"read_{fmt}_{vt}_{it}" in names
+
+    def test_dense_per_value_type(self):
+        names = set(binding_names())
+        for vt in ("half", "float", "double"):
+            assert f"dense_{vt}" in names
+            assert f"dense_empty_{vt}" in names
+
+    def test_solver_factories_suffixed(self):
+        names = set(binding_names())
+        for solver in ("cg", "fcg", "cgs", "bicg", "bicgstab", "gmres",
+                       "minres", "ir"):
+            for vt in ("half", "float", "double"):
+                assert f"{solver}_factory_{vt}" in names
+
+    def test_executor_classes_exposed(self):
+        assert bindings.CUDA is CudaExecutor
+        assert bindings.HIP is HipExecutor
+        assert bindings.Reference is ReferenceExecutor
+
+    def test_attribute_access(self):
+        assert bindings.csr_double_int32 is get_binding("csr_double_int32")
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            bindings.csr_quad_int128
+
+    def test_dir_lists_bindings(self):
+        assert "dense_float" in dir(bindings)
+
+
+class TestTypedConstruction:
+    def test_dense_binding_casts(self, ref):
+        d = bindings.dense_float(ref, np.arange(4.0))
+        assert isinstance(d, Dense)
+        assert d.dtype == np.float32
+
+    def test_sparse_binding_types(self, ref, general_small):
+        mat = bindings.csr_half_int64(ref, general_small)
+        assert isinstance(mat, Csr)
+        assert mat.dtype == np.float16
+        assert mat.index_dtype == np.int64
+
+    def test_coo_binding(self, ref, general_small):
+        mat = bindings.coo_double_int32(ref, general_small)
+        assert isinstance(mat, Coo)
+        assert mat.nnz == general_small.nnz
+
+    def test_read_binding(self, ref, tmp_path, general_small):
+        from repro.ginkgo.mtx_io import write_mtx
+
+        path = tmp_path / "m.mtx"
+        write_mtx(path, general_small)
+        mat = bindings.read_csr_double_int32(ref, path)
+        assert mat.nnz == general_small.nnz
+
+
+class TestOverheadAccounting:
+    def test_binding_call_advances_clock(self, ref):
+        before = ref.clock.now
+        bindings.dense_double(ref, np.arange(3.0))
+        after_alloc = ref.clock.now
+        assert after_alloc > before
+
+    def test_disabled_overhead_is_cheaper(self):
+        times = {}
+        for enabled in (True, False):
+            exec_ = ReferenceExecutor.create(noisy=False)
+            set_binding_overhead(enabled)
+            before = exec_.clock.now
+            charge_binding(exec_)
+            times[enabled] = exec_.clock.now - before
+        assert times[False] == 0.0
+        assert times[True] > 0.0
+
+    def test_switch_reports_state(self):
+        set_binding_overhead(False)
+        assert not binding_overhead_enabled()
+        set_binding_overhead(True)
+        assert binding_overhead_enabled()
+
+    def test_amd_overhead_exceeds_nvidia(self):
+        cuda = CudaExecutor.create(noisy=False)
+        hip = HipExecutor.create(noisy=False)
+        assert (
+            overhead_model_for(hip).base_overhead
+            > overhead_model_for(cuda).base_overhead
+        )
+
+    def test_charge_binding_none_executor_is_noop(self):
+        assert charge_binding(None) == 0.0
+
+    def test_overhead_returned_value_matches_clock(self):
+        exec_ = CudaExecutor.create(noisy=False)
+        before = exec_.clock.now
+        charged = charge_binding(exec_, num_arguments=3)
+        assert exec_.clock.now - before == pytest.approx(charged)

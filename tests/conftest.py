@@ -1,0 +1,74 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.ginkgo.executor import (
+    CudaExecutor,
+    HipExecutor,
+    OmpExecutor,
+    ReferenceExecutor,
+)
+
+
+@pytest.fixture
+def ref():
+    """A fresh reference executor with noiseless timing."""
+    return ReferenceExecutor.create(noisy=False)
+
+
+@pytest.fixture
+def omp():
+    """A fresh OpenMP executor (8 threads, noiseless)."""
+    return OmpExecutor.create(num_threads=8, noisy=False)
+
+
+@pytest.fixture
+def cuda():
+    """A fresh simulated CUDA executor (noiseless)."""
+    return CudaExecutor.create(noisy=False)
+
+
+@pytest.fixture
+def hip():
+    """A fresh simulated HIP executor (noiseless)."""
+    return HipExecutor.create(noisy=False)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def spd_small():
+    """A 60x60 SPD tridiagonal (1-D Poisson + shift)."""
+    n = 60
+    return sp.diags(
+        [-np.ones(n - 1), 4.0 * np.ones(n), -np.ones(n - 1)],
+        [-1, 0, 1],
+        format="csr",
+    )
+
+
+@pytest.fixture
+def general_small(rng):
+    """A 50x50 diagonally dominant nonsymmetric sparse matrix."""
+    n = 50
+    mat = sp.random(
+        n, n, density=0.12, format="csr", random_state=rng, dtype=np.float64
+    )
+    row_sums = np.asarray(np.abs(mat).sum(axis=1)).ravel()
+    return (mat + sp.diags(row_sums + 1.0)).tocsr()
+
+
+@pytest.fixture
+def rect_small(rng):
+    """A 40x25 rectangular sparse matrix."""
+    return sp.random(
+        40, 25, density=0.15, format="csr", random_state=rng,
+        dtype=np.float64,
+    )

@@ -1,0 +1,259 @@
+"""pg.read / pg.solver / pg.preconditioner / pg.solve API tests."""
+
+import numpy as np
+import pytest
+
+import repro as pg
+from repro.ginkgo.config import ConfigError
+from repro.ginkgo.exceptions import GinkgoError
+from repro.ginkgo.matrix import Coo, Csr, Ell, Hybrid, Sellp
+from repro.ginkgo.mtx_io import write_mtx
+
+
+@pytest.fixture
+def mtx_file(tmp_path, spd_small):
+    path = tmp_path / "m1.mtx"
+    write_mtx(path, spd_small)
+    return path
+
+
+class TestRead:
+    def test_read_csr(self, ref, mtx_file, spd_small):
+        mtx = pg.read(device=ref, path=mtx_file, dtype="double", format="Csr")
+        assert isinstance(mtx, Csr)
+        assert mtx.size[0] == spd_small.shape[0]
+        assert mtx.nnz == spd_small.nnz
+
+    @pytest.mark.parametrize(
+        "fmt,cls",
+        [("Coo", Coo), ("Ell", Ell), ("Sellp", Sellp), ("Hybrid", Hybrid)],
+    )
+    def test_read_other_formats(self, ref, mtx_file, fmt, cls):
+        assert isinstance(
+            pg.read(device=ref, path=mtx_file, format=fmt), cls
+        )
+
+    def test_read_case_insensitive_format(self, ref, mtx_file):
+        assert isinstance(pg.read(device=ref, path=mtx_file, format="CSR"), Csr)
+
+    def test_read_dtype(self, ref, mtx_file):
+        mtx = pg.read(device=ref, path=mtx_file, dtype="float",
+                      index_dtype="int64")
+        assert mtx.dtype == np.float32
+        assert mtx.index_dtype == np.int64
+
+    def test_read_unknown_format(self, ref, mtx_file):
+        with pytest.raises(GinkgoError, match="format"):
+            pg.read(device=ref, path=mtx_file, format="Bsr")
+
+    def test_read_requires_path(self, ref):
+        with pytest.raises(GinkgoError, match="path"):
+            pg.read(device=ref)
+
+    def test_read_by_device_name(self, mtx_file):
+        mtx = pg.read(device="cuda", path=mtx_file)
+        assert mtx.executor.name == "cuda"
+
+    def test_matrix_from_scipy(self, ref, spd_small):
+        mtx = pg.matrix(device=ref, data=spd_small, format="Csr")
+        assert mtx.nnz == spd_small.nnz
+
+    def test_write_roundtrip(self, ref, tmp_path, spd_small):
+        mtx = pg.matrix(device=ref, data=spd_small)
+        out = tmp_path / "out.mtx"
+        pg.write(out, mtx)
+        again = pg.read(device=ref, path=out)
+        assert again.nnz == spd_small.nnz
+
+
+class TestSolverNamespace:
+    @pytest.mark.parametrize(
+        "name", ["cg", "fcg", "cgs", "bicg", "bicgstab", "gmres", "minres"]
+    )
+    def test_each_solver_converges(self, ref, spd_small, rng, name):
+        mtx = pg.matrix(device=ref, data=spd_small)
+        xstar = rng.standard_normal((spd_small.shape[0], 1))
+        b = pg.as_tensor(spd_small @ xstar, device=ref)
+        x = pg.as_tensor(device=ref, dim=xstar.shape, fill=0.0)
+        solver = getattr(pg.solver, name)(
+            ref, mtx, max_iters=500, reduction_factor=1e-10
+        )
+        logger, result = solver.apply(b, x)
+        assert logger.converged
+        np.testing.assert_allclose(result.numpy(), xstar, atol=1e-6)
+
+    def test_gmres_returns_logger_and_result(self, ref, spd_small):
+        mtx = pg.matrix(device=ref, data=spd_small)
+        b = pg.as_tensor(device=ref, dim=(spd_small.shape[0], 1), fill=1.0)
+        x = pg.as_tensor(device=ref, dim=(spd_small.shape[0], 1), fill=0.0)
+        solver = pg.solver.gmres(ref, mtx, max_iters=1000, krylov_dim=30,
+                                 reduction_factor=1e-6)
+        logger, result = solver.apply(b, x)
+        assert result is x  # solution overwrites the initial guess
+        assert logger.num_iterations > 0
+        assert logger.residual_norms
+
+    def test_direct(self, ref, general_small, rng):
+        mtx = pg.matrix(device=ref, data=general_small)
+        xstar = rng.standard_normal((general_small.shape[0], 1))
+        b = pg.as_tensor(general_small @ xstar, device=ref)
+        x = pg.as_tensor(device=ref, dim=xstar.shape, fill=0.0)
+        _, result = pg.solver.direct(ref, mtx).apply(b, x)
+        np.testing.assert_allclose(result.numpy(), xstar, atol=1e-8)
+
+    def test_half_precision_dispatch(self, ref, spd_small):
+        mtx = pg.matrix(device=ref, data=spd_small, dtype="half")
+        b = pg.as_tensor(device=ref, dim=(spd_small.shape[0], 1),
+                         dtype="half", fill=1.0)
+        x = pg.as_tensor(device=ref, dim=(spd_small.shape[0], 1),
+                         dtype="half", fill=0.0)
+        solver = pg.solver.cg(ref, mtx, max_iters=100,
+                              reduction_factor=1e-2)
+        logger, result = solver.apply(b, x)
+        assert result.dtype == np.float16
+
+
+class TestPreconditionerNamespace:
+    def test_ilu(self, ref, general_small):
+        mtx = pg.matrix(device=ref, data=general_small)
+        precond = pg.preconditioner.Ilu(ref, mtx)
+        solver = pg.solver.gmres(ref, mtx, precond, max_iters=300,
+                                 reduction_factor=1e-10)
+        b = pg.as_tensor(device=ref, dim=(general_small.shape[0], 1), fill=1.0)
+        x = pg.as_tensor(device=ref, dim=(general_small.shape[0], 1), fill=0.0)
+        logger, _ = solver.apply(b, x)
+        assert logger.converged
+
+    def test_ic_and_jacobi_and_isai(self, ref, spd_small):
+        mtx = pg.matrix(device=ref, data=spd_small)
+        for precond in (
+            pg.preconditioner.Ic(ref, mtx),
+            pg.preconditioner.Jacobi(ref, mtx),
+            pg.preconditioner.Jacobi(ref, mtx, max_block_size=4),
+            pg.preconditioner.Isai(ref, mtx),
+        ):
+            solver = pg.solver.cg(ref, mtx, precond, max_iters=300,
+                                  reduction_factor=1e-9)
+            b = pg.as_tensor(device=ref, dim=(spd_small.shape[0], 1), fill=1.0)
+            x = pg.as_tensor(device=ref, dim=(spd_small.shape[0], 1), fill=0.0)
+            logger, _ = solver.apply(b, x)
+            assert logger.converged
+
+
+class TestSolveEntryPoint:
+    def test_listing2_flow(self, ref, spd_small):
+        mtx = pg.matrix(device=ref, data=spd_small)
+        b = pg.as_tensor(device=ref, dim=(spd_small.shape[0], 1), fill=1.0)
+        logger, x = pg.solve(
+            ref, mtx, b,
+            solver="gmres",
+            preconditioner={"type": "preconditioner::Jacobi",
+                            "max_block_size": 1},
+            max_iters=1000,
+            reduction_factor=1e-6,
+            krylov_dim=30,
+        )
+        assert logger.converged
+        residual = spd_small @ x.numpy() - 1.0
+        assert np.linalg.norm(residual) <= 1e-5 * np.sqrt(
+            spd_small.shape[0]
+        )
+
+    def test_solve_default_initial_guess(self, ref, spd_small):
+        mtx = pg.matrix(device=ref, data=spd_small)
+        b = pg.as_tensor(device=ref, dim=(spd_small.shape[0], 1), fill=1.0)
+        logger, x = pg.solve(ref, mtx, b, solver="cg")
+        assert logger.converged
+
+    def test_solve_preconditioner_by_name(self, ref, spd_small):
+        mtx = pg.matrix(device=ref, data=spd_small)
+        b = pg.as_tensor(device=ref, dim=(spd_small.shape[0], 1), fill=1.0)
+        logger, _ = pg.solve(ref, mtx, b, solver="cg", preconditioner="ic")
+        assert logger.converged
+
+    def test_build_config_shape(self):
+        config = pg.build_config(
+            solver="gmres", preconditioner="jacobi", max_iters=500,
+            reduction_factor=1e-8, krylov_dim=20,
+        )
+        assert config["type"] == "gmres"
+        assert config["krylov_dim"] == 20
+        assert config["preconditioner"] == {"type": "jacobi"}
+        kinds = [c["type"] for c in config["criteria"]]
+        assert kinds == ["stop::Iteration", "stop::ResidualNorm"]
+
+    def test_build_config_no_residual(self):
+        config = pg.build_config(solver="cg", reduction_factor=None)
+        assert len(config["criteria"]) == 1
+
+    def test_config_to_json(self):
+        text = pg.config_to_json(pg.build_config(solver="gmres"))
+        assert '"solver::Gmres"' in text or '"gmres"' in text
+
+    def test_invalid_solver_via_config(self, ref, spd_small):
+        mtx = pg.matrix(device=ref, data=spd_small)
+        b = pg.as_tensor(device=ref, dim=(spd_small.shape[0], 1), fill=1.0)
+        with pytest.raises(ConfigError):
+            pg.solve(ref, mtx, b, solver="qmr")
+
+    def test_invalid_preconditioner_object(self):
+        with pytest.raises(GinkgoError):
+            pg.build_config(solver="cg", preconditioner=3.14)
+
+
+class TestExtensionSolvers:
+    def test_idr_via_namespace(self, ref, general_small, rng):
+        mtx = pg.matrix(device=ref, data=general_small)
+        xstar = rng.standard_normal((general_small.shape[0], 1))
+        b = pg.as_tensor(general_small @ xstar, device=ref)
+        x = pg.as_tensor(device=ref, dim=xstar.shape, fill=0.0)
+        solver = pg.solver.idr(ref, mtx, subspace_dim=4, max_iters=500,
+                               reduction_factor=1e-9)
+        logger, result = solver.apply(b, x)
+        assert logger.converged
+        np.testing.assert_allclose(result.numpy(), xstar, atol=1e-5)
+
+    def test_cb_gmres_via_namespace(self, ref, spd_small, rng):
+        mtx = pg.matrix(device=ref, data=spd_small)
+        xstar = rng.standard_normal((spd_small.shape[0], 1))
+        b = pg.as_tensor(spd_small @ xstar, device=ref)
+        x = pg.as_tensor(device=ref, dim=xstar.shape, fill=0.0)
+        solver = pg.solver.cb_gmres(ref, mtx, storage_precision="float32",
+                                    max_iters=500, reduction_factor=1e-8)
+        logger, result = solver.apply(b, x)
+        assert logger.converged
+        np.testing.assert_allclose(result.numpy(), xstar, atol=1e-4)
+
+    def test_amg_preconditioner_namespace(self, ref):
+        from repro.suitesparse import poisson_2d
+
+        matrix = poisson_2d(24)
+        mtx = pg.matrix(device=ref, data=matrix)
+        precond = pg.preconditioner.Amg(ref, mtx, coarse_size=32)
+        solver = pg.solver.cg(ref, mtx, precond, max_iters=300,
+                              reduction_factor=1e-9)
+        b = pg.as_tensor(device=ref, dim=(matrix.shape[0], 1), fill=1.0)
+        x = pg.as_tensor(device=ref, dim=(matrix.shape[0], 1), fill=0.0)
+        logger, _ = solver.apply(b, x)
+        assert logger.converged
+
+    def test_idr_via_config_solver(self, ref, general_small):
+        mtx = pg.matrix(device=ref, data=general_small)
+        b = pg.as_tensor(device=ref, dim=(general_small.shape[0], 1),
+                         fill=1.0)
+        logger, _ = pg.solve(ref, mtx, b, solver="idr", subspace_dim=2,
+                             max_iters=500, reduction_factor=1e-8)
+        assert logger.converged
+
+    def test_amg_via_config_dict(self, ref):
+        from repro.suitesparse import poisson_2d
+
+        matrix = poisson_2d(20)
+        mtx = pg.matrix(device=ref, data=matrix)
+        b = pg.as_tensor(device=ref, dim=(matrix.shape[0], 1), fill=1.0)
+        logger, _ = pg.solve(
+            ref, mtx, b, solver="cg",
+            preconditioner={"type": "amg", "coarse_size": 25},
+            max_iters=300, reduction_factor=1e-8,
+        )
+        assert logger.converged

@@ -1,0 +1,103 @@
+"""pg.device and type-registry tests."""
+
+import numpy as np
+import pytest
+
+import repro as pg
+from repro.core.device import clear_device_cache
+from repro.core.types import (
+    TABLE1,
+    index_dtype,
+    index_suffix,
+    value_dtype,
+    value_suffix,
+)
+from repro.ginkgo.exceptions import GinkgoError
+from repro.ginkgo.executor import (
+    CudaExecutor,
+    HipExecutor,
+    OmpExecutor,
+    ReferenceExecutor,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_device_cache()
+    yield
+    clear_device_cache()
+
+
+class TestDeviceFactory:
+    def test_device_kinds(self):
+        assert isinstance(pg.device("cuda"), CudaExecutor)
+        assert isinstance(pg.device("hip"), HipExecutor)
+        assert isinstance(pg.device("omp"), OmpExecutor)
+        assert isinstance(pg.device("reference"), ReferenceExecutor)
+
+    def test_aliases(self):
+        assert isinstance(pg.device("cpu"), OmpExecutor)
+        assert isinstance(pg.device("openmp"), OmpExecutor)
+        assert isinstance(pg.device("ref"), ReferenceExecutor)
+
+    def test_case_insensitive(self):
+        assert isinstance(pg.device("CUDA"), CudaExecutor)
+
+    def test_unknown_device(self):
+        with pytest.raises(GinkgoError, match="unknown device"):
+            pg.device("tpu")
+
+    def test_cached_instance_shared(self):
+        assert pg.device("cuda") is pg.device("cuda")
+
+    def test_different_ids_are_different(self):
+        assert pg.device("cuda", id=0) is not pg.device("cuda", id=1)
+
+    def test_fresh_bypasses_cache(self):
+        assert pg.device("cuda", fresh=True) is not pg.device("cuda")
+
+    def test_num_threads_distinguishes(self):
+        a = pg.device("omp", num_threads=2)
+        b = pg.device("omp", num_threads=4)
+        assert a is not b
+        assert a.num_threads == 2
+
+
+class TestTypes:
+    def test_value_names(self):
+        assert value_dtype("double") == np.float64
+        assert value_dtype("float") == np.float32
+        assert value_dtype("single") == np.float32
+        assert value_dtype("half") == np.float16
+        assert value_dtype("float64") == np.float64
+
+    def test_value_dtype_passthrough(self):
+        assert value_dtype(np.float32) == np.float32
+
+    def test_unknown_value_type(self):
+        with pytest.raises(GinkgoError):
+            value_dtype("quad")
+        with pytest.raises(GinkgoError):
+            value_dtype(np.complex128)
+
+    def test_index_names(self):
+        assert index_dtype("int32") == np.int32
+        assert index_dtype("int64") == np.int64
+        assert index_dtype("long") == np.int64
+
+    def test_unknown_index_type(self):
+        with pytest.raises(GinkgoError):
+            index_dtype("int8")
+
+    def test_suffixes(self):
+        assert value_suffix("double") == "double"
+        assert value_suffix(np.float16) == "half"
+        assert index_suffix(np.int64) == "int64"
+
+    def test_table1_matches_paper(self):
+        # Table 1: (2, half, -), (4, float, int32), (8, double, int64).
+        assert TABLE1 == (
+            (2, "half", None),
+            (4, "float", "int32"),
+            (8, "double", "int64"),
+        )

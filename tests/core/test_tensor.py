@@ -1,0 +1,159 @@
+"""Tensor and as_tensor/array tests."""
+
+import numpy as np
+import pytest
+
+import repro as pg
+from repro.core.tensor import Tensor
+from repro.ginkgo.exceptions import ExecutorMismatch, GinkgoError
+from repro.ginkgo.matrix import Dense
+
+
+class TestAsTensor:
+    def test_listing1_fill_form(self, ref):
+        b = pg.as_tensor(device=ref, dim=(10, 1), dtype="double", fill=1.0)
+        assert b.shape == (10, 1)
+        assert b.dtype == np.float64
+        np.testing.assert_array_equal(np.asarray(b), 1.0)
+
+    def test_scalar_dim(self, ref):
+        t = pg.as_tensor(device=ref, dim=7, dtype="float")
+        assert t.shape == (7, 1)
+        assert t.dtype == np.float32
+
+    def test_from_numpy(self, ref):
+        arr = np.arange(5.0)
+        t = pg.as_tensor(arr, device=ref)
+        np.testing.assert_array_equal(np.asarray(t).ravel(), arr)
+
+    def test_from_numpy_zero_copy_on_host(self, ref):
+        arr = np.arange(5.0)
+        t = pg.as_tensor(arr, device=ref)
+        assert pg.shares_memory(t, np.asarray(t))
+
+    def test_from_list(self, ref):
+        t = pg.as_tensor([[1.0], [2.0]], device=ref)
+        assert t.shape == (2, 1)
+
+    def test_dtype_conversion(self, ref):
+        t = pg.as_tensor(np.arange(3.0), device=ref, dtype="half")
+        assert t.dtype == np.float16
+
+    def test_from_tensor_moves_device(self, ref, cuda):
+        t = pg.as_tensor(np.arange(3.0), device=ref)
+        moved = pg.as_tensor(t, device=cuda)
+        assert moved.device is cuda
+        np.testing.assert_array_equal(moved.numpy().ravel(), np.arange(3.0))
+
+    def test_from_engine_dense(self, ref):
+        d = Dense(ref, np.ones((3, 1)))
+        t = pg.as_tensor(d, device=ref)
+        assert isinstance(t, Tensor)
+
+    def test_missing_data_and_dim(self, ref):
+        with pytest.raises(GinkgoError, match="dim"):
+            pg.as_tensor(device=ref)
+
+    def test_array_alias(self, ref):
+        t = pg.array([1.0, 2.0, 3.0], device=ref)
+        assert t.shape == (3, 1)
+
+
+class TestTensorOps:
+    def test_add_sub(self, ref):
+        a = pg.as_tensor(np.array([1.0, 2.0]), device=ref)
+        b = pg.as_tensor(np.array([10.0, 20.0]), device=ref)
+        np.testing.assert_array_equal(
+            np.asarray(a + b).ravel(), [11.0, 22.0]
+        )
+        np.testing.assert_array_equal(
+            np.asarray(b - a).ravel(), [9.0, 18.0]
+        )
+
+    def test_scalar_mul_div_neg(self, ref):
+        a = pg.as_tensor(np.array([2.0, 4.0]), device=ref)
+        np.testing.assert_array_equal(np.asarray(2 * a).ravel(), [4.0, 8.0])
+        np.testing.assert_array_equal(np.asarray(a / 2).ravel(), [1.0, 2.0])
+        np.testing.assert_array_equal(np.asarray(-a).ravel(), [-2.0, -4.0])
+
+    def test_ops_do_not_mutate_operands(self, ref):
+        a = pg.as_tensor(np.array([1.0]), device=ref)
+        b = pg.as_tensor(np.array([2.0]), device=ref)
+        _ = a + b
+        assert np.asarray(a)[0, 0] == 1.0
+
+    def test_inplace_ops(self, ref):
+        a = pg.as_tensor(np.array([1.0, 2.0]), device=ref)
+        b = pg.as_tensor(np.array([1.0, 1.0]), device=ref)
+        a.add_(b, alpha=3.0).scale_(2.0)
+        np.testing.assert_array_equal(np.asarray(a).ravel(), [8.0, 10.0])
+        a.fill_(0.0)
+        assert not np.asarray(a).any()
+
+    def test_dot_and_norm(self, ref):
+        a = pg.as_tensor(np.array([3.0, 4.0]), device=ref)
+        assert a.norm() == pytest.approx(5.0)
+        assert a.dot(a) == pytest.approx(25.0)
+
+    def test_type_error_on_foreign_operand(self, ref):
+        a = pg.as_tensor(np.array([1.0]), device=ref)
+        with pytest.raises(TypeError):
+            a + [1.0]
+
+    def test_transpose(self, ref):
+        a = pg.as_tensor(np.ones((2, 3)), device=ref)
+        assert a.T.shape == (3, 2)
+
+    def test_item(self, ref):
+        t = pg.as_tensor(np.array([[42.0]]), device=ref)
+        assert t.item() == 42.0
+        with pytest.raises(GinkgoError):
+            pg.as_tensor(np.ones(3), device=ref).item()
+
+    def test_getitem(self, ref):
+        t = pg.as_tensor(np.arange(4.0), device=ref)
+        assert t[2, 0] == 2.0
+
+    def test_len(self, ref):
+        assert len(pg.as_tensor(np.ones(6), device=ref)) == 6
+
+    def test_astype(self, ref):
+        t = pg.as_tensor(np.ones(3), device=ref).astype("float")
+        assert t.dtype == np.float32
+
+
+class TestDeviceSemantics:
+    def test_device_tensor_blocks_buffer_protocol(self, cuda):
+        t = pg.as_tensor(np.ones(4), device=cuda)
+        with pytest.raises(ExecutorMismatch):
+            np.asarray(t)
+
+    def test_numpy_copies_from_device(self, cuda):
+        t = pg.as_tensor(np.arange(4.0), device=cuda)
+        np.testing.assert_array_equal(t.numpy().ravel(), np.arange(4.0))
+
+    def test_to_device_and_back(self, ref, cuda):
+        t = pg.as_tensor(np.arange(4.0), device=ref)
+        gpu = t.to(cuda)
+        back = gpu.to(ref)
+        np.testing.assert_array_equal(np.asarray(back), np.asarray(t))
+
+    def test_to_same_device_returns_self(self, ref):
+        t = pg.as_tensor(np.ones(2), device=ref)
+        assert t.to(ref) is t
+
+    def test_to_accepts_device_names(self, ref):
+        t = pg.as_tensor(np.ones(2), device=ref)
+        assert t.to("cuda").device.name == "cuda"
+
+    def test_transfer_charges_clocks(self, ref, cuda):
+        t = pg.as_tensor(np.ones(1 << 16), device=ref)
+        before = cuda.clock.now
+        t.to(cuda)
+        assert cuda.clock.now > before
+
+    def test_clone_independent(self, ref):
+        t = pg.as_tensor(np.zeros(3), device=ref)
+        c = t.clone().fill_(9.0)
+        assert not np.asarray(t).any()
+        assert np.asarray(c).min() == 9.0

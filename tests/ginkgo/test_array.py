@@ -1,0 +1,75 @@
+"""gko::array-equivalent tests."""
+
+import numpy as np
+import pytest
+
+from repro.ginkgo import Array, ExecutorMismatch
+from repro.ginkgo.exceptions import GinkgoError
+
+
+class TestArray:
+    def test_construction_copies(self, ref):
+        src = np.arange(5, dtype=np.float64)
+        arr = Array(ref, src)
+        src[0] = 99
+        assert arr.view()[0] == 0
+
+    def test_requires_executor(self):
+        with pytest.raises(GinkgoError, match="Executor"):
+            Array("not an executor", [1, 2, 3])
+
+    def test_flattens_to_1d(self, ref):
+        arr = Array(ref, np.zeros((2, 3)))
+        assert arr.size == 6
+
+    def test_empty_and_full(self, ref):
+        arr = Array.empty(ref, 7, np.int32)
+        assert arr.size == 7
+        assert arr.dtype == np.int32
+        full = Array.full(ref, 4, 2.5, np.float64)
+        np.testing.assert_array_equal(full.view(), [2.5] * 4)
+
+    def test_view_zero_copy_on_host(self, ref):
+        arr = Array(ref, np.arange(5, dtype=np.float64))
+        view = arr.view()
+        view[0] = 42
+        assert np.asarray(arr)[0] == 42
+
+    def test_view_forbidden_on_device(self, cuda):
+        arr = Array(cuda, np.arange(5, dtype=np.float64))
+        with pytest.raises(ExecutorMismatch):
+            arr.view()
+        with pytest.raises(ExecutorMismatch):
+            np.asarray(arr)
+
+    def test_to_numpy_works_on_device(self, cuda):
+        arr = Array(cuda, np.arange(5, dtype=np.float64))
+        np.testing.assert_array_equal(arr.to_numpy(), np.arange(5))
+
+    def test_copy_to_device_and_back(self, ref, cuda):
+        arr = Array(ref, np.arange(8, dtype=np.float32))
+        on_gpu = arr.copy_to(cuda)
+        assert on_gpu.executor is cuda
+        back = on_gpu.copy_to(ref)
+        np.testing.assert_array_equal(back.view(), np.arange(8))
+
+    def test_clone_is_independent(self, ref):
+        arr = Array(ref, np.arange(5, dtype=np.float64))
+        clone = arr.clone()
+        clone.view()[0] = 99
+        assert arr.view()[0] == 0
+
+    def test_fill(self, ref):
+        arr = Array.empty(ref, 5, np.float64)
+        arr.fill(3.0)
+        np.testing.assert_array_equal(arr.view(), [3.0] * 5)
+
+    def test_len_and_nbytes(self, ref):
+        arr = Array(ref, np.zeros(10, dtype=np.float64))
+        assert len(arr) == 10
+        assert arr.nbytes == 80
+
+    def test_array_dtype_conversion(self, ref):
+        arr = Array(ref, np.arange(3, dtype=np.float64))
+        as32 = np.asarray(arr, dtype=np.float32)
+        assert as32.dtype == np.float32

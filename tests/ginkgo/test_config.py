@@ -1,0 +1,150 @@
+"""Config-solver tests: parsing, validation, end-to-end solving."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.ginkgo.config import ConfigError, parse, parse_json, validate
+from repro.ginkgo.config.parser import to_json
+from repro.ginkgo.matrix import Csr, Dense
+from repro.ginkgo.solver import Direct, Gmres
+from repro.ginkgo.solver.cg import CgSolver
+
+LISTING2 = {
+    "type": "solver::Gmres",
+    "krylov_dim": 30,
+    "preconditioner": {
+        "type": "preconditioner::Jacobi",
+        "max_block_size": 1,
+    },
+    "criteria": [
+        {"type": "stop::Iteration", "max_iters": 1000},
+        {"type": "stop::ResidualNorm", "reduction_factor": 1e-6},
+    ],
+}
+
+
+class TestValidate:
+    def test_listing2_is_valid(self):
+        validate(LISTING2)
+
+    def test_missing_type(self):
+        with pytest.raises(ConfigError, match="missing required key 'type'"):
+            validate({"criteria": []})
+
+    def test_unknown_solver(self):
+        with pytest.raises(ConfigError, match="unknown solver type"):
+            validate({"type": "solver::QMR"})
+
+    def test_unknown_solver_parameter(self):
+        with pytest.raises(ConfigError, match="unknown parameter"):
+            validate({"type": "solver::Cg", "krylov_dim": 30})
+
+    def test_unknown_preconditioner(self):
+        with pytest.raises(ConfigError, match="preconditioner"):
+            validate({"type": "solver::Cg",
+                      "preconditioner": {"type": "preconditioner::AMG"}})
+
+    def test_unknown_preconditioner_parameter(self):
+        with pytest.raises(ConfigError, match="unknown parameter"):
+            validate({
+                "type": "solver::Cg",
+                "preconditioner": {
+                    "type": "preconditioner::Jacobi", "fill_in": 2,
+                },
+            })
+
+    def test_criteria_must_be_list_or_dict(self):
+        with pytest.raises(ConfigError, match="list"):
+            validate({"type": "solver::Cg", "criteria": "10 iterations"})
+
+    def test_unknown_criterion(self):
+        with pytest.raises(ConfigError, match="criterion"):
+            validate({"type": "solver::Cg",
+                      "criteria": [{"type": "stop::Energy"}]})
+
+    def test_criterion_parameter_checked(self):
+        with pytest.raises(ConfigError, match=r"criteria\[0\]"):
+            validate({
+                "type": "solver::Cg",
+                "criteria": [{"type": "stop::Iteration", "iters": 5}],
+            })
+
+    def test_error_reports_path(self):
+        with pytest.raises(ConfigError) as err:
+            validate({
+                "type": "solver::Gmres",
+                "criteria": [
+                    {"type": "stop::Iteration", "max_iters": 10},
+                    {"type": "stop::ResidualNorm", "factor": 1e-6},
+                ],
+            })
+        assert "criteria[1]" in str(err.value)
+
+    def test_bad_value_type(self):
+        with pytest.raises(ConfigError, match="value type"):
+            validate({"type": "solver::Cg", "value_type": "quad"})
+
+    def test_aliases_accepted(self):
+        validate({"type": "gmres", "krylov_dim": 10})
+        validate({"type": "cg", "preconditioner": {"type": "jacobi"}})
+
+
+class TestParse:
+    def test_listing2_produces_gmres_factory(self, ref):
+        factory = parse(ref, LISTING2)
+        assert isinstance(factory, Gmres)
+        assert factory.params["krylov_dim"] == 30
+
+    def test_end_to_end_solve(self, ref, spd_small, rng):
+        factory = parse(ref, LISTING2)
+        mtx = Csr.from_scipy(ref, spd_small)
+        solver = factory.generate(mtx)
+        xstar = rng.standard_normal((spd_small.shape[0], 1))
+        x = Dense.zeros(ref, (spd_small.shape[0], 1), np.float64)
+        solver.apply(Dense(ref, spd_small @ xstar), x)
+        assert solver.converged
+        np.testing.assert_allclose(np.asarray(x), xstar, atol=1e-4)
+
+    def test_alias_type(self, ref):
+        factory = parse(ref, {"type": "cg"})
+        assert isinstance(factory.generate.__self__, type(factory))
+        assert factory.solver_class is CgSolver
+
+    def test_direct_solver_config(self, ref, general_small, rng):
+        factory = parse(ref, {"type": "solver::Direct"})
+        assert isinstance(factory, Direct)
+        solver = factory.generate(Csr.from_scipy(ref, general_small))
+        xstar = rng.standard_normal((general_small.shape[0], 1))
+        x = Dense.zeros(ref, (general_small.shape[0], 1), np.float64)
+        solver.apply(Dense(ref, general_small @ xstar), x)
+        np.testing.assert_allclose(np.asarray(x), xstar, atol=1e-9)
+
+    def test_single_criterion_dict(self, ref):
+        factory = parse(
+            ref,
+            {"type": "cg", "criteria": {"type": "stop::Iteration",
+                                        "max_iters": 7}},
+        )
+        assert factory.criteria.max_iters == 7
+
+    def test_invalid_config_raises_before_building(self, ref):
+        with pytest.raises(ConfigError):
+            parse(ref, {"type": "cg", "bogus": True})
+
+
+class TestJson:
+    def test_parse_json_roundtrip(self, ref):
+        factory = parse_json(ref, json.dumps(LISTING2))
+        assert isinstance(factory, Gmres)
+
+    def test_parse_json_invalid(self, ref):
+        with pytest.raises(ConfigError, match="invalid JSON"):
+            parse_json(ref, "{not json")
+
+    def test_to_json_validates(self):
+        text = to_json(LISTING2)
+        assert json.loads(text)["type"] == "solver::Gmres"
+        with pytest.raises(ConfigError):
+            to_json({"type": "solver::Nope"})

@@ -1,0 +1,196 @@
+"""Dense matrix/vector tests."""
+
+import numpy as np
+import pytest
+
+from repro.ginkgo import DimensionMismatch, ExecutorMismatch
+from repro.ginkgo.matrix import Dense
+
+
+class TestConstruction:
+    def test_1d_becomes_column(self, ref):
+        d = Dense(ref, np.arange(5.0))
+        assert d.shape == (5, 1)
+
+    def test_zeros_full_empty(self, ref):
+        z = Dense.zeros(ref, (3, 2), np.float64)
+        assert not np.asarray(z).any()
+        f = Dense.full(ref, (2, 2), 7.0, np.float32)
+        assert np.asarray(f).min() == 7.0
+        e = Dense.empty(ref, (4, 1), np.float64)
+        assert e.shape == (4, 1)
+
+    def test_3d_rejected(self, ref):
+        with pytest.raises(Exception):
+            Dense(ref, np.zeros((2, 2, 2)))
+
+    def test_construction_copies_input(self, ref):
+        src = np.ones((2, 2))
+        d = Dense(ref, src)
+        src[0, 0] = 5
+        assert np.asarray(d)[0, 0] == 1
+
+
+class TestBlas1:
+    def test_fill(self, ref):
+        d = Dense.zeros(ref, (3, 1), np.float64).fill(2.5)
+        np.testing.assert_array_equal(np.asarray(d), 2.5)
+
+    def test_scale_scalar(self, ref):
+        d = Dense(ref, np.arange(4.0)).scale(2.0)
+        np.testing.assert_array_equal(np.asarray(d).ravel(), [0, 2, 4, 6])
+
+    def test_scale_per_column(self, ref):
+        d = Dense(ref, np.ones((2, 3)))
+        d.scale(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_array_equal(np.asarray(d), [[1, 2, 3], [1, 2, 3]])
+
+    def test_inv_scale(self, ref):
+        d = Dense(ref, np.full((3, 1), 6.0)).inv_scale(2.0)
+        np.testing.assert_array_equal(np.asarray(d), 3.0)
+
+    def test_inv_scale_zero_raises(self, ref):
+        with pytest.raises(ZeroDivisionError):
+            Dense(ref, np.ones((2, 1))).inv_scale(0.0)
+
+    def test_add_scaled(self, ref):
+        x = Dense(ref, np.ones((3, 1)))
+        y = Dense(ref, np.full((3, 1), 2.0))
+        x.add_scaled(3.0, y)
+        np.testing.assert_array_equal(np.asarray(x), 7.0)
+
+    def test_sub_scaled(self, ref):
+        x = Dense(ref, np.full((3, 1), 10.0))
+        y = Dense(ref, np.ones((3, 1)))
+        x.sub_scaled(4.0, y)
+        np.testing.assert_array_equal(np.asarray(x), 6.0)
+
+    def test_add_scaled_shape_mismatch(self, ref):
+        x = Dense(ref, np.ones((3, 1)))
+        y = Dense(ref, np.ones((4, 1)))
+        with pytest.raises(DimensionMismatch):
+            x.add_scaled(1.0, y)
+
+    def test_add_scaled_executor_mismatch(self, ref, cuda):
+        x = Dense(ref, np.ones((3, 1)))
+        y = Dense(cuda, np.ones((3, 1)))
+        with pytest.raises(ExecutorMismatch):
+            x.add_scaled(1.0, y)
+
+    def test_scalar_as_1x1_dense(self, ref):
+        alpha = Dense(ref, np.array([[2.0]]))
+        x = Dense(ref, np.ones((3, 1)))
+        x.scale(alpha)
+        np.testing.assert_array_equal(np.asarray(x), 2.0)
+
+    def test_copy_values_from(self, ref):
+        x = Dense.zeros(ref, (3, 1), np.float64)
+        y = Dense(ref, np.arange(3.0))
+        x.copy_values_from(y)
+        np.testing.assert_array_equal(np.asarray(x), np.asarray(y))
+
+
+class TestReductions:
+    def test_compute_dot(self, ref):
+        x = Dense(ref, np.array([[1.0], [2.0], [3.0]]))
+        y = Dense(ref, np.array([[4.0], [5.0], [6.0]]))
+        assert x.compute_dot(y)[0] == pytest.approx(32.0)
+
+    def test_compute_dot_per_column(self, ref):
+        x = Dense(ref, np.array([[1.0, 2.0], [3.0, 4.0]]))
+        result = x.compute_dot(x)
+        np.testing.assert_allclose(result, [10.0, 20.0])
+
+    def test_compute_norm2(self, ref):
+        x = Dense(ref, np.array([[3.0], [4.0]]))
+        assert x.compute_norm2()[0] == pytest.approx(5.0)
+
+    def test_compute_norm1(self, ref):
+        x = Dense(ref, np.array([[-3.0], [4.0]]))
+        assert x.compute_norm1()[0] == pytest.approx(7.0)
+
+    def test_reductions_charge_the_clock(self, ref):
+        x = Dense(ref, np.ones((1000, 1)))
+        before = ref.clock.now
+        x.compute_norm2()
+        assert ref.clock.now > before
+
+
+class TestStructure:
+    def test_transpose(self, ref):
+        d = Dense(ref, np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]]))
+        t = d.transpose()
+        assert t.shape == (2, 3)
+        np.testing.assert_array_equal(np.asarray(t), np.asarray(d).T)
+
+    def test_column(self, ref):
+        d = Dense(ref, np.array([[1.0, 2.0], [3.0, 4.0]]))
+        np.testing.assert_array_equal(
+            np.asarray(d.column(1)).ravel(), [2.0, 4.0]
+        )
+        with pytest.raises(IndexError):
+            d.column(5)
+
+    def test_row_slice(self, ref):
+        d = Dense(ref, np.arange(12.0).reshape(4, 3))
+        s = d.row_slice(1, 3)
+        np.testing.assert_array_equal(np.asarray(s), np.arange(12.0).reshape(4, 3)[1:3])
+        with pytest.raises(IndexError):
+            d.row_slice(3, 10)
+
+    def test_astype(self, ref):
+        d = Dense(ref, np.arange(3.0)).astype(np.float32)
+        assert d.dtype == np.float32
+
+    def test_at_reads_entries(self, ref):
+        d = Dense(ref, np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert d.at(1, 1) == 4.0
+
+    def test_at_on_device_synchronises(self, cuda):
+        d = Dense(cuda, np.array([[1.0]]))
+        before = cuda.clock.now
+        assert d.at(0, 0) == 1.0
+        assert cuda.clock.now > before
+
+
+class TestApply:
+    def test_dense_matvec(self, ref, rng):
+        a = rng.standard_normal((6, 4))
+        b = rng.standard_normal((4, 2))
+        op = Dense(ref, a)
+        x = Dense.zeros(ref, (6, 2), np.float64)
+        op.apply(Dense(ref, b), x)
+        np.testing.assert_allclose(np.asarray(x), a @ b)
+
+    def test_advanced_apply(self, ref, rng):
+        a = rng.standard_normal((4, 4))
+        b = rng.standard_normal((4, 1))
+        x0 = rng.standard_normal((4, 1))
+        op = Dense(ref, a)
+        x = Dense(ref, x0)
+        op.apply_advanced(2.0, Dense(ref, b), 0.5, x)
+        np.testing.assert_allclose(np.asarray(x), 2.0 * (a @ b) + 0.5 * x0)
+
+    def test_apply_validates_dims(self, ref):
+        op = Dense(ref, np.ones((3, 4)))
+        bad_b = Dense.zeros(ref, (3, 1), np.float64)
+        x = Dense.zeros(ref, (3, 1), np.float64)
+        with pytest.raises(DimensionMismatch):
+            op.apply(bad_b, x)
+
+
+class TestDeviceSemantics:
+    def test_view_blocked_on_device(self, cuda):
+        d = Dense(cuda, np.ones((2, 2)))
+        with pytest.raises(ExecutorMismatch):
+            d.view()
+
+    def test_to_numpy_from_device(self, cuda):
+        d = Dense(cuda, np.arange(4.0).reshape(2, 2))
+        np.testing.assert_array_equal(d.to_numpy(), np.arange(4.0).reshape(2, 2))
+
+    def test_copy_to(self, ref, cuda):
+        d = Dense(ref, np.arange(4.0).reshape(2, 2))
+        on_gpu = d.copy_to(cuda)
+        assert on_gpu.executor is cuda
+        np.testing.assert_array_equal(on_gpu.to_numpy(), np.asarray(d))

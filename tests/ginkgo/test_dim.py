@@ -1,0 +1,61 @@
+"""Dim tests."""
+
+import pytest
+
+from repro.ginkgo import BadDimension, Dim
+
+
+class TestDim:
+    def test_square_shorthand(self):
+        assert Dim(5) == Dim(5, 5)
+
+    def test_indexing_and_iteration(self):
+        d = Dim(3, 7)
+        assert d[0] == 3
+        assert d[1] == 7
+        assert tuple(d) == (3, 7)
+        assert len(d) == 2
+        with pytest.raises(IndexError):
+            d[2]
+
+    def test_equality_with_tuples(self):
+        assert Dim(3, 7) == (3, 7)
+        assert Dim(3, 7) != (7, 3)
+
+    def test_hashable(self):
+        assert len({Dim(2, 3), Dim(2, 3), Dim(3, 2)}) == 2
+
+    def test_truthiness(self):
+        assert Dim(1, 1)
+        assert not Dim(0, 5)
+        assert not Dim(5, 0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(BadDimension):
+            Dim(-1, 2)
+
+    def test_composition(self):
+        assert Dim(3, 4) * Dim(4, 5) == Dim(3, 5)
+
+    def test_composition_mismatch(self):
+        with pytest.raises(BadDimension):
+            Dim(3, 4) * Dim(5, 6)
+
+    def test_transposed(self):
+        assert Dim(3, 4).transposed == Dim(4, 3)
+
+    def test_is_square(self):
+        assert Dim(4).is_square
+        assert not Dim(3, 4).is_square
+
+    def test_num_elements(self):
+        assert Dim(3, 4).num_elements == 12
+
+    def test_of_coercion(self):
+        assert Dim.of(5) == Dim(5, 5)
+        assert Dim.of((2, 3)) == Dim(2, 3)
+        assert Dim.of([2, 3]) == Dim(2, 3)
+        d = Dim(2, 3)
+        assert Dim.of(d) is d
+        with pytest.raises(BadDimension):
+            Dim.of("bad")

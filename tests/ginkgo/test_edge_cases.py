@@ -1,0 +1,169 @@
+"""Edge cases and failure injection across the engine."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.ginkgo import AllocationError, Dim
+from repro.ginkgo.matrix import Coo, Csr, Dense
+from repro.ginkgo.solver import Cg, Gmres
+from repro.ginkgo.stop import Iteration, ResidualNorm
+
+
+class TestDegenerateSizes:
+    def test_one_by_one_system(self, ref):
+        mtx = Csr.from_scipy(ref, sp.csr_matrix(np.array([[4.0]])))
+        solver = Cg(
+            ref, criteria=Iteration(10) | ResidualNorm(1e-12)
+        ).generate(mtx)
+        x = Dense.zeros(ref, (1, 1), np.float64)
+        solver.apply(Dense(ref, np.array([[8.0]])), x)
+        assert np.asarray(x)[0, 0] == pytest.approx(2.0)
+
+    def test_empty_sparse_matrix(self, ref):
+        empty = sp.csr_matrix((4, 4))
+        mtx = Csr.from_scipy(ref, empty)
+        assert mtx.nnz == 0
+        x = Dense.zeros(ref, (4, 1), np.float64)
+        mtx.apply(Dense(ref, np.ones((4, 1))), x)
+        assert not np.asarray(x).any()
+
+    def test_empty_coo(self, ref):
+        mtx = Coo(
+            ref, Dim(3, 3),
+            np.array([], dtype=np.int32),
+            np.array([], dtype=np.int32),
+            np.array([], dtype=np.float64),
+        )
+        assert mtx.nnz == 0
+        assert mtx.density == 0.0
+
+    def test_zero_rhs_converges_immediately(self, ref, spd_small):
+        mtx = Csr.from_scipy(ref, spd_small)
+        solver = Cg(
+            ref, criteria=Iteration(100) | ResidualNorm(1e-10)
+        ).generate(mtx)
+        b = Dense.zeros(ref, (spd_small.shape[0], 1), np.float64)
+        x = Dense.zeros(ref, (spd_small.shape[0], 1), np.float64)
+        solver.apply(b, x)
+        assert solver.num_iterations == 0
+        assert not np.asarray(x).any()
+
+    def test_single_column_dense_reductions(self, ref):
+        v = Dense(ref, np.zeros((5, 1)))
+        assert v.compute_norm2()[0] == 0.0
+        assert v.compute_dot(v)[0] == 0.0
+
+    def test_dim_zero(self):
+        d = Dim(0, 5)
+        assert not d
+        assert d.num_elements == 0
+
+
+class TestBreakdownPaths:
+    def test_gmres_on_identity_converges_in_one(self, ref):
+        from repro.ginkgo.lin_op import Identity
+
+        op = Identity(ref, 10)
+        solver = Gmres(
+            ref, criteria=Iteration(50) | ResidualNorm(1e-12)
+        ).generate(op)
+        b = Dense(ref, np.arange(1.0, 11.0).reshape(-1, 1))
+        x = Dense.zeros(ref, (10, 1), np.float64)
+        solver.apply(b, x)
+        assert solver.converged
+        assert solver.num_iterations <= 2
+        np.testing.assert_allclose(np.asarray(x), np.asarray(b))
+
+    def test_cg_breakdown_on_singular_matrix_stops(self, ref):
+        # A singular SPD-semidefinite matrix: CG must not crash or loop.
+        singular = sp.csr_matrix(np.diag([1.0, 1.0, 0.0]))
+        mtx = Csr.from_scipy(ref, singular)
+        solver = Cg(ref, criteria=Iteration(20)).generate(mtx)
+        b = Dense(ref, np.array([[1.0], [1.0], [1.0]]))
+        x = Dense.zeros(ref, (3, 1), np.float64)
+        solver.apply(b, x)  # must terminate
+        assert solver.num_iterations <= 20
+
+    def test_scale_by_zero_zeroes(self, ref):
+        v = Dense(ref, np.ones((4, 1)))
+        v.scale(0.0)
+        assert not np.asarray(v).any()
+
+
+class TestDeviceFailureInjection:
+    def test_oom_on_matrix_creation(self, cuda):
+        # A matrix bigger than the A100's 40 GB must fail cleanly without
+        # actually allocating host RAM for the attempt.
+        huge_nnz = int(3e9)  # ~36 GB of values alone at fp64... simulated
+        with pytest.raises(AllocationError):
+            cuda._track_alloc(huge_nnz * 16)
+
+    def test_partial_allocation_rolls_up_accounting(self, cuda):
+        before = cuda.bytes_allocated
+        buf = cuda.alloc((1000,), np.float64)
+        cuda.free(buf)
+        assert cuda.bytes_allocated == before
+
+    def test_clock_monotone_across_mixed_operations(self, cuda, rng):
+        mtx = Csr.from_scipy(
+            cuda, sp.random(200, 200, density=0.05,
+                            random_state=rng, format="csr")
+        )
+        stamps = [cuda.clock.now]
+        b = Dense(cuda, rng.standard_normal((200, 1)))
+        x = Dense.zeros(cuda, (200, 1), np.float64)
+        for _ in range(5):
+            mtx.apply(b, x)
+            stamps.append(cuda.clock.now)
+        assert all(a < b for a, b in zip(stamps, stamps[1:]))
+
+
+class TestMultiColumnEdgeCases:
+    def test_wide_rhs_block(self, ref, spd_small, rng):
+        # More right-hand sides than a warp: still correct.
+        k = 40
+        mtx = Csr.from_scipy(ref, spd_small)
+        xstar = rng.standard_normal((spd_small.shape[0], k))
+        solver = Cg(
+            ref, criteria=Iteration(500) | ResidualNorm(1e-10)
+        ).generate(mtx)
+        x = Dense.zeros(ref, (spd_small.shape[0], k), np.float64)
+        solver.apply(Dense(ref, spd_small @ xstar), x)
+        np.testing.assert_allclose(np.asarray(x), xstar, atol=1e-6)
+
+    def test_columns_converge_independently(self, ref, spd_small, rng):
+        # One easy column (zero RHS) and one hard column: the residual
+        # criterion requires all columns below threshold.
+        mtx = Csr.from_scipy(ref, spd_small)
+        xstar = rng.standard_normal((spd_small.shape[0], 1))
+        b = np.hstack([np.zeros_like(xstar), spd_small @ xstar])
+        solver = Cg(
+            ref, criteria=Iteration(500) | ResidualNorm(1e-10)
+        ).generate(mtx)
+        x = Dense.zeros(ref, b.shape, np.float64)
+        solver.apply(Dense(ref, b), x)
+        np.testing.assert_allclose(np.asarray(x)[:, 0], 0.0, atol=1e-8)
+        np.testing.assert_allclose(
+            np.asarray(x)[:, 1:], xstar, atol=1e-6
+        )
+
+
+class TestMixedPrecisionPaths:
+    def test_fp32_matrix_fp64_vectors(self, ref, spd_small, rng):
+        # Mixed-precision apply: fp32 matrix values, fp64 vectors.
+        mtx32 = Csr.from_scipy(ref, spd_small, value_dtype=np.float32)
+        b = rng.standard_normal((spd_small.shape[0], 1))
+        x = Dense.zeros(ref, b.shape, np.float64)
+        mtx32.apply(Dense(ref, b), x)
+        np.testing.assert_allclose(
+            np.asarray(x), spd_small @ b, rtol=1e-5, atol=1e-5
+        )
+
+    def test_half_vector_ops_round_correctly(self, ref):
+        v = Dense(ref, np.ones((100, 1), dtype=np.float16))
+        v.scale(3.0)
+        v.add_scaled(0.5, Dense(ref, np.full((100, 1), 2.0, np.float16)))
+        np.testing.assert_allclose(
+            np.asarray(v).astype(np.float64), 4.0, atol=1e-2
+        )

@@ -1,0 +1,113 @@
+"""Executor tests: creation, memory spaces, copies, clocks."""
+
+import numpy as np
+import pytest
+
+from repro.ginkgo import (
+    AllocationError,
+    CudaExecutor,
+    HipExecutor,
+    OmpExecutor,
+    ReferenceExecutor,
+)
+from repro.ginkgo.exceptions import GinkgoError
+
+
+class TestCreation:
+    def test_direct_construction_forbidden(self):
+        # Mirrors Ginkgo's protected constructors (paper section 4.1).
+        with pytest.raises(TypeError, match="create"):
+            ReferenceExecutor()
+
+    def test_create_factory_works_for_all(self):
+        for cls in (ReferenceExecutor, OmpExecutor, CudaExecutor, HipExecutor):
+            assert isinstance(cls.create(noisy=False), cls)
+
+    def test_names(self):
+        assert ReferenceExecutor.create().name == "reference"
+        assert OmpExecutor.create().name == "omp"
+        assert CudaExecutor.create().name == "cuda"
+        assert HipExecutor.create().name == "hip"
+
+    def test_host_flags(self):
+        assert ReferenceExecutor.create().is_host
+        assert OmpExecutor.create().is_host
+        assert not CudaExecutor.create().is_host
+        assert not HipExecutor.create().is_host
+
+    def test_gpu_has_master_host_executor(self):
+        cuda = CudaExecutor.create()
+        assert cuda.get_master().is_host
+        ref = ReferenceExecutor.create()
+        assert ref.get_master() is ref
+
+    def test_omp_thread_validation(self):
+        with pytest.raises(GinkgoError):
+            OmpExecutor.create(num_threads=0)
+
+    def test_device_specs(self):
+        assert "A100" in CudaExecutor.create().spec.name
+        assert "MI100" in HipExecutor.create().spec.name
+
+
+class TestMemory:
+    def test_alloc_tracks_bytes(self, ref):
+        before = ref.bytes_allocated
+        buf = ref.alloc((100,), np.float64)
+        assert ref.bytes_allocated == before + buf.nbytes
+        assert ref.allocation_count >= 1
+
+    def test_alloc_zero_initialised(self, ref):
+        assert not ref.alloc((50,), np.float64).any()
+
+    def test_free_returns_bytes(self, ref):
+        buf = ref.alloc((100,), np.float64)
+        used = ref.bytes_allocated
+        ref.free(buf)
+        assert ref.bytes_allocated == used - buf.nbytes
+
+    def test_peak_tracking(self, ref):
+        buf = ref.alloc((1000,), np.float64)
+        ref.free(buf)
+        assert ref.peak_bytes_allocated >= buf.nbytes
+
+    def test_out_of_memory_raises(self, cuda):
+        # The A100 spec has 40 GB; a 50 GB request must fail without
+        # actually allocating host RAM.
+        with pytest.raises(AllocationError, match="failed to allocate"):
+            cuda._track_alloc(int(50e9))
+
+
+class TestDataMovement:
+    def test_host_to_device_roundtrip(self, ref, cuda):
+        data = np.arange(10, dtype=np.float64)
+        on_device = cuda.copy_from(ref, data)
+        back = ref.copy_from(cuda, on_device)
+        np.testing.assert_array_equal(back, data)
+
+    def test_copy_is_a_copy(self, ref):
+        data = np.arange(10, dtype=np.float64)
+        copied = ref.copy_from(ref, data)
+        copied[0] = 99
+        assert data[0] == 0
+
+    def test_pcie_transfer_advances_both_clocks(self, ref, cuda):
+        data = np.zeros(1 << 20)
+        t_ref, t_cuda = ref.clock.now, cuda.clock.now
+        cuda.copy_from(ref, data)
+        assert cuda.clock.now > t_cuda
+        assert ref.clock.now > t_ref
+
+    def test_larger_transfers_take_longer(self, ref, cuda):
+        t0 = cuda.clock.now
+        cuda.copy_from(ref, np.zeros(1 << 10))
+        small = cuda.clock.now - t0
+        t0 = cuda.clock.now
+        cuda.copy_from(ref, np.zeros(1 << 24))
+        large = cuda.clock.now - t0
+        assert large > 10 * small
+
+    def test_synchronize_advances_clock(self, cuda):
+        before = cuda.clock.now
+        cuda.synchronize()
+        assert cuda.clock.now > before

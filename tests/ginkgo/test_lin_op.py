@@ -1,0 +1,182 @@
+"""LinOp abstraction tests: validation, logging, compositions."""
+
+import numpy as np
+import pytest
+
+from repro.ginkgo import (
+    Combination,
+    Composition,
+    DimensionMismatch,
+    ExecutorMismatch,
+    Identity,
+    Perturbation,
+)
+from repro.ginkgo.log import RecordLogger
+from repro.ginkgo.matrix import Csr, Dense
+
+
+class TestValidation:
+    def test_apply_checks_b_rows(self, ref, rect_small):
+        op = Csr.from_scipy(ref, rect_small)  # 40 x 25
+        b = Dense.zeros(ref, (40, 1), np.float64)
+        x = Dense.zeros(ref, (40, 1), np.float64)
+        with pytest.raises(DimensionMismatch, match="b with 25 rows"):
+            op.apply(b, x)
+
+    def test_apply_checks_x_rows(self, ref, rect_small):
+        op = Csr.from_scipy(ref, rect_small)
+        b = Dense.zeros(ref, (25, 1), np.float64)
+        x = Dense.zeros(ref, (25, 1), np.float64)
+        with pytest.raises(DimensionMismatch, match="x with 40 rows"):
+            op.apply(b, x)
+
+    def test_apply_checks_column_agreement(self, ref, rect_small):
+        op = Csr.from_scipy(ref, rect_small)
+        b = Dense.zeros(ref, (25, 2), np.float64)
+        x = Dense.zeros(ref, (40, 3), np.float64)
+        with pytest.raises(DimensionMismatch, match="columns"):
+            op.apply(b, x)
+
+    def test_apply_checks_executors(self, ref, cuda, general_small):
+        op = Csr.from_scipy(ref, general_small)
+        b = Dense.zeros(cuda, (50, 1), np.float64)
+        x = Dense.zeros(ref, (50, 1), np.float64)
+        with pytest.raises(ExecutorMismatch):
+            op.apply(b, x)
+
+    def test_shape_alias(self, ref, rect_small):
+        assert Csr.from_scipy(ref, rect_small).shape == (40, 25)
+
+
+class TestLogging:
+    def test_apply_events(self, ref, general_small, rng):
+        op = Csr.from_scipy(ref, general_small)
+        logger = RecordLogger()
+        op.add_logger(logger)
+        b = Dense(ref, rng.standard_normal((50, 1)))
+        x = Dense.zeros(ref, (50, 1), np.float64)
+        op.apply(b, x)
+        assert logger.count("apply_started") == 1
+        assert logger.count("apply_completed") == 1
+
+    def test_remove_logger(self, ref, general_small, rng):
+        op = Csr.from_scipy(ref, general_small)
+        logger = RecordLogger()
+        op.add_logger(logger)
+        op.remove_logger(logger)
+        assert logger not in op.loggers
+        b = Dense(ref, rng.standard_normal((50, 1)))
+        op.apply(b, Dense.zeros(ref, (50, 1), np.float64))
+        assert logger.count("apply_started") == 0
+
+
+class TestIdentity:
+    def test_apply_copies(self, ref, rng):
+        op = Identity(ref, 5)
+        b = Dense(ref, rng.standard_normal((5, 1)))
+        x = Dense.zeros(ref, (5, 1), np.float64)
+        op.apply(b, x)
+        np.testing.assert_array_equal(np.asarray(x), np.asarray(b))
+
+    def test_advanced_apply(self, ref, rng):
+        op = Identity(ref, 5)
+        b_np = rng.standard_normal((5, 1))
+        x_np = rng.standard_normal((5, 1))
+        x = Dense(ref, x_np)
+        op.apply_advanced(2.0, Dense(ref, b_np), 3.0, x)
+        np.testing.assert_allclose(np.asarray(x), 2 * b_np + 3 * x_np)
+
+    def test_rejects_rectangular(self, ref):
+        with pytest.raises(DimensionMismatch):
+            Identity(ref, (3, 4))
+
+
+class TestComposition:
+    def test_two_operator_product(self, ref, rng):
+        a = Dense(ref, rng.standard_normal((4, 3)))
+        b = Dense(ref, rng.standard_normal((3, 5)))
+        comp = Composition(a, b)
+        assert comp.size == (4, 5)
+        v = rng.standard_normal((5, 1))
+        x = Dense.zeros(ref, (4, 1), np.float64)
+        comp.apply(Dense(ref, v), x)
+        np.testing.assert_allclose(
+            np.asarray(x), np.asarray(a) @ (np.asarray(b) @ v)
+        )
+
+    def test_three_operator_product(self, ref, rng):
+        mats = [rng.standard_normal((4, 4)) for _ in range(3)]
+        comp = Composition(*[Dense(ref, m) for m in mats])
+        v = rng.standard_normal((4, 1))
+        x = Dense.zeros(ref, (4, 1), np.float64)
+        comp.apply(Dense(ref, v), x)
+        np.testing.assert_allclose(
+            np.asarray(x), mats[0] @ mats[1] @ mats[2] @ v
+        )
+
+    def test_dimension_mismatch_rejected(self, ref, rng):
+        a = Dense(ref, rng.standard_normal((4, 3)))
+        b = Dense(ref, rng.standard_normal((5, 5)))
+        with pytest.raises(Exception):
+            Composition(a, b)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Composition()
+
+    def test_advanced_apply(self, ref, rng):
+        a = Dense(ref, rng.standard_normal((3, 3)))
+        b = Dense(ref, rng.standard_normal((3, 3)))
+        comp = Composition(a, b)
+        v = rng.standard_normal((3, 1))
+        x0 = rng.standard_normal((3, 1))
+        x = Dense(ref, x0)
+        comp.apply_advanced(2.0, Dense(ref, v), 0.5, x)
+        np.testing.assert_allclose(
+            np.asarray(x),
+            2.0 * (np.asarray(a) @ np.asarray(b) @ v) + 0.5 * x0,
+        )
+
+
+class TestCombination:
+    def test_linear_combination(self, ref, rng):
+        a_np = rng.standard_normal((4, 4))
+        b_np = rng.standard_normal((4, 4))
+        comb = Combination([2.0, -1.0], [Dense(ref, a_np), Dense(ref, b_np)])
+        v = rng.standard_normal((4, 1))
+        x = Dense.zeros(ref, (4, 1), np.float64)
+        comb.apply(Dense(ref, v), x)
+        np.testing.assert_allclose(
+            np.asarray(x), 2.0 * (a_np @ v) - (b_np @ v)
+        )
+
+    def test_coefficient_count_mismatch(self, ref, rng):
+        op = Dense(ref, rng.standard_normal((3, 3)))
+        with pytest.raises(ValueError):
+            Combination([1.0, 2.0], [op])
+
+    def test_size_mismatch(self, ref, rng):
+        a = Dense(ref, rng.standard_normal((3, 3)))
+        b = Dense(ref, rng.standard_normal((4, 4)))
+        with pytest.raises(DimensionMismatch):
+            Combination([1.0, 1.0], [a, b])
+
+
+class TestPerturbation:
+    def test_rank_one_update(self, ref, rng):
+        n, k = 6, 2
+        basis_np = rng.standard_normal((n, k))
+        proj_np = rng.standard_normal((k, n))
+        op = Perturbation(0.5, Dense(ref, basis_np), Dense(ref, proj_np))
+        v = rng.standard_normal((n, 1))
+        x = Dense.zeros(ref, (n, 1), np.float64)
+        op.apply(Dense(ref, v), x)
+        np.testing.assert_allclose(
+            np.asarray(x), v + 0.5 * basis_np @ (proj_np @ v)
+        )
+
+    def test_shape_validation(self, ref, rng):
+        basis = Dense(ref, rng.standard_normal((6, 2)))
+        bad_proj = Dense(ref, rng.standard_normal((3, 6)))
+        with pytest.raises(DimensionMismatch):
+            Perturbation(1.0, basis, bad_proj)

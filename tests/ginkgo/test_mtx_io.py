@@ -1,0 +1,193 @@
+"""MatrixMarket I/O tests."""
+
+import io
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.ginkgo.matrix import Csr
+from repro.ginkgo.mtx_io import (
+    MtxError,
+    read_mtx,
+    read_mtx_string,
+    write_mtx,
+)
+
+
+def _roundtrip(matrix, **kwargs) -> sp.coo_matrix:
+    buf = io.StringIO()
+    write_mtx(buf, matrix, **kwargs)
+    return read_mtx_string(buf.getvalue())
+
+
+class TestRead:
+    def test_coordinate_general(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n"
+            "3 4 2\n"
+            "1 1 2.5\n"
+            "3 4 -1.0\n"
+        )
+        mat = read_mtx_string(text)
+        assert mat.shape == (3, 4)
+        assert mat.nnz == 2
+        assert mat.tocsr()[0, 0] == 2.5
+        assert mat.tocsr()[2, 3] == -1.0
+
+    def test_symmetric_expansion(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 3\n"
+            "1 1 1.0\n"
+            "2 1 5.0\n"
+            "3 3 2.0\n"
+        )
+        dense = read_mtx_string(text).toarray()
+        assert dense[0, 1] == 5.0
+        assert dense[1, 0] == 5.0
+        np.testing.assert_allclose(dense, dense.T)
+
+    def test_skew_symmetric(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 1\n"
+            "2 1 3.0\n"
+        )
+        dense = read_mtx_string(text).toarray()
+        assert dense[1, 0] == 3.0
+        assert dense[0, 1] == -3.0
+
+    def test_pattern_field(self):
+        text = (
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 2\n1 1\n2 2\n"
+        )
+        mat = read_mtx_string(text)
+        np.testing.assert_array_equal(mat.toarray(), np.eye(2))
+
+    def test_integer_field(self):
+        text = (
+            "%%MatrixMarket matrix coordinate integer general\n"
+            "2 2 1\n1 2 7\n"
+        )
+        assert read_mtx_string(text).tocsr()[0, 1] == 7
+
+    def test_array_format_column_major(self):
+        text = (
+            "%%MatrixMarket matrix array real general\n"
+            "2 2\n1.0\n2.0\n3.0\n4.0\n"
+        )
+        np.testing.assert_array_equal(
+            read_mtx_string(text).toarray(), [[1.0, 3.0], [2.0, 4.0]]
+        )
+
+    def test_array_symmetric(self):
+        text = (
+            "%%MatrixMarket matrix array real symmetric\n"
+            "2 2\n1.0\n2.0\n3.0\n"
+        )
+        np.testing.assert_array_equal(
+            read_mtx_string(text).toarray(), [[1.0, 2.0], [2.0, 3.0]]
+        )
+
+
+class TestReadErrors:
+    def test_not_matrixmarket(self):
+        with pytest.raises(MtxError, match="not a MatrixMarket"):
+            read_mtx_string("garbage\n1 1 1\n")
+
+    def test_unsupported_field(self):
+        with pytest.raises(MtxError, match="field"):
+            read_mtx_string(
+                "%%MatrixMarket matrix coordinate complex general\n1 1 1\n"
+                "1 1 1.0 0.0\n"
+            )
+
+    def test_unsupported_symmetry(self):
+        with pytest.raises(MtxError, match="symmetry"):
+            read_mtx_string(
+                "%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n"
+            )
+
+    def test_wrong_entry_count(self):
+        with pytest.raises(MtxError, match="declared 2"):
+            read_mtx_string(
+                "%%MatrixMarket matrix coordinate real general\n"
+                "2 2 2\n1 1 1.0\n"
+            )
+
+    def test_out_of_range_indices(self):
+        with pytest.raises(MtxError, match="outside"):
+            read_mtx_string(
+                "%%MatrixMarket matrix coordinate real general\n"
+                "2 2 1\n5 1 1.0\n"
+            )
+
+    def test_malformed_entry(self):
+        with pytest.raises(MtxError, match="malformed entry"):
+            read_mtx_string(
+                "%%MatrixMarket matrix coordinate real general\n"
+                "2 2 1\n1 1\n"
+            )
+
+    def test_missing_size_line(self):
+        with pytest.raises(MtxError, match="size"):
+            read_mtx_string(
+                "%%MatrixMarket matrix coordinate real general\n% only\n"
+            )
+
+
+class TestWrite:
+    def test_roundtrip_random(self, rng):
+        mat = sp.random(
+            17, 23, density=0.2, format="coo", random_state=rng
+        )
+        back = _roundtrip(mat)
+        assert (abs(mat - back)).max() < 1e-14
+
+    def test_roundtrip_preserves_precision(self):
+        mat = sp.coo_matrix(np.array([[1.0 / 3.0]]))
+        back = _roundtrip(mat)
+        assert back.toarray()[0, 0] == 1.0 / 3.0
+
+    def test_symmetric_write_halves_entries(self, rng):
+        half = sp.random(10, 10, density=0.2, format="csr", random_state=rng)
+        mat = half + half.T
+        buf = io.StringIO()
+        write_mtx(buf, mat, symmetry="symmetric")
+        assert "symmetric" in buf.getvalue().splitlines()[0]
+        back = read_mtx_string(buf.getvalue())
+        assert (abs(mat - back)).max() < 1e-14
+
+    def test_write_engine_matrix(self, ref, general_small):
+        mat = Csr.from_scipy(ref, general_small)
+        buf = io.StringIO()
+        write_mtx(buf, mat, comment="engine matrix")
+        back = read_mtx_string(buf.getvalue())
+        assert (abs(general_small - back)).max() < 1e-14
+
+    def test_write_dense_array(self):
+        buf = io.StringIO()
+        write_mtx(buf, np.array([[1.0, 0.0], [0.0, 2.0]]))
+        back = read_mtx_string(buf.getvalue())
+        np.testing.assert_array_equal(back.toarray(), [[1, 0], [0, 2]])
+
+    def test_write_to_path(self, tmp_path, rng):
+        mat = sp.random(5, 5, density=0.4, random_state=rng)
+        path = tmp_path / "out.mtx"
+        write_mtx(path, mat)
+        back = read_mtx(path)
+        assert (abs(mat - back)).max() < 1e-14
+
+    def test_invalid_symmetry(self):
+        with pytest.raises(MtxError):
+            write_mtx(io.StringIO(), np.eye(2), symmetry="hermitian")
+
+    def test_comment_written(self):
+        buf = io.StringIO()
+        write_mtx(buf, np.eye(2), comment="line one\nline two")
+        lines = buf.getvalue().splitlines()
+        assert lines[1] == "% line one"
+        assert lines[2] == "% line two"

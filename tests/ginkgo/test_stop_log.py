@@ -1,0 +1,165 @@
+"""Stopping-criterion and logger unit tests."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.ginkgo.exceptions import GinkgoError
+from repro.ginkgo.log import ConvergenceLogger, RecordLogger, StreamLogger
+from repro.ginkgo.stop import (
+    Combined,
+    CriterionContext,
+    Iteration,
+    ResidualNorm,
+    Time,
+)
+from repro.perfmodel import NVIDIA_A100, SimClock
+
+
+class TestIteration:
+    def test_stops_at_limit(self):
+        crit = Iteration(5).generate(CriterionContext())
+        assert not crit.check(4, 1.0)
+        assert crit.check(5, 1.0)
+        assert crit.check(6, 1.0)
+
+    def test_not_marked_converged(self):
+        crit = Iteration(1).generate(CriterionContext())
+        crit.check(1, 1.0)
+        assert not crit.converged
+
+    def test_negative_rejected(self):
+        with pytest.raises(GinkgoError):
+            Iteration(-1)
+
+
+class TestResidualNorm:
+    def test_rhs_norm_baseline(self):
+        context = CriterionContext(rhs_norm=10.0, initial_resnorm=100.0)
+        crit = ResidualNorm(1e-2, baseline="rhs_norm").generate(context)
+        assert not crit.check(1, 0.2)
+        assert crit.check(2, 0.05)
+        assert crit.converged
+
+    def test_initial_resnorm_baseline(self):
+        context = CriterionContext(rhs_norm=10.0, initial_resnorm=100.0)
+        crit = ResidualNorm(1e-2, baseline="initial_resnorm").generate(context)
+        assert not crit.check(1, 1.5)
+        assert crit.check(2, 0.5)
+
+    def test_absolute_baseline(self):
+        crit = ResidualNorm(1e-3, baseline="absolute").generate(
+            CriterionContext(rhs_norm=1e6)
+        )
+        assert not crit.check(1, 1e-2)
+        assert crit.check(2, 1e-4)
+
+    def test_vector_norms_require_all_columns(self):
+        context = CriterionContext(rhs_norm=np.array([1.0, 1.0]))
+        crit = ResidualNorm(1e-2).generate(context)
+        assert not crit.check(1, np.array([1e-3, 1e-1]))
+        assert crit.check(2, np.array([1e-3, 1e-3]))
+
+    def test_unknown_baseline(self):
+        with pytest.raises(GinkgoError):
+            ResidualNorm(1e-2, baseline="energy_norm")
+
+    def test_negative_factor(self):
+        with pytest.raises(GinkgoError):
+            ResidualNorm(-1.0)
+
+
+class TestTime:
+    def test_stops_after_simulated_time(self):
+        clock = SimClock(NVIDIA_A100, noisy=False)
+        context = CriterionContext(clock=clock, start_time=clock.now)
+        crit = Time(1e-3).generate(context)
+        assert not crit.check(1, 1.0)
+        clock.advance(2e-3)
+        assert crit.check(2, 1.0)
+        assert not crit.converged
+
+    def test_no_clock_never_stops(self):
+        crit = Time(1e-9).generate(CriterionContext(clock=None))
+        assert not crit.check(100, 1.0)
+
+    def test_invalid_limit(self):
+        with pytest.raises(GinkgoError):
+            Time(0.0)
+
+
+class TestCombined:
+    def test_or_semantics(self):
+        context = CriterionContext(rhs_norm=1.0)
+        combined = (Iteration(10) | ResidualNorm(1e-3)).generate(context)
+        assert not combined.check(1, 1.0)
+        assert combined.check(2, 1e-4)  # residual criterion fires
+        assert combined.converged
+
+    def test_iteration_side_does_not_set_converged(self):
+        context = CriterionContext(rhs_norm=1.0)
+        combined = (Iteration(2) | ResidualNorm(1e-12)).generate(context)
+        assert combined.check(2, 1.0)
+        assert not combined.converged
+
+    def test_pipe_flattens(self):
+        combined = Iteration(1) | ResidualNorm(1e-3) | Time(1.0)
+        assert isinstance(combined, Combined)
+        assert len(combined.factories) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(GinkgoError):
+            Combined([])
+
+
+class TestConvergenceLogger:
+    def test_reset_on_new_apply(self):
+        logger = ConvergenceLogger()
+        logger.on_iteration_complete(None, iteration=3, residual_norm=0.5)
+        logger.on_apply_started(None)
+        assert logger.num_iterations == 0
+        assert logger.residual_norms == []
+
+    def test_reduction(self):
+        logger = ConvergenceLogger()
+        logger.on_iteration_complete(None, iteration=1, residual_norm=10.0)
+        logger.on_iteration_complete(None, iteration=2, residual_norm=1.0)
+        assert logger.reduction == pytest.approx(0.1)
+
+    def test_repr_mentions_state(self):
+        logger = ConvergenceLogger()
+        logger.on_converged(None, iteration=7, residual_norm=1e-9)
+        assert "iterations=7" in repr(logger)
+        assert "converged=True" in repr(logger)
+
+
+class TestRecordLogger:
+    def test_counts(self):
+        logger = RecordLogger()
+        logger.on_iteration_complete(None, iteration=1)
+        logger.on_iteration_complete(None, iteration=2)
+        logger.on_converged(None, iteration=2)
+        assert logger.count("iteration_complete") == 2
+        assert logger.count("converged") == 1
+        assert logger.count("apply_started") == 0
+
+
+class TestStreamLogger:
+    def test_writes_iterations(self):
+        stream = io.StringIO()
+        logger = StreamLogger(stream=stream)
+        logger.on_iteration_complete(None, iteration=2, residual_norm=0.25)
+        assert "iteration 2" in stream.getvalue()
+        assert "2.5" in stream.getvalue()
+
+    def test_every_filter(self):
+        stream = io.StringIO()
+        logger = StreamLogger(stream=stream, every=10)
+        for i in range(1, 21):
+            logger.on_iteration_complete(None, iteration=i)
+        assert stream.getvalue().count("iteration") == 2
+
+    def test_invalid_every(self):
+        with pytest.raises(ValueError):
+            StreamLogger(every=0)

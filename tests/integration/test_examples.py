@@ -1,0 +1,68 @@
+"""Smoke tests: the shipped examples run end to end (reduced sizes)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _load(name: str):
+    """Import an example module by path without executing main()."""
+    sys.path.insert(0, str(EXAMPLES))
+    try:
+        module = __import__(name)
+        return module
+    finally:
+        sys.path.pop(0)
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        module = _load("quickstart")
+        module.main()
+        out = capsys.readouterr().out
+        assert "converged:            True" in out
+
+    def test_cross_device_portability(self, capsys):
+        module = _load("cross_device_portability")
+        module.main()
+        out = capsys.readouterr().out
+        assert "platform portability verified" in out
+
+    def test_poisson_heat_transfer(self, capsys):
+        module = _load("poisson_heat_transfer")
+        module.main(nx=32)  # reduced grid for the test suite
+        out = capsys.readouterr().out
+        assert "converged:          True" in out
+        assert "analytic centre" in out
+
+    def test_rayleigh_ritz_eigen_on_reference(self, capsys, monkeypatch):
+        module = _load("rayleigh_ritz_eigen")
+        # Shrink the problem via a patched generator for test speed.
+        import repro.suitesparse as ss
+
+        monkeypatch.setattr(
+            module, "mesh_delaunay",
+            lambda n, seed=0: ss.mesh_delaunay(400, seed=seed),
+        )
+        module.main("reference")
+        out = capsys.readouterr().out
+        assert "Rayleigh-Ritz (dominant 4):" in out
+
+    def test_heat_transfer_matches_analytic(self):
+        module = _load("poisson_heat_transfer")
+        centre = module._series_solution_centre(q=100.0, terms=99)
+        # Known value ~ q * 0.0736713... for the unit square.
+        assert centre == pytest.approx(100.0 * 0.0736713, rel=1e-3)
+
+    def test_image_filtering_helpers(self):
+        module = _load("image_filtering")
+        image = module.make_test_image(32)
+        assert image.shape == (32, 32)
+        assert image.max() > 1.0  # rectangle + gradient overlap
+        rendered = module.ascii_render(image)
+        assert len(rendered.splitlines()) > 4

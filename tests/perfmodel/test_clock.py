@@ -1,0 +1,115 @@
+"""Simulated-clock tests."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import (
+    INTEL_XEON_8368,
+    NVIDIA_A100,
+    KernelCost,
+    SimClock,
+    spmv_cost,
+)
+
+
+def _clock(**kwargs) -> SimClock:
+    kwargs.setdefault("noisy", False)
+    return SimClock(NVIDIA_A100, **kwargs)
+
+
+class TestSimClock:
+    def test_record_advances_time(self):
+        clock = _clock()
+        cost = spmv_cost("csr", 1000, 1000, 10000, 4, 4)
+        before = clock.now
+        duration = clock.record(cost)
+        assert clock.now == pytest.approx(before + duration)
+        assert duration > 0
+
+    def test_noiseless_is_deterministic(self):
+        cost = spmv_cost("csr", 1000, 1000, 10000, 4, 4)
+        a = _clock().record(cost)
+        b = _clock().record(cost)
+        assert a == b
+
+    def test_noise_is_reproducible_per_seed(self):
+        cost = spmv_cost("csr", 1000, 1000, 10000, 4, 4)
+        a = SimClock(NVIDIA_A100, seed=7).record(cost)
+        b = SimClock(NVIDIA_A100, seed=7).record(cost)
+        c = SimClock(NVIDIA_A100, seed=8).record(cost)
+        assert a == b
+        assert a != c
+
+    def test_launch_latency_dominates_tiny_kernels(self):
+        clock = _clock()
+        tiny = clock.kernel_time(KernelCost("k", flops=2, bytes=16, launches=1))
+        assert tiny >= NVIDIA_A100.launch_latency
+
+    def test_bandwidth_bound_scaling(self):
+        # Doubling the bytes of a large kernel ~doubles its time.
+        clock = _clock()
+        t1 = clock.kernel_time(KernelCost("k", 0, 1e9, launches=1))
+        t2 = clock.kernel_time(KernelCost("k", 0, 2e9, launches=1))
+        assert t2 / t1 == pytest.approx(2.0, rel=0.05)
+
+    def test_counters_accumulate(self):
+        clock = _clock()
+        cost = spmv_cost("csr", 100, 100, 1000, 4, 4)
+        clock.record(cost)
+        clock.record(cost)
+        assert clock.flops_done == 2 * cost.flops
+        assert clock.bytes_moved == 2 * cost.bytes
+        assert clock.kernel_count == 2 * cost.launches
+
+    def test_reset(self):
+        clock = _clock()
+        clock.record(spmv_cost("csr", 100, 100, 1000, 4, 4))
+        clock.reset()
+        assert clock.now == 0.0
+        assert clock.kernel_count == 0
+        assert not clock.events
+
+    def test_event_log_disabled_by_default(self):
+        clock = _clock()
+        clock.record(spmv_cost("csr", 100, 100, 1000, 4, 4))
+        assert clock.events == []
+
+    def test_event_log_records_details(self):
+        clock = _clock()
+        clock.enable_event_log()
+        cost = spmv_cost("csr", 100, 100, 1000, 4, 4)
+        clock.record(cost)
+        (event,) = clock.events
+        assert event.name == "spmv_csr"
+        assert event.end == pytest.approx(event.start + event.duration)
+        assert event.gflops > 0
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            _clock().advance(-1.0)
+
+    def test_region_measures_span(self):
+        clock = _clock()
+        with clock.region() as span:
+            clock.record(spmv_cost("csr", 100, 100, 1000, 4, 4))
+            clock.record(spmv_cost("csr", 100, 100, 1000, 4, 4))
+        assert span.elapsed == pytest.approx(clock.now)
+
+    def test_synchronize_uses_library_sync_overhead(self):
+        clock = SimClock(NVIDIA_A100, library="cupy", noisy=False)
+        before = clock.now
+        clock.synchronize()
+        assert clock.now - before == pytest.approx(
+            clock.library.sync_overhead
+        )
+
+    def test_single_threaded_library_uses_one_core(self):
+        cost = spmv_cost("csr", 100000, 100000, 1000000, 4, 4)
+        scipy_clock = SimClock(
+            INTEL_XEON_8368, library="scipy", num_threads=32, noisy=False
+        )
+        ginkgo_clock = SimClock(
+            INTEL_XEON_8368, library="ginkgo", num_threads=32, noisy=False
+        )
+        # SciPy ignores the 32 threads; Ginkgo uses them.
+        assert scipy_clock.kernel_time(cost) > 5 * ginkgo_clock.kernel_time(cost)

@@ -1,0 +1,75 @@
+"""Library-profile tests: the calibration constraints from the paper."""
+
+import pytest
+
+from repro.perfmodel import (
+    LIBRARY_PROFILES,
+    NVIDIA_A100,
+    SimClock,
+    get_library_profile,
+    spmv_cost,
+)
+
+
+def _gflops(library: str, fmt: str = "csr", value_bytes: int = 4) -> float:
+    clock = SimClock(NVIDIA_A100, library=library, noisy=False)
+    nnz, rows = 20_000_000, 2_000_000
+    cost = spmv_cost(fmt, rows, rows, nnz, value_bytes, 4)
+    return cost.flops / clock.kernel_time(cost) / 1e9
+
+
+class TestLibraryProfiles:
+    def test_all_five_libraries_registered(self):
+        assert set(LIBRARY_PROFILES) == {
+            "ginkgo", "cupy", "pytorch", "tensorflow", "scipy",
+        }
+
+    def test_unknown_library_raises(self):
+        with pytest.raises(KeyError, match="unknown library"):
+            get_library_profile("jax")
+
+    def test_lookup_case_insensitive(self):
+        assert get_library_profile("GINKGO").name == "ginkgo"
+
+    def test_paper_gpu_peak_ordering(self):
+        # Paper section 6.1.1: pyGinkgo ~150 > PyTorch ~110 > CuPy ~85
+        # > TensorFlow ~50 GFLOP/s.
+        ginkgo = _gflops("ginkgo")
+        pytorch = _gflops("pytorch")
+        cupy = _gflops("cupy")
+        tensorflow = _gflops("tensorflow", fmt="coo")
+        assert ginkgo > pytorch > cupy > tensorflow
+
+    def test_paper_gpu_peak_magnitudes(self):
+        assert _gflops("ginkgo") == pytest.approx(150, rel=0.15)
+        assert _gflops("pytorch") == pytest.approx(110, rel=0.15)
+        assert _gflops("cupy") == pytest.approx(85, rel=0.15)
+        assert _gflops("tensorflow", fmt="coo") == pytest.approx(50, rel=0.25)
+
+    def test_pytorch_fp64_deprioritised(self):
+        # The paper notes double precision in PyTorch/TF is inefficient.
+        profile = get_library_profile("pytorch")
+        assert profile.efficiency("gpu", "float64") < profile.efficiency(
+            "gpu", "float32"
+        )
+
+    def test_scipy_is_not_parallel(self):
+        assert get_library_profile("scipy").parallel_cpu is False
+
+    def test_tensorflow_only_supports_coo(self):
+        assert get_library_profile("tensorflow").supported_formats == ("coo",)
+
+    def test_pytorch_and_tf_have_no_iterative_solvers(self):
+        assert get_library_profile("pytorch").supported_solvers == ()
+        assert get_library_profile("tensorflow").supported_solvers == ()
+
+    def test_cupy_solver_list_matches_paper(self):
+        # Paper section 6.2.1 lists CG, CGS, GMRES, LSQR, LSMR, MINRES.
+        solvers = set(get_library_profile("cupy").supported_solvers)
+        assert {"cg", "cgs", "gmres", "lsqr", "lsmr", "minres"} <= solvers
+
+    def test_efficiency_fallback(self):
+        profile = get_library_profile("cupy")
+        assert profile.efficiency("cpu", "float16") == (
+            profile.default_bandwidth_efficiency
+        )

@@ -1,0 +1,75 @@
+"""Device-spec tests."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import (
+    AMD_MI100,
+    DEVICE_SPECS,
+    GENERIC_HOST,
+    INTEL_XEON_8368,
+    NVIDIA_A100,
+    get_device_spec,
+)
+
+
+class TestDeviceSpecs:
+    def test_registry_contains_all_paper_devices(self):
+        assert set(DEVICE_SPECS) == {"a100", "mi100", "xeon8368", "reference"}
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_device_spec("A100") is NVIDIA_A100
+        assert get_device_spec("Mi100") is AMD_MI100
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(KeyError, match="unknown device"):
+            get_device_spec("h100")
+
+    def test_a100_beats_mi100_on_bandwidth(self):
+        # The paper observes slightly better SpMV on the A100 (Fig. 5a).
+        assert (
+            NVIDIA_A100.effective_bandwidth()
+            > AMD_MI100.effective_bandwidth()
+        )
+
+    def test_gpu_specs_have_all_precisions(self):
+        for spec in (NVIDIA_A100, AMD_MI100):
+            for dtype in ("float16", "float32", "float64"):
+                assert spec.peak_flops_for(dtype) > 0
+
+    def test_unknown_precision_raises(self):
+        with pytest.raises(KeyError, match="no peak-FLOP entry"):
+            NVIDIA_A100.peak_flops_for("complex128")
+
+    def test_cpu_single_thread_bandwidth_below_socket(self):
+        one = INTEL_XEON_8368.effective_bandwidth(1)
+        full = INTEL_XEON_8368.effective_bandwidth(None)
+        assert one < full
+        assert one <= INTEL_XEON_8368.single_core_bandwidth
+
+    def test_cpu_bandwidth_monotone_in_threads(self):
+        values = [
+            INTEL_XEON_8368.effective_bandwidth(t) for t in (1, 2, 4, 8, 16, 32)
+        ]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_cpu_bandwidth_saturates(self):
+        # Going from 32 to 38 threads gains much less than 1 to 2.
+        gain_low = INTEL_XEON_8368.effective_bandwidth(2) / (
+            INTEL_XEON_8368.effective_bandwidth(1)
+        )
+        gain_high = INTEL_XEON_8368.effective_bandwidth(38) / (
+            INTEL_XEON_8368.effective_bandwidth(32)
+        )
+        assert gain_low > 1.5
+        assert gain_high < 1.1
+
+    def test_gpu_bandwidth_ignores_threads(self):
+        assert NVIDIA_A100.effective_bandwidth(4) == (
+            NVIDIA_A100.effective_bandwidth()
+        )
+
+    def test_reference_host_is_modest(self):
+        assert GENERIC_HOST.effective_bandwidth() < (
+            INTEL_XEON_8368.effective_bandwidth()
+        )

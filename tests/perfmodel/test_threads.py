@@ -1,0 +1,52 @@
+"""Thread-scaling model tests."""
+
+import pytest
+
+from repro.perfmodel.threads import parallel_efficiency, thread_scaling
+
+
+class TestThreadScaling:
+    def test_monotone_in_threads(self):
+        values = [
+            thread_scaling(t, 38, 13e9, 163e9) for t in (1, 2, 4, 8, 16, 32)
+        ]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_bounded_by_one(self):
+        for t in (1, 8, 38, 100):
+            assert 0 < thread_scaling(t, 38, 13e9, 163e9) <= 1.0
+
+    def test_clamps_to_core_count(self):
+        assert thread_scaling(38, 38, 13e9, 163e9) == pytest.approx(
+            thread_scaling(100, 38, 13e9, 163e9)
+        )
+
+    def test_linear_regime_for_few_threads(self):
+        one = thread_scaling(1, 38, 13e9, 163e9)
+        two = thread_scaling(2, 38, 13e9, 163e9)
+        assert two / one == pytest.approx(2.0, rel=0.05)
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            thread_scaling(0, 38, 13e9, 163e9)
+
+    def test_invalid_bandwidths(self):
+        with pytest.raises(ValueError):
+            thread_scaling(1, 38, 0.0, 163e9)
+
+
+class TestParallelEfficiency:
+    def test_no_serial_fraction_is_perfect(self):
+        assert parallel_efficiency(8, 0.0) == pytest.approx(1.0)
+
+    def test_fully_serial_efficiency(self):
+        assert parallel_efficiency(8, 1.0) == pytest.approx(1.0 / 8)
+
+    def test_amdahl_midpoint(self):
+        # 10% serial at 10 threads: speedup = 1/(0.1 + 0.09) ~ 5.26.
+        eff = parallel_efficiency(10, 0.1)
+        assert eff == pytest.approx(0.526, rel=0.01)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            parallel_efficiency(4, 1.5)

@@ -1,0 +1,143 @@
+"""Property-based tests on the matrix formats (hypothesis)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.ginkgo.executor import ReferenceExecutor
+from repro.ginkgo.matrix import Coo, Csr, Dense, Ell, Hybrid, Sellp
+
+REF = ReferenceExecutor.create(noisy=False)
+
+
+@st.composite
+def sparse_matrices(draw, max_dim: int = 30):
+    """Random sparse matrices of varying shape, density, and seed."""
+    rows = draw(st.integers(min_value=1, max_value=max_dim))
+    cols = draw(st.integers(min_value=1, max_value=max_dim))
+    density = draw(st.floats(min_value=0.01, max_value=0.6))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    mat = sp.random(
+        rows, cols, density=density, format="csr",
+        random_state=np.random.default_rng(seed), dtype=np.float64,
+    )
+    # Shift values away from zero so eliminate_zeros is a no-op and
+    # nnz comparisons stay exact.
+    mat.data += np.sign(mat.data) + (mat.data == 0)
+    return mat
+
+
+@st.composite
+def square_spd(draw, max_dim: int = 25):
+    n = draw(st.integers(min_value=2, max_value=max_dim))
+    density = draw(st.floats(min_value=0.05, max_value=0.5))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    half = sp.random(
+        n, n, density=density, format="csr",
+        random_state=np.random.default_rng(seed), dtype=np.float64,
+    )
+    symmetric = half + half.T
+    row_sums = np.asarray(np.abs(symmetric).sum(axis=1)).ravel()
+    return (symmetric + sp.diags(row_sums + 1.0)).tocsr()
+
+
+class TestConversionRoundtrips:
+    @given(mat=sparse_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_csr_coo_roundtrip(self, mat):
+        csr = Csr.from_scipy(REF, mat)
+        back = csr.convert_to_coo().convert_to_csr()
+        assert (abs(back.to_scipy() - mat)).max() < 1e-14
+        assert back.nnz == mat.nnz
+
+    @given(mat=sparse_matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_csr_ell_roundtrip(self, mat):
+        back = Csr.from_scipy(REF, mat).convert_to_ell().convert_to_csr()
+        assert (abs(back.to_scipy() - mat)).max() < 1e-14
+
+    @given(mat=sparse_matrices(), slice_size=st.sampled_from([1, 4, 32]))
+    @settings(max_examples=30, deadline=None)
+    def test_csr_sellp_roundtrip(self, mat, slice_size):
+        back = (
+            Csr.from_scipy(REF, mat)
+            .convert_to_sellp(slice_size=slice_size)
+            .convert_to_csr()
+        )
+        assert (abs(back.to_scipy() - mat)).max() < 1e-14
+
+    @given(mat=sparse_matrices(), percent=st.floats(0.0, 1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_csr_hybrid_roundtrip(self, mat, percent):
+        back = (
+            Csr.from_scipy(REF, mat)
+            .convert_to_hybrid(percent=percent)
+            .convert_to_csr()
+        )
+        assert (abs(back.to_scipy() - mat)).max() < 1e-14
+
+
+class TestSpmvEquivalence:
+    @given(mat=sparse_matrices(), seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_all_formats_agree_with_scipy(self, mat, seed):
+        x = np.random.default_rng(seed).standard_normal((mat.shape[1], 1))
+        expect = mat @ x
+        for cls in (Csr, Coo, Ell, Sellp, Hybrid):
+            engine = cls.from_scipy(REF, mat)
+            out = Dense.zeros(REF, (mat.shape[0], 1), np.float64)
+            engine.apply(Dense(REF, x), out)
+            np.testing.assert_allclose(
+                np.asarray(out), expect, atol=1e-10,
+                err_msg=cls.__name__,
+            )
+
+    @given(mat=sparse_matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_csr_strategies_numerically_identical(self, mat):
+        x = np.ones((mat.shape[1], 1))
+        results = []
+        for strategy in ("classical", "load_balance", "merge_path"):
+            engine = Csr.from_scipy(REF, mat, strategy=strategy)
+            out = Dense.zeros(REF, (mat.shape[0], 1), np.float64)
+            engine.apply(Dense(REF, x), out)
+            results.append(np.asarray(out).copy())
+        np.testing.assert_array_equal(results[0], results[1])
+        np.testing.assert_array_equal(results[0], results[2])
+
+
+class TestTransposeProperties:
+    @given(mat=sparse_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_double_transpose_identity(self, mat):
+        csr = Csr.from_scipy(REF, mat)
+        back = csr.transpose().transpose()
+        assert (abs(back.to_scipy() - mat)).max() < 1e-14
+
+    @given(mat=sparse_matrices(), seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_transpose_spmv_identity(self, mat, seed):
+        # <A^T y, x> == <y, A x>
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((mat.shape[1], 1))
+        y = rng.standard_normal((mat.shape[0], 1))
+        csr = Csr.from_scipy(REF, mat)
+        ax = Dense.zeros(REF, (mat.shape[0], 1), np.float64)
+        csr.apply(Dense(REF, x), ax)
+        aty = Dense.zeros(REF, (mat.shape[1], 1), np.float64)
+        csr.transpose().apply(Dense(REF, y), aty)
+        lhs = (np.asarray(aty).T @ x).item()
+        rhs = (y.T @ np.asarray(ax)).item()
+        assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9)
+
+
+class TestSpdInvariants:
+    @given(mat=square_spd(), seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_quadratic_form_positive(self, mat, seed):
+        x = np.random.default_rng(seed).standard_normal((mat.shape[0], 1))
+        csr = Csr.from_scipy(REF, mat)
+        ax = Dense.zeros(REF, x.shape, np.float64)
+        csr.apply(Dense(REF, x), ax)
+        assert (x.T @ np.asarray(ax)).item() > 0

@@ -1,0 +1,99 @@
+"""Property-based tests on the performance model's invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.perfmodel import (
+    AMD_MI100,
+    INTEL_XEON_8368,
+    NVIDIA_A100,
+    SimClock,
+    spmv_cost,
+)
+from repro.perfmodel.threads import thread_scaling
+
+DEVICES = [NVIDIA_A100, AMD_MI100, INTEL_XEON_8368]
+LIBRARIES = ["ginkgo", "cupy", "pytorch", "tensorflow", "scipy"]
+
+
+class TestModelInvariants:
+    @given(
+        nnz=st.integers(1, 10**8),
+        rows=st.integers(1, 10**6),
+        lib=st.sampled_from(LIBRARIES),
+        device_index=st.integers(0, 2),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_times_always_positive(self, nnz, rows, lib, device_index):
+        clock = SimClock(DEVICES[device_index], library=lib, noisy=False)
+        cost = spmv_cost("csr", rows, rows, nnz, 4, 4)
+        assert clock.kernel_time(cost) > 0
+
+    @given(
+        nnz=st.integers(100, 10**7),
+        lib=st.sampled_from(LIBRARIES),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_time_monotone_in_nnz(self, nnz, lib):
+        clock = SimClock(NVIDIA_A100, library=lib, noisy=False)
+        rows = max(nnz // 10, 1)
+        small = clock.kernel_time(spmv_cost("csr", rows, rows, nnz, 4, 4))
+        large = clock.kernel_time(
+            spmv_cost("csr", rows, rows, 2 * nnz, 4, 4)
+        )
+        assert large > small
+
+    @given(nnz=st.integers(100, 10**7))
+    @settings(max_examples=30, deadline=None)
+    def test_fp64_never_faster_than_fp32(self, nnz):
+        clock = SimClock(NVIDIA_A100, library="ginkgo", noisy=False)
+        rows = max(nnz // 10, 1)
+        t32 = clock.kernel_time(spmv_cost("csr", rows, rows, nnz, 4, 4))
+        t64 = clock.kernel_time(spmv_cost("csr", rows, rows, nnz, 8, 4))
+        assert t64 >= t32
+
+    @given(
+        threads_a=st.integers(1, 37),
+        extra=st.integers(1, 10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_thread_scaling_monotone(self, threads_a, extra):
+        spec = INTEL_XEON_8368
+        socket = spec.memory_bandwidth * spec.effective_bandwidth_fraction
+        low = thread_scaling(
+            threads_a, spec.cores, spec.single_core_bandwidth, socket
+        )
+        high = thread_scaling(
+            threads_a + extra, spec.cores, spec.single_core_bandwidth, socket
+        )
+        assert high >= low
+
+    @given(nnz=st.integers(10**3, 10**8))
+    @settings(max_examples=30, deadline=None)
+    def test_gpu_speedup_grows_with_nnz(self, nnz):
+        # The central shape of Figs. 3a/4: GPU-over-1-core speedup is
+        # non-decreasing in problem size.
+        gpu = SimClock(NVIDIA_A100, library="ginkgo", noisy=False)
+        cpu = SimClock(
+            INTEL_XEON_8368, library="scipy", num_threads=1, noisy=False
+        )
+        rows = max(nnz // 10, 1)
+        cost_small = spmv_cost("csr", rows, rows, nnz, 4, 4)
+        cost_large = spmv_cost("csr", rows * 4, rows * 4, nnz * 4, 4, 4)
+        speedup_small = cpu.kernel_time(cost_small) / gpu.kernel_time(
+            cost_small
+        )
+        speedup_large = cpu.kernel_time(cost_large) / gpu.kernel_time(
+            cost_large
+        )
+        assert speedup_large >= speedup_small * 0.99
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_noisy_clock_mean_matches_noiseless(self, seed):
+        cost = spmv_cost("csr", 10**5, 10**5, 10**6, 4, 4)
+        noiseless = SimClock(NVIDIA_A100, noisy=False).kernel_time(cost)
+        noisy = SimClock(NVIDIA_A100, seed=seed)
+        samples = [noisy.record(cost) for _ in range(200)]
+        assert np.mean(samples) / noiseless < 1.2
+        assert np.mean(samples) / noiseless > 0.8

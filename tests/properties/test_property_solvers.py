@@ -1,0 +1,149 @@
+"""Property-based solver tests: convergence invariants on random SPD
+systems, residual consistency, MTX and config round-trips."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.ginkgo.config import parse, validate
+from repro.ginkgo.config.parser import to_json
+from repro.ginkgo.executor import ReferenceExecutor
+from repro.ginkgo.log import ConvergenceLogger
+from repro.ginkgo.matrix import Csr, Dense
+from repro.ginkgo.mtx_io import read_mtx_string, write_mtx
+from repro.ginkgo.solver import Bicgstab, Cg, Cgs, Gmres
+from repro.ginkgo.stop import Iteration, ResidualNorm
+
+REF = ReferenceExecutor.create(noisy=False)
+
+
+@st.composite
+def spd_systems(draw, max_dim: int = 30):
+    n = draw(st.integers(min_value=2, max_value=max_dim))
+    density = draw(st.floats(min_value=0.05, max_value=0.5))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    half = sp.random(n, n, density=density, format="csr", random_state=rng)
+    symmetric = half + half.T
+    row_sums = np.asarray(np.abs(symmetric).sum(axis=1)).ravel()
+    matrix = (symmetric + sp.diags(row_sums + 1.0)).tocsr()
+    xstar = rng.standard_normal((n, 1))
+    return matrix, xstar
+
+
+class TestSolverProperties:
+    @given(system=spd_systems(),
+           solver_cls=st.sampled_from([Cg, Cgs, Bicgstab, Gmres]))
+    @settings(max_examples=30, deadline=None)
+    def test_krylov_solvers_recover_solution(self, system, solver_cls):
+        matrix, xstar = system
+        mtx = Csr.from_scipy(REF, matrix)
+        solver = solver_cls(
+            REF, criteria=Iteration(600) | ResidualNorm(1e-12)
+        ).generate(mtx)
+        x = Dense.zeros(REF, xstar.shape, np.float64)
+        solver.apply(Dense(REF, matrix @ xstar), x)
+        assert solver.converged
+        np.testing.assert_allclose(np.asarray(x), xstar, atol=1e-6)
+
+    @given(system=spd_systems())
+    @settings(max_examples=20, deadline=None)
+    def test_cg_residual_history_reaches_threshold(self, system):
+        matrix, xstar = system
+        mtx = Csr.from_scipy(REF, matrix)
+        solver = Cg(
+            REF, criteria=Iteration(600) | ResidualNorm(1e-10)
+        ).generate(mtx)
+        logger = ConvergenceLogger()
+        solver.add_logger(logger)
+        x = Dense.zeros(REF, xstar.shape, np.float64)
+        b = matrix @ xstar
+        solver.apply(Dense(REF, b), x)
+        # Reported final residual matches the true residual.
+        true_res = np.linalg.norm(b - matrix @ np.asarray(x))
+        assert logger.final_residual_norm == pytest.approx(
+            true_res, rel=1e-6, abs=1e-12
+        )
+
+    @given(system=spd_systems(), max_iters=st.integers(1, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_iteration_budget_never_exceeded(self, system, max_iters):
+        matrix, xstar = system
+        mtx = Csr.from_scipy(REF, matrix)
+        solver = Cg(REF, criteria=Iteration(max_iters)).generate(mtx)
+        x = Dense.zeros(REF, xstar.shape, np.float64)
+        solver.apply(Dense(REF, matrix @ xstar), x)
+        assert solver.num_iterations <= max_iters
+
+    @given(system=spd_systems())
+    @settings(max_examples=15, deadline=None)
+    def test_cg_iterations_bounded_by_dimension(self, system):
+        # Exact-arithmetic CG terminates in <= n steps; numerically we
+        # allow a modest factor.
+        matrix, xstar = system
+        mtx = Csr.from_scipy(REF, matrix)
+        solver = Cg(
+            REF, criteria=Iteration(10 * matrix.shape[0]) | ResidualNorm(1e-9)
+        ).generate(mtx)
+        x = Dense.zeros(REF, xstar.shape, np.float64)
+        solver.apply(Dense(REF, matrix @ xstar), x)
+        assert solver.converged
+        assert solver.num_iterations <= 2 * matrix.shape[0] + 5
+
+
+class TestMtxRoundtripProperty:
+    @given(
+        rows=st.integers(1, 20),
+        cols=st.integers(1, 20),
+        density=st.floats(0.05, 0.8),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_write_read_identity(self, rows, cols, density, seed):
+        mat = sp.random(
+            rows, cols, density=density, format="coo",
+            random_state=np.random.default_rng(seed),
+        )
+        buf = io.StringIO()
+        write_mtx(buf, mat)
+        back = read_mtx_string(buf.getvalue())
+        assert back.shape == mat.shape
+        assert (abs(mat - back)).max() < 1e-15 or mat.nnz == 0
+
+
+class TestConfigRoundtripProperty:
+    @given(
+        solver=st.sampled_from(
+            ["solver::Cg", "solver::Cgs", "solver::Bicgstab", "solver::Gmres"]
+        ),
+        max_iters=st.integers(1, 10000),
+        reduction=st.floats(1e-16, 1e-1),
+        precond=st.sampled_from(
+            [None, "preconditioner::Jacobi", "preconditioner::Ilu"]
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_valid_configs_parse_and_serialise(
+        self, solver, max_iters, reduction, precond
+    ):
+        config = {
+            "type": solver,
+            "criteria": [
+                {"type": "stop::Iteration", "max_iters": max_iters},
+                {"type": "stop::ResidualNorm",
+                 "reduction_factor": reduction},
+            ],
+        }
+        if solver == "solver::Gmres":
+            config["krylov_dim"] = 30
+        if precond:
+            config["preconditioner"] = {"type": precond}
+        validate(config)
+        factory = parse(REF, config)
+        assert factory is not None
+        # JSON round-trip preserves the dictionary.
+        assert json.loads(to_json(config)) == config

@@ -1,0 +1,194 @@
+"""Synthetic SuiteSparse collection tests."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.suitesparse import (
+    TABLE2,
+    banded,
+    circuit_like,
+    diagonal_mass,
+    kronecker_graph,
+    matrix_stats,
+    mesh_delaunay,
+    overhead_suite,
+    poisson_2d,
+    poisson_3d,
+    random_general,
+    solver_suite,
+    spd_random,
+    spmv_suite,
+    table2_suite,
+)
+
+
+def _is_spd(matrix, samples: int = 3) -> bool:
+    dense = matrix.toarray()
+    if not np.allclose(dense, dense.T):
+        return False
+    return np.linalg.eigvalsh(dense).min() > 0
+
+
+class TestGenerators:
+    def test_poisson_2d_structure(self):
+        mat = poisson_2d(8)
+        assert mat.shape == (64, 64)
+        assert _is_spd(mat)
+        # Interior rows have 5-point stencils.
+        assert matrix_stats(mat)["max_row_nnz"] == 5
+
+    def test_poisson_3d_structure(self):
+        mat = poisson_3d(4)
+        assert mat.shape == (64, 64)
+        assert matrix_stats(mat)["max_row_nnz"] == 7
+        assert _is_spd(mat)
+
+    def test_diagonal_mass_zero_rows(self):
+        mat = diagonal_mass(100, zero_fraction=0.4, seed=1)
+        assert mat.shape == (100, 100)
+        assert mat.nnz == 60  # structurally removed zeros
+
+    def test_diagonal_mass_deterministic(self):
+        a = diagonal_mass(50, 0.2, seed=9)
+        b = diagonal_mass(50, 0.2, seed=9)
+        assert (abs(a - b)).max() == 0
+
+    def test_mesh_delaunay_properties(self):
+        mat = mesh_delaunay(200, seed=3)
+        stats = matrix_stats(mat)
+        assert stats["pattern_symmetric"]
+        # Planar triangulations average ~6 neighbours + diagonal.
+        assert 4 < stats["avg_row_nnz"] < 9
+        assert stats["imbalance"] < 5
+
+    def test_circuit_like_is_imbalanced(self):
+        mat = circuit_like(2000, seed=4)
+        assert matrix_stats(mat)["imbalance"] > 10
+
+    def test_banded_density(self):
+        mat = banded(100, bandwidth=5)
+        assert matrix_stats(mat)["max_row_nnz"] == 11
+
+    def test_random_general_density(self):
+        mat = random_general(200, 0.05, seed=2, diag_dominant=False)
+        assert matrix_stats(mat)["density"] == pytest.approx(0.05, rel=0.2)
+
+    def test_spd_random_is_spd(self):
+        assert _is_spd(spd_random(60, 0.1, seed=5))
+
+    def test_kronecker_power_law(self):
+        mat = kronecker_graph(8, edge_factor=8, seed=6)
+        assert mat.shape == (256, 256)
+        assert matrix_stats(mat)["imbalance"] > 3
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError):
+            poisson_2d(0)
+        with pytest.raises(ValueError):
+            diagonal_mass(10, zero_fraction=1.0)
+        with pytest.raises(ValueError):
+            banded(10, bandwidth=10)
+        with pytest.raises(ValueError):
+            random_general(10, 0.0)
+        with pytest.raises(ValueError):
+            mesh_delaunay(2)
+        with pytest.raises(ValueError):
+            kronecker_graph(0)
+
+
+class TestTable2:
+    def test_six_labels(self):
+        assert [s.label for s in TABLE2] == list("ABCDEF")
+
+    def test_paper_names(self):
+        names = {s.name for s in TABLE2}
+        assert names == {
+            "bcsstm37", "bcsstm39", "mult_dcop_01", "delaunay_n17",
+            "av41092", "ASIC_320ks",
+        }
+
+    def test_scaled_dimensions_track_paper(self):
+        paper_dims = {
+            "A": 25503, "B": 46772, "C": 25187, "D": 131072,
+            "E": 41092, "F": 321671,
+        }
+        for spec in table2_suite(scale=0.05):
+            mat = spec.build()
+            assert mat.shape[0] == pytest.approx(
+                paper_dims[spec.label] * 0.05, rel=0.02
+            )
+            spec.clear()
+
+    def test_bcsstm_has_fewer_nnz_than_rows(self):
+        spec = table2_suite(scale=0.05)[0]  # bcsstm37
+        mat = spec.build()
+        assert mat.nnz < mat.shape[0]
+
+    def test_nnz_ratio_tracks_paper(self):
+        paper_nnz = {"C": 1.93e5, "D": 7.86e5, "E": 1.68e6}
+        for spec in table2_suite(scale=0.05):
+            if spec.label not in paper_nnz:
+                continue
+            mat = spec.build()
+            assert mat.nnz == pytest.approx(
+                paper_nnz[spec.label] * 0.05, rel=0.35
+            )
+            spec.clear()
+
+
+class TestSuites:
+    def test_suite_sizes_match_paper(self):
+        assert len(spmv_suite()) == 30
+        assert len(solver_suite()) == 40
+        assert len(overhead_suite()) == 45
+
+    def test_nnz_targets_log_spaced(self):
+        suite = spmv_suite(count=6, min_nnz=1e4, max_nnz=1e5)
+        sizes = [s.build().nnz for s in suite]
+        for spec in suite:
+            spec.clear()
+        assert sizes == sorted(sizes)
+        assert sizes[0] == pytest.approx(1e4, rel=0.8)
+        assert sizes[-1] == pytest.approx(1e5, rel=0.8)
+
+    def test_solver_suite_has_five_dense_matrices(self):
+        dense = [s for s in solver_suite() if s.kind == "dense_random"]
+        assert len(dense) == 5
+
+    def test_builds_are_cached(self):
+        spec = spmv_suite(count=1, min_nnz=1e4, max_nnz=1e4)[0]
+        assert spec.build() is spec.build()
+        spec.clear()
+        assert spec._cache is None
+
+    def test_all_square(self):
+        for spec in spmv_suite(count=8, max_nnz=1e5):
+            mat = spec.build()
+            assert mat.shape[0] == mat.shape[1]
+            spec.clear()
+
+    def test_deterministic_across_calls(self):
+        a = spmv_suite(count=3, max_nnz=1e5)[1].build()
+        b = spmv_suite(count=3, max_nnz=1e5)[1].build()
+        assert (abs(a - b)).max() == 0
+
+
+class TestMatrixStats:
+    def test_basic_fields(self, general_small):
+        stats = matrix_stats(general_small)
+        assert stats["rows"] == 50
+        assert stats["nnz"] == general_small.nnz
+        assert 0 < stats["density"] < 1
+
+    def test_symmetry_detection(self):
+        sym = sp.csr_matrix(np.array([[1.0, 2.0], [2.0, 3.0]]))
+        asym = sp.csr_matrix(np.array([[1.0, 2.0], [0.0, 3.0]]))
+        assert matrix_stats(sym)["pattern_symmetric"]
+        assert not matrix_stats(asym)["pattern_symmetric"]
+
+    def test_engine_matrix_accepted(self, ref, general_small):
+        from repro.ginkgo.matrix import Csr
+
+        stats = matrix_stats(Csr.from_scipy(ref, general_small))
+        assert stats["nnz"] == general_small.nnz
