@@ -1,0 +1,15 @@
+# Single entry point shared by CI and local development.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: verify test bench
+
+# Tier-1 gate: the full unit/integration/property suite, fail-fast.
+verify:
+	$(PYTHON) -m pytest -x -q
+
+test: verify
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

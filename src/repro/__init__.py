@@ -34,6 +34,9 @@ Subpackages:
 """
 
 from repro.core import (
+    FallbackChain,
+    ResilienceReport,
+    RetryPolicy,
     RitzPairs,
     SolverHandle,
     TABLE1,
@@ -57,6 +60,7 @@ from repro.core import (
     rayleigh_ritz,
     rayleigh_ritz_eigensolver,
     read,
+    resilient_solve,
     shares_memory,
     solve,
     solver,
@@ -69,6 +73,9 @@ from repro.core import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "FallbackChain",
+    "ResilienceReport",
+    "RetryPolicy",
     "RitzPairs",
     "SolverHandle",
     "TABLE1",
@@ -93,6 +100,7 @@ __all__ = [
     "rayleigh_ritz",
     "rayleigh_ritz_eigensolver",
     "read",
+    "resilient_solve",
     "shares_memory",
     "solve",
     "solver",

@@ -25,6 +25,12 @@ from repro.core.rayleigh_ritz import (
     rayleigh_ritz,
     rayleigh_ritz_eigensolver,
 )
+from repro.core.resilient import (
+    FallbackChain,
+    ResilienceReport,
+    RetryPolicy,
+    resilient_solve,
+)
 from repro.core.solve import (
     build_config,
     config_solver,
@@ -36,6 +42,9 @@ from repro.core.tensor import Tensor, array, as_tensor
 from repro.core.types import TABLE1, index_dtype, value_dtype
 
 __all__ = [
+    "FallbackChain",
+    "ResilienceReport",
+    "RetryPolicy",
     "RitzPairs",
     "SolverHandle",
     "TABLE1",
@@ -59,6 +68,7 @@ __all__ = [
     "rayleigh_ritz",
     "rayleigh_ritz_eigensolver",
     "read",
+    "resilient_solve",
     "shares_memory",
     "solve",
     "solver",

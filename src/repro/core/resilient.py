@@ -1,0 +1,421 @@
+"""Resilient solves: retry, backoff, executor fallback, checkpoint/restart.
+
+``resilient_solve`` wraps the config-solver route of
+:mod:`repro.core.solve` with the failure handling a production deployment
+needs on unreliable heterogeneous devices:
+
+* **retry with exponential backoff** (in simulated time) for transient
+  faults — :class:`CudaError`, :class:`AllocationError`, and
+  :class:`SolverBreakdown` (NaN/Inf residuals);
+* **graceful degradation** down an executor chain
+  (``cuda -> omp -> reference`` by default), rebuilding the vectors from
+  pristine host snapshots and moving the matrix with ``copy_to``;
+* **periodic checkpointing** of the solution vector via a
+  :class:`~repro.ginkgo.log.CheckpointLogger`, so a retry restarts from
+  the last checkpoint instead of from scratch;
+* a structured, deterministic **event trail** (`fault_injected`,
+  `attempt_failed`, `retry`, `fallback`, `checkpoint_saved`, ...) so tests
+  and benchmarks can assert on exactly what happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.device import device as _device_factory
+from repro.core.solve import build_config, config_solver
+from repro.core.solver_api import _unwrap
+from repro.core.tensor import Tensor
+from repro.ginkgo.exceptions import (
+    AllocationError,
+    CudaError,
+    GinkgoError,
+    ResilienceExhausted,
+    SolverBreakdown,
+)
+from repro.ginkgo.executor import PCIE_BANDWIDTH, PCIE_LATENCY, Executor
+from repro.ginkgo.log import CheckpointLogger, ConvergenceLogger, Logger
+from repro.ginkgo.matrix.dense import Dense
+
+#: Exceptions the retry layer treats as transient by default.
+TRANSIENT_ERRORS = (CudaError, AllocationError, SolverBreakdown)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often, and how patiently, a failed attempt is retried.
+
+    Attributes:
+        max_retries: Additional attempts per executor after the first.
+        base_delay: Backoff before the first retry, in simulated seconds.
+        backoff_factor: Multiplier applied per subsequent retry
+            (exponential backoff).
+        retry_on: Exception types treated as transient; anything else
+            propagates immediately.
+    """
+
+    max_retries: int = 3
+    base_delay: float = 1e-3
+    backoff_factor: float = 2.0
+    retry_on: tuple = TRANSIENT_ERRORS
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise GinkgoError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.base_delay < 0:
+            raise GinkgoError(
+                f"base_delay must be >= 0, got {self.base_delay}"
+            )
+        if self.backoff_factor < 1.0:
+            raise GinkgoError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+    def delay(self, retry_index: int) -> float:
+        """Simulated backoff before retry number ``retry_index`` (0-based)."""
+        return self.base_delay * self.backoff_factor**retry_index
+
+
+class FallbackChain:
+    """Ordered executors to degrade onto when one keeps failing.
+
+    Entries are device names (resolved through :func:`repro.core.device`)
+    or executor instances.  Entries matching the currently-failing
+    executor's device name are skipped, so the default chain
+    ``("cuda", "omp", "reference")`` does the right thing from any
+    starting executor.
+    """
+
+    DEFAULT = ("cuda", "omp", "reference")
+
+    def __init__(self, *devices) -> None:
+        if len(devices) == 1 and isinstance(devices[0], (list, tuple)):
+            devices = tuple(devices[0])
+        self.devices = devices or self.DEFAULT
+
+    def resolve(self, primary: Executor) -> list[Executor]:
+        """Executors to try after ``primary``, in order, deduplicated."""
+        chain: list[Executor] = []
+        seen = {primary.name}
+        for entry in self.devices:
+            exec_ = (
+                entry
+                if isinstance(entry, Executor)
+                else _device_factory(entry)
+            )
+            if exec_.name in seen:
+                continue
+            seen.add(exec_.name)
+            chain.append(exec_)
+        return chain
+
+    def __repr__(self) -> str:
+        return f"FallbackChain{self.devices!r}"
+
+
+@dataclass
+class ResilienceReport:
+    """What a resilient solve did and how it ended.
+
+    The event trail is a list of ``(name, payload)`` tuples in occurrence
+    order; payloads hold only plain scalars/strings, so two runs with the
+    same seeds produce identical trails.
+    """
+
+    converged: bool
+    breakdown: bool
+    num_iterations: int
+    final_residual_norm: float
+    residual_norms: list = field(default_factory=list)
+    events: list = field(default_factory=list)
+    attempts: int = 1
+    executor_name: str = ""
+    logger: ConvergenceLogger | None = None
+
+    @property
+    def faults_injected(self) -> int:
+        """Injected faults observed during the solve."""
+        return sum(1 for name, _ in self.events if name == "fault_injected")
+
+    @property
+    def retries(self) -> int:
+        return sum(1 for name, _ in self.events if name == "retry")
+
+    @property
+    def fallbacks(self) -> int:
+        return sum(1 for name, _ in self.events if name == "fallback")
+
+    def count(self, event: str) -> int:
+        """Number of trail events with the given name."""
+        return sum(1 for name, _ in self.events if name == event)
+
+    def __repr__(self) -> str:
+        return (
+            f"ResilienceReport(converged={self.converged}, "
+            f"iterations={self.num_iterations}, "
+            f"attempts={self.attempts}, executor={self.executor_name!r}, "
+            f"faults={self.faults_injected}, retries={self.retries}, "
+            f"fallbacks={self.fallbacks})"
+        )
+
+
+class _FaultTrail(Logger):
+    """Mirrors executor fault events into the report's event trail."""
+
+    def __init__(self, events: list) -> None:
+        self._events = events
+
+    def on_fault_injected(self, exec_, **kwargs) -> None:
+        self._events.append(("fault_injected", dict(kwargs)))
+
+    def on_data_corrupted(self, exec_, **kwargs) -> None:
+        self._events.append(("data_corrupted", dict(kwargs)))
+
+
+def _restore_solution(exec_: Executor, x_dense: Dense, values: np.ndarray):
+    """Write a host checkpoint back into the solution buffer.
+
+    Models the host-to-device transfer on the clock without allocating, so
+    the recovery path itself cannot hit an allocation fault.
+    """
+    if not exec_.is_host:
+        exec_.clock.advance(PCIE_LATENCY + values.nbytes / PCIE_BANDWIDTH)
+    np.copyto(x_dense._data, values.astype(x_dense.dtype, copy=False))
+
+
+def resilient_solve(
+    device,
+    mtx,
+    b,
+    x=None,
+    solver: str = "gmres",
+    preconditioner=None,
+    max_iters: int = 1000,
+    reduction_factor: float | None = 1e-6,
+    retry: RetryPolicy | None = None,
+    fallback: FallbackChain | None = None,
+    checkpoint_every: int = 0,
+    divergence_limit: float | None = None,
+    **solver_params,
+):
+    """Fault-tolerant one-call linear solve through the config-solver.
+
+    Accepts everything :func:`repro.core.solve.solve` accepts, plus the
+    resilience knobs.  Transient failures (device errors, failed
+    allocations, NaN/Inf breakdowns) are retried with exponential backoff
+    in simulated time; an executor that exhausts its retries is abandoned
+    for the next one in the fallback chain, with operands rebuilt from
+    pristine host snapshots.  When checkpointing is on, retries restart
+    from the last captured solution instead of from scratch.
+
+    Args:
+        device: Executor or device name the solve starts on (may be a
+            :class:`~repro.ginkgo.fault.FaultyExecutor`).
+        mtx: System matrix (engine LinOp, resident on ``device``).
+        b: Right-hand side (Tensor or Dense).
+        x: Initial guess; zeros when omitted.
+        solver: Solver name (default GMRES).
+        preconditioner: Preconditioner name or config dict.
+        max_iters: Iteration limit per attempt.
+        reduction_factor: Relative residual threshold.
+        retry: :class:`RetryPolicy`; default retries 3 times.
+        fallback: :class:`FallbackChain`; default
+            ``cuda -> omp -> reference``.  Pass
+            ``FallbackChain(device)`` to pin the solve to one device
+            (no degradation, retries only).
+        checkpoint_every: Capture the solution every N iterations
+            (0 disables checkpointing).
+        divergence_limit: Abandon an attempt early when the residual
+            exceeds this multiple of the initial residual (adds a
+            ``stop::Divergence`` criterion).
+        **solver_params: Extra solver parameters (``krylov_dim=...``).
+
+    Returns:
+        ``(report, x)`` — the :class:`ResilienceReport` and the solution
+        tensor (on whichever executor completed the solve).
+
+    Raises:
+        ResilienceExhausted: Every retry on every executor failed.
+    """
+    retry = retry or RetryPolicy()
+    fallback = fallback or FallbackChain()
+    primary = (
+        device
+        if isinstance(device, Executor)
+        else _device_factory(device or "reference")
+    )
+
+    # Pristine host snapshots: fallback rebuilds operands from these, so a
+    # corrupted device buffer cannot poison the next executor.
+    b_dense = _unwrap(b)
+    b_host = b_dense.to_numpy()
+    if x is None:
+        x_host = np.zeros_like(b_host)
+        x_dense = Dense.create(primary, x_host)
+    else:
+        x_dense = _unwrap(x)
+        x_host = x_dense.to_numpy()
+    wrap_result = x is None or isinstance(x, Tensor)
+
+    config = build_config(
+        solver=solver,
+        preconditioner=preconditioner,
+        max_iters=max_iters,
+        reduction_factor=reduction_factor,
+        **solver_params,
+    )
+    # Strict breakdowns let the retry layer catch NaN/Inf poisoning.
+    config["strict_breakdown"] = True
+    if divergence_limit is not None:
+        config["criteria"].append(
+            {"type": "stop::Divergence", "limit": float(divergence_limit)}
+        )
+
+    events: list = []
+    history: list = []
+    attempts = 0
+    checkpoint: tuple[int, np.ndarray] | None = None
+
+    chain = [primary] + fallback.resolve(primary)
+    for position, exec_ in enumerate(chain):
+        # Stage the operands on this executor.
+        try:
+            if exec_ is primary:
+                mtx_cur, b_cur, x_cur = mtx, b_dense, x_dense
+            else:
+                if not hasattr(mtx, "copy_to"):
+                    raise GinkgoError(
+                        f"matrix {type(mtx).__name__} cannot be moved to "
+                        f"{exec_.name} (no copy_to); fallback impossible"
+                    )
+                mtx_cur = mtx.copy_to(exec_)
+                b_cur = Dense.create(exec_, b_host)
+                x_cur = Dense.create(exec_, x_host)
+        except retry.retry_on as err:
+            history.append((exec_.name, err))
+            events.append(
+                (
+                    "staging_failed",
+                    {"executor": exec_.name, "error": type(err).__name__},
+                )
+            )
+            continue
+
+        trail = _FaultTrail(events)
+        exec_.add_logger(trail)
+        try:
+            for attempt in range(retry.max_retries + 1):
+                attempts += 1
+                events.append(
+                    (
+                        "attempt_started",
+                        {"executor": exec_.name, "attempt": attempts},
+                    )
+                )
+                checkpointer = (
+                    CheckpointLogger(every=checkpoint_every, sink=events)
+                    if checkpoint_every
+                    else None
+                )
+                try:
+                    handle = config_solver(exec_, mtx_cur, config)
+                    if checkpointer is not None:
+                        handle.solver.add_logger(checkpointer)
+                    logger, _ = handle.apply(b_cur, x_cur)
+                except retry.retry_on as err:
+                    history.append((exec_.name, err))
+                    events.append(
+                        (
+                            "attempt_failed",
+                            {
+                                "executor": exec_.name,
+                                "attempt": attempts,
+                                "error": type(err).__name__,
+                            },
+                        )
+                    )
+                    # A checkpoint captured during the failed attempt is
+                    # still valid state to restart from.
+                    if (
+                        checkpointer is not None
+                        and checkpointer.solution is not None
+                        and (
+                            checkpoint is None
+                            or checkpointer.iteration > checkpoint[0]
+                        )
+                    ):
+                        checkpoint = (
+                            checkpointer.iteration,
+                            checkpointer.solution,
+                        )
+                    if attempt == retry.max_retries:
+                        break
+                    delay = retry.delay(attempt)
+                    exec_.clock.advance(delay)
+                    restart_from = 0
+                    if checkpoint is not None:
+                        restart_from = checkpoint[0]
+                        _restore_solution(exec_, x_cur, checkpoint[1])
+                        events.append(
+                            (
+                                "checkpoint_restored",
+                                {"iteration": restart_from},
+                            )
+                        )
+                    else:
+                        _restore_solution(exec_, x_cur, x_host)
+                    events.append(
+                        (
+                            "retry",
+                            {
+                                "executor": exec_.name,
+                                "attempt": attempts + 1,
+                                "delay": delay,
+                                "restart_iteration": restart_from,
+                            },
+                        )
+                    )
+                    continue
+                # Success: the apply ran to a verdict without faulting.
+                events.append(
+                    (
+                        "solve_completed",
+                        {
+                            "executor": exec_.name,
+                            "attempt": attempts,
+                            "converged": logger.converged,
+                            "iterations": logger.num_iterations,
+                        },
+                    )
+                )
+                report = ResilienceReport(
+                    converged=logger.converged,
+                    breakdown=logger.breakdown,
+                    num_iterations=logger.num_iterations,
+                    final_residual_norm=logger.final_residual_norm,
+                    residual_norms=list(logger.residual_norms),
+                    events=events,
+                    attempts=attempts,
+                    executor_name=exec_.name,
+                    logger=logger,
+                )
+                result = Tensor(x_cur) if wrap_result else x_cur
+                return report, result
+        finally:
+            exec_.remove_logger(trail)
+        if position + 1 < len(chain):
+            events.append(
+                (
+                    "fallback",
+                    {
+                        "from": exec_.name,
+                        "to": chain[position + 1].name,
+                    },
+                )
+            )
+
+    raise ResilienceExhausted(attempts, history)

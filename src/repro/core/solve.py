@@ -83,6 +83,9 @@ def solve(
     preconditioner=None,
     max_iters: int = 1000,
     reduction_factor: float | None = 1e-6,
+    retry=None,
+    fallback=None,
+    checkpoint_every: int = 0,
     **solver_params,
 ):
     """One-call linear solve through the config-solver.
@@ -96,11 +99,37 @@ def solve(
         preconditioner: Preconditioner name or config dict.
         max_iters: Iteration limit.
         reduction_factor: Relative residual threshold.
+        retry: A :class:`~repro.core.resilient.RetryPolicy`; setting it
+            (or ``fallback``/``checkpoint_every``) routes the solve
+            through :func:`~repro.core.resilient.resilient_solve`, which
+            then returns ``(report, x)`` instead of ``(logger, x)``.
+        fallback: A :class:`~repro.core.resilient.FallbackChain` of
+            executors to degrade onto.
+        checkpoint_every: Checkpoint the solution every N iterations
+            (resilient route only).
         **solver_params: Extra solver parameters (``krylov_dim=...``).
 
     Returns:
-        ``(logger, x)`` — the convergence logger and the solution tensor.
+        ``(logger, x)`` — the convergence logger and the solution tensor
+        (``(report, x)`` on the resilient route).
     """
+    if retry is not None or fallback is not None or checkpoint_every:
+        from repro.core.resilient import resilient_solve
+
+        return resilient_solve(
+            device,
+            mtx,
+            b,
+            x=x,
+            solver=solver,
+            preconditioner=preconditioner,
+            max_iters=max_iters,
+            reduction_factor=reduction_factor,
+            retry=retry,
+            fallback=fallback,
+            checkpoint_every=checkpoint_every,
+            **solver_params,
+        )
     exec_ = (
         device
         if isinstance(device, Executor)

@@ -25,6 +25,8 @@ from repro.ginkgo.exceptions import (
     GinkgoError,
     NotConverged,
     NotSupported,
+    ResilienceExhausted,
+    SolverBreakdown,
 )
 from repro.ginkgo.executor import (
     CudaExecutor,
@@ -34,6 +36,7 @@ from repro.ginkgo.executor import (
     ReferenceExecutor,
 )
 from repro.ginkgo.array import Array
+from repro.ginkgo.fault import FaultInjector, FaultyExecutor, InjectedFault
 from repro.ginkgo.lin_op import (
     Combination,
     Composition,
@@ -55,7 +58,10 @@ __all__ = [
     "DimensionMismatch",
     "Executor",
     "ExecutorMismatch",
+    "FaultInjector",
+    "FaultyExecutor",
     "GinkgoError",
+    "InjectedFault",
     "HipExecutor",
     "Identity",
     "LinOp",
@@ -65,4 +71,6 @@ __all__ = [
     "OmpExecutor",
     "Perturbation",
     "ReferenceExecutor",
+    "ResilienceExhausted",
+    "SolverBreakdown",
 ]

@@ -72,7 +72,11 @@ def parse(exec_, config: dict) -> LinOpFactory:
         # Direct/triangular factories take no criteria/preconditioner.
         return solver_cls(exec_, **params)
     return solver_cls(
-        exec_, criteria=criteria, preconditioner=preconditioner, **params
+        exec_,
+        criteria=criteria,
+        preconditioner=preconditioner,
+        strict_breakdown=bool(config.get("strict_breakdown", False)),
+        **params,
     )
 
 

@@ -25,7 +25,7 @@ from repro.ginkgo.solver import (
     Minres,
     UpperTrs,
 )
-from repro.ginkgo.stop import Iteration, ResidualNorm, Time
+from repro.ginkgo.stop import Divergence, Iteration, ResidualNorm, Time
 
 #: Solver type name -> (factory class, accepted parameter names).
 SOLVER_REGISTRY = {
@@ -67,6 +67,7 @@ STOP_REGISTRY = {
     "stop::Iteration": (Iteration, ("max_iters",)),
     "stop::ResidualNorm": (ResidualNorm, ("reduction_factor", "baseline")),
     "stop::Time": (Time, ("time_limit",)),
+    "stop::Divergence": (Divergence, ("limit",)),
 }
 
 #: Short aliases accepted in configs for user convenience.

@@ -17,7 +17,9 @@ from repro.ginkgo.config.registry import (
 )
 
 #: Keys accepted at the top level besides solver-specific parameters.
-COMMON_SOLVER_KEYS = ("type", "preconditioner", "criteria", "value_type")
+COMMON_SOLVER_KEYS = (
+    "type", "preconditioner", "criteria", "value_type", "strict_breakdown"
+)
 VALUE_TYPES = ("half", "float", "double", "float16", "float32", "float64")
 
 

@@ -52,6 +52,42 @@ class NotSupported(GinkgoError):
     """The requested operation is not implemented for this type."""
 
 
+class SolverBreakdown(GinkgoError):
+    """The iteration produced a non-finite residual (NaN/Inf breakdown).
+
+    Mirrors the breakdown conditions real Krylov solvers hit on corrupted
+    data or unlucky pivots.  Like :class:`NotConverged`, solvers only raise
+    this in strict mode (``strict_breakdown=True``); by default the solve
+    stops early and the logger records the breakdown.
+    """
+
+    def __init__(self, iterations: int, residual_norm: float) -> None:
+        super().__init__(
+            f"solver broke down after {iterations} iterations "
+            f"(residual norm {residual_norm!r})"
+        )
+        self.iterations = iterations
+        self.residual_norm = residual_norm
+
+
+class ResilienceExhausted(GinkgoError):
+    """Every retry and every fallback executor failed.
+
+    Carries the per-attempt failure history so callers can see what was
+    tried before giving up.
+    """
+
+    def __init__(self, attempts: int, history) -> None:
+        summary = "; ".join(
+            f"{name}: {type(err).__name__}" for name, err in history
+        )
+        super().__init__(
+            f"resilient solve failed after {attempts} attempts ({summary})"
+        )
+        self.attempts = attempts
+        self.history = tuple(history)
+
+
 class NotConverged(GinkgoError):
     """A solver exhausted its stopping criteria without converging.
 

@@ -40,6 +40,14 @@ PCIE_BANDWIDTH = 25e9
 PCIE_LATENCY = 8.0e-6
 
 
+def _nbytes_of(shape, dtype) -> int:
+    """Size of an allocation request without performing it."""
+    count = 1
+    for extent in np.atleast_1d(shape):
+        count *= int(extent)
+    return count * np.dtype(dtype).itemsize
+
+
 class Executor:
     """Base class of all executors.
 
@@ -72,6 +80,8 @@ class Executor:
         self._bytes_allocated = 0
         self._allocation_count = 0
         self._peak_bytes = 0
+        self._live_buffers: dict[int, int] = {}
+        self._loggers: list = []
 
     # ------------------------------------------------------------------
     # factory
@@ -102,34 +112,79 @@ class Executor:
         return self if self.is_host else self._master
 
     # ------------------------------------------------------------------
+    # logging
+    # ------------------------------------------------------------------
+    def add_logger(self, logger) -> None:
+        """Attach a logger receiving this executor's events.
+
+        Executors emit ``fault_injected`` events (via
+        :class:`~repro.ginkgo.fault.FaultyExecutor`); the handler protocol
+        is the same ``on_<event>`` convention LinOps use.
+        """
+        self._loggers.append(logger)
+
+    def remove_logger(self, logger) -> None:
+        self._loggers.remove(logger)
+
+    def _log(self, event: str, **kwargs) -> None:
+        for logger in self._loggers:
+            handler = getattr(logger, f"on_{event}", None)
+            if handler is not None:
+                handler(self, **kwargs)
+
+    # ------------------------------------------------------------------
     # memory management
     # ------------------------------------------------------------------
     def alloc(self, shape, dtype) -> np.ndarray:
         """Allocate a zero-initialised buffer in this memory space."""
+        self._check_capacity(_nbytes_of(shape, dtype))
         arr = np.zeros(shape, dtype=dtype)
         self._track_alloc(arr.nbytes)
+        self._live_buffers[id(arr)] = arr.nbytes
         return arr
 
     def alloc_like(self, data: np.ndarray) -> np.ndarray:
         """Allocate an uninitialised buffer with ``data``'s shape/dtype."""
+        self._check_capacity(data.nbytes)
         arr = np.empty_like(data)
         self._track_alloc(arr.nbytes)
+        self._live_buffers[id(arr)] = arr.nbytes
         return arr
 
-    def _track_alloc(self, nbytes: int) -> None:
+    def _check_capacity(self, nbytes: int) -> None:
+        """Fail a too-large request before touching host memory.
+
+        Failed allocations leave ``allocation_count``/``peak`` untouched, so
+        leak and fault tests can trust the counters.
+        """
         if self._bytes_allocated + nbytes > self.spec.memory_capacity:
             raise AllocationError(
                 self.name,
                 requested=nbytes,
                 available=int(self.spec.memory_capacity - self._bytes_allocated),
             )
+
+    def _track_alloc(self, nbytes: int) -> None:
+        self._check_capacity(nbytes)
         self._bytes_allocated += nbytes
         self._allocation_count += 1
         self._peak_bytes = max(self._peak_bytes, self._bytes_allocated)
 
     def free(self, data: np.ndarray) -> None:
-        """Return a buffer to the memory space (bookkeeping only)."""
-        self._bytes_allocated = max(0, self._bytes_allocated - data.nbytes)
+        """Return a buffer to the memory space (bookkeeping only).
+
+        Raises:
+            GinkgoError: When ``data`` was not allocated by this executor
+                or was already freed — a double-free would otherwise
+                silently corrupt the ``bytes_allocated`` accounting.
+        """
+        nbytes = self._live_buffers.pop(id(data), None)
+        if nbytes is None:
+            raise GinkgoError(
+                f"{self.name}: free of a buffer this executor does not own "
+                "(double-free, or not allocated here)"
+            )
+        self._bytes_allocated -= nbytes
 
     @property
     def bytes_allocated(self) -> int:

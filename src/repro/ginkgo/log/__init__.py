@@ -7,6 +7,7 @@ history.
 """
 
 from repro.ginkgo.log.logger import (
+    CheckpointLogger,
     ConvergenceLogger,
     Logger,
     PerformanceLogger,
@@ -15,6 +16,7 @@ from repro.ginkgo.log.logger import (
 )
 
 __all__ = [
+    "CheckpointLogger",
     "ConvergenceLogger",
     "Logger",
     "PerformanceLogger",

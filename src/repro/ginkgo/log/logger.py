@@ -15,9 +15,21 @@ class Logger:
 
     * ``apply_started(op, b=..., x=...)``
     * ``apply_completed(op, b=..., x=...)``
-    * ``iteration_complete(op, iteration=..., residual_norm=...)``
+    * ``iteration_complete(op, iteration=..., residual_norm=...,
+      solution=...)``
     * ``converged(op, iteration=..., residual_norm=...)``
+    * ``breakdown(op, iteration=..., residual_norm=...)`` — the solver hit
+      a non-finite residual and stopped early
     * ``criterion_check_completed(op, iteration=..., stopped=...)``
+
+    Executors emit events through the same protocol (the first argument is
+    then the executor):
+
+    * ``fault_injected(exec, site=..., kind=..., index=..., call=...,
+      detail=...)`` — a :class:`~repro.ginkgo.fault.FaultyExecutor`
+      injected a fault
+    * ``data_corrupted(exec, index=..., flat_index=...)`` — a corruption
+      fault poisoned a buffer entry
     """
 
     def on_apply_started(self, op, **kwargs) -> None:
@@ -32,7 +44,16 @@ class Logger:
     def on_converged(self, op, **kwargs) -> None:
         pass
 
+    def on_breakdown(self, op, **kwargs) -> None:
+        pass
+
     def on_criterion_check_completed(self, op, **kwargs) -> None:
+        pass
+
+    def on_fault_injected(self, op, **kwargs) -> None:
+        pass
+
+    def on_data_corrupted(self, op, **kwargs) -> None:
         pass
 
 
@@ -48,6 +69,7 @@ class ConvergenceLogger(Logger):
         self.num_iterations = 0
         self.residual_norms: list[float] = []
         self.converged = False
+        self.breakdown = False
         self.final_residual_norm = float("nan")
 
     def on_apply_started(self, op, **kwargs) -> None:
@@ -55,6 +77,7 @@ class ConvergenceLogger(Logger):
         self.num_iterations = 0
         self.residual_norms = []
         self.converged = False
+        self.breakdown = False
         self.final_residual_norm = float("nan")
 
     def on_iteration_complete(self, op, iteration=0, residual_norm=None, **kwargs):
@@ -65,6 +88,13 @@ class ConvergenceLogger(Logger):
 
     def on_converged(self, op, iteration=0, residual_norm=None, **kwargs) -> None:
         self.converged = True
+        self.num_iterations = iteration
+        if residual_norm is not None:
+            self.final_residual_norm = float(np.max(residual_norm))
+
+    def on_breakdown(self, op, iteration=0, residual_norm=None, **kwargs) -> None:
+        self.breakdown = True
+        self.converged = False
         self.num_iterations = iteration
         if residual_norm is not None:
             self.final_residual_norm = float(np.max(residual_norm))
@@ -91,7 +121,10 @@ class RecordLogger(Logger):
         self.events: list[tuple] = []
 
     def _record(self, event: str, op, kwargs) -> None:
-        self.events.append((event, type(op).__name__, dict(kwargs)))
+        # Operand payloads (the in-progress solution) are dropped so the
+        # recorded sequences stay printable and comparable across runs.
+        payload = {k: v for k, v in kwargs.items() if k != "solution"}
+        self.events.append((event, type(op).__name__, payload))
 
     def on_apply_started(self, op, **kwargs) -> None:
         self._record("apply_started", op, {})
@@ -105,8 +138,17 @@ class RecordLogger(Logger):
     def on_converged(self, op, **kwargs) -> None:
         self._record("converged", op, kwargs)
 
+    def on_breakdown(self, op, **kwargs) -> None:
+        self._record("breakdown", op, kwargs)
+
     def on_criterion_check_completed(self, op, **kwargs) -> None:
         self._record("criterion_check_completed", op, kwargs)
+
+    def on_fault_injected(self, op, **kwargs) -> None:
+        self._record("fault_injected", op, kwargs)
+
+    def on_data_corrupted(self, op, **kwargs) -> None:
+        self._record("data_corrupted", op, kwargs)
 
     def count(self, event: str) -> int:
         """Number of recorded events with the given name."""
@@ -154,6 +196,43 @@ class PerformanceLogger(Logger):
                 f"{self.totals[name] / total * 100:>5.1f}%"
             )
         return "\n".join(lines)
+
+
+class CheckpointLogger(Logger):
+    """Periodically snapshots the in-progress solution vector.
+
+    Attach to an iterative solver; every ``every`` iterations the current
+    solution is copied out to host memory (modelling the device-to-host
+    checkpoint transfer).  After a mid-solve fault, the resilient solve
+    path restarts from :attr:`solution` instead of from scratch.
+
+    Attributes:
+        iteration: Iteration of the most recent checkpoint (None: none yet).
+        solution: Host copy of the solution at that iteration.
+        num_checkpoints: How many checkpoints were captured.
+    """
+
+    def __init__(self, every: int = 50, sink: list | None = None) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.every = every
+        self.iteration: int | None = None
+        self.solution: np.ndarray | None = None
+        self.num_checkpoints = 0
+        self._sink = sink
+
+    def on_iteration_complete(
+        self, op, iteration=0, residual_norm=None, solution=None, **kwargs
+    ) -> None:
+        if solution is None or iteration == 0 or iteration % self.every:
+            return
+        # to_numpy() routes through the executor's copy machinery, so the
+        # checkpoint's transfer cost lands on the simulated clock.
+        self.solution = solution.to_numpy()
+        self.iteration = iteration
+        self.num_checkpoints += 1
+        if self._sink is not None:
+            self._sink.append(("checkpoint_saved", {"iteration": iteration}))
 
 
 class StreamLogger(Logger):

@@ -23,7 +23,28 @@ SYMMETRIES = ("general", "symmetric", "skew-symmetric")
 
 
 class MtxError(GinkgoError):
-    """Malformed MatrixMarket content."""
+    """Malformed MatrixMarket content.
+
+    Every malformed-input failure mode (truncated header, non-numeric
+    tokens, entry-count mismatches, out-of-range indices) surfaces as this
+    GinkgoError subclass — never as a raw ``ValueError``/``IndexError``.
+    """
+
+
+def _int(token: str, what: str) -> int:
+    try:
+        return int(token)
+    except ValueError as exc:
+        raise MtxError(f"malformed {what}: expected an integer, "
+                       f"got {token!r}") from exc
+
+
+def _float(token: str, what: str) -> float:
+    try:
+        return float(token)
+    except ValueError as exc:
+        raise MtxError(f"malformed {what}: expected a number, "
+                       f"got {token!r}") from exc
 
 
 def read_mtx(path_or_file) -> sp.coo_matrix:
@@ -77,7 +98,11 @@ def _read_coordinate(stream, size_line, field, symmetry) -> sp.coo_matrix:
     parts = size_line.split()
     if len(parts) != 3:
         raise MtxError(f"malformed coordinate size line: {size_line.strip()!r}")
-    rows, cols, nnz = (int(p) for p in parts)
+    rows, cols, nnz = (_int(p, "size line") for p in parts)
+    if rows < 0 or cols < 0 or nnz < 0:
+        raise MtxError(
+            f"negative dimensions in size line: {size_line.strip()!r}"
+        )
     r = np.empty(nnz, dtype=np.int64)
     c = np.empty(nnz, dtype=np.int64)
     v = np.empty(nnz, dtype=np.float64)
@@ -92,12 +117,15 @@ def _read_coordinate(stream, size_line, field, symmetry) -> sp.coo_matrix:
         if field == "pattern":
             if len(entry) < 2:
                 raise MtxError(f"malformed pattern entry: {line!r}")
-            r[count], c[count], v[count] = int(entry[0]), int(entry[1]), 1.0
+            r[count] = _int(entry[0], "entry row index")
+            c[count] = _int(entry[1], "entry column index")
+            v[count] = 1.0
         else:
             if len(entry) < 3:
                 raise MtxError(f"malformed entry: {line!r}")
-            r[count], c[count] = int(entry[0]), int(entry[1])
-            v[count] = float(entry[2])
+            r[count] = _int(entry[0], "entry row index")
+            c[count] = _int(entry[1], "entry column index")
+            v[count] = _float(entry[2], "entry value")
         count += 1
     if count != nnz:
         raise MtxError(f"declared {nnz} entries but found {count}")
@@ -122,13 +150,17 @@ def _read_array(stream, size_line, field, symmetry) -> sp.coo_matrix:
     parts = size_line.split()
     if len(parts) != 2:
         raise MtxError(f"malformed array size line: {size_line.strip()!r}")
-    rows, cols = (int(p) for p in parts)
+    rows, cols = (_int(p, "size line") for p in parts)
+    if rows < 0 or cols < 0:
+        raise MtxError(
+            f"negative dimensions in size line: {size_line.strip()!r}"
+        )
     values = []
     for line in stream:
         line = line.strip()
         if not line or line.startswith("%"):
             continue
-        values.append(float(line.split()[0]))
+        values.append(_float(line.split()[0], "array value"))
     dense = np.zeros((rows, cols))
     if symmetry == "general":
         if len(values) != rows * cols:

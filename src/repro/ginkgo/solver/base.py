@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ginkgo.dim import Dim
-from repro.ginkgo.exceptions import BadDimension, GinkgoError
+from repro.ginkgo.exceptions import BadDimension, GinkgoError, SolverBreakdown
 from repro.ginkgo.lin_op import Identity, LinOp, LinOpFactory
 from repro.ginkgo.matrix.dense import Dense
 from repro.ginkgo.stop import (
@@ -40,6 +40,9 @@ class SolverFactory(LinOpFactory):
             1e-12).
         preconditioner: Either a generated LinOp applied as the
             preconditioner, or a factory with a ``generate(matrix)`` method.
+        strict_breakdown: When True, a NaN/Inf residual raises
+            :class:`SolverBreakdown` (``NotConverged``-style strictness);
+            by default the solve just stops early and logs the breakdown.
         **params: Solver-specific parameters, validated by the subclass.
     """
 
@@ -48,7 +51,14 @@ class SolverFactory(LinOpFactory):
     #: Names of accepted solver-specific parameters.
     parameter_names: tuple = ()
 
-    def __init__(self, exec_, criteria=None, preconditioner=None, **params):
+    def __init__(
+        self,
+        exec_,
+        criteria=None,
+        preconditioner=None,
+        strict_breakdown: bool = False,
+        **params,
+    ):
         super().__init__(exec_)
         unknown = set(params) - set(self.parameter_names)
         if unknown:
@@ -58,6 +68,7 @@ class SolverFactory(LinOpFactory):
             )
         self.criteria = _normalise_criteria(criteria)
         self.preconditioner = preconditioner
+        self.strict_breakdown = bool(strict_breakdown)
         self.params = params
 
     def generate(self, matrix: LinOp) -> "IterativeSolver":
@@ -93,6 +104,7 @@ class IterativeSolver(LinOp):
         # Populated after each apply:
         self.num_iterations = 0
         self.converged = False
+        self.breakdown = False
         self.final_residual_norm = float("nan")
 
     @staticmethod
@@ -128,6 +140,7 @@ class IterativeSolver(LinOp):
     # LinOp interface
     # ------------------------------------------------------------------
     def _apply_impl(self, b: Dense, x: Dense) -> None:
+        self.breakdown = False
         context = CriterionContext(
             rhs_norm=b.compute_norm2(),
             clock=self._exec.clock,
@@ -140,10 +153,28 @@ class IterativeSolver(LinOp):
         criterion = self._factory.criteria.generate(context)
 
         def monitor(iteration: int, residual_norm) -> bool:
+            # Breakdown guard: a NaN/Inf residual means the iteration has
+            # lost the plot (corrupted data, singular preconditioner, ...)
+            # and would otherwise silently spin to max_iters.
+            norms = np.asarray(residual_norm, dtype=np.float64)
+            if not np.all(np.isfinite(norms)):
+                self.num_iterations = iteration
+                self.converged = False
+                self.breakdown = True
+                self.final_residual_norm = float(np.max(norms))
+                self._log(
+                    "breakdown",
+                    iteration=iteration,
+                    residual_norm=residual_norm,
+                )
+                if self._factory.strict_breakdown:
+                    raise SolverBreakdown(iteration, float(np.max(norms)))
+                return True
             self._log(
                 "iteration_complete",
                 iteration=iteration,
                 residual_norm=residual_norm,
+                solution=x,
             )
             # The host-driven iteration loop reads the stopping status back
             # from the device once per check (Ginkgo behaviour).

@@ -11,6 +11,7 @@ from repro.ginkgo.stop.criterion import (
     Combined,
     Criterion,
     CriterionContext,
+    Divergence,
     Iteration,
     ResidualNorm,
     Time,
@@ -20,6 +21,7 @@ __all__ = [
     "Combined",
     "Criterion",
     "CriterionContext",
+    "Divergence",
     "Iteration",
     "ResidualNorm",
     "Time",

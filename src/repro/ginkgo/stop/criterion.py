@@ -137,6 +137,37 @@ class ResidualNorm(CriterionFactory):
         )
 
 
+class Divergence(CriterionFactory):
+    """Stop — without converging — when the iteration is diverging.
+
+    Triggers when the residual norm is non-finite (NaN/Inf breakdown) or
+    has grown past ``limit`` times the initial residual norm.  Used by the
+    resilient solve path to abandon a doomed attempt early instead of
+    burning the full iteration budget.
+    """
+
+    def __init__(self, limit: float = 1e6) -> None:
+        if limit <= 0:
+            raise GinkgoError(f"divergence limit must be positive, got {limit}")
+        self.limit = float(limit)
+
+    def generate(self, context: CriterionContext) -> Criterion:
+        reference = np.asarray(context.initial_resnorm, dtype=np.float64)
+        threshold = self.limit * np.where(reference > 0.0, reference, 1.0)
+
+        class _Bound(Criterion):
+            def check(self, iteration: int, residual_norm) -> bool:
+                norm = np.asarray(residual_norm, dtype=np.float64)
+                return bool(
+                    np.any(~np.isfinite(norm)) or np.any(norm > threshold)
+                )
+
+        return _Bound()
+
+    def __repr__(self) -> str:
+        return f"Divergence(limit={self.limit})"
+
+
 class Time(CriterionFactory):
     """Stop after a simulated-time limit (seconds on the executor clock)."""
 

@@ -1,0 +1,333 @@
+"""Resilient solve path: retry, backoff, fallback, checkpoint/restart."""
+
+import numpy as np
+import pytest
+
+import repro as pg
+from repro.core.solver_api import _unwrap
+from repro.core.resilient import (
+    FallbackChain,
+    ResilienceReport,
+    RetryPolicy,
+    resilient_solve,
+)
+from repro.ginkgo import (
+    CudaExecutor,
+    FaultInjector,
+    FaultyExecutor,
+    GinkgoError,
+    OmpExecutor,
+    ResilienceExhausted,
+    SolverBreakdown,
+)
+from repro.ginkgo.exceptions import CudaError
+from repro.ginkgo.matrix import Csr
+from repro.suitesparse.generators import spd_random
+
+N = 300
+SOLVE_KWARGS = dict(
+    solver="gmres",
+    preconditioner="jacobi",
+    max_iters=500,
+    reduction_factor=1e-9,
+    krylov_dim=50,
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    A = spd_random(N, 0.02, seed=3)
+    rng = np.random.default_rng(7)
+    b = rng.standard_normal((N, 1))
+    return A, b
+
+
+def faulty_cuda(**injector_kwargs):
+    injector = FaultInjector(**injector_kwargs)
+    exec_ = FaultyExecutor.create(CudaExecutor.create(noisy=False), injector)
+    return exec_, injector
+
+
+def stage(exec_, system, injector=None):
+    """Build the operands on an executor without tripping setup faults."""
+    A, b_np = system
+    if injector is not None:
+        with injector.paused():
+            mtx = Csr.from_scipy(exec_, A)
+            b = pg.as_tensor(device=exec_, data=b_np)
+    else:
+        mtx = Csr.from_scipy(exec_, A)
+        b = pg.as_tensor(device=exec_, data=b_np)
+    return mtx, b
+
+
+def reference_residual(system):
+    """Fault-free solve on a plain cuda executor."""
+    exec_ = CudaExecutor.create(noisy=False)
+    mtx, b = stage(exec_, system)
+    logger, _ = pg.solve(exec_, mtx, b, **SOLVE_KWARGS)
+    assert logger.converged
+    return logger.final_residual_norm
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(GinkgoError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(GinkgoError, match="base_delay"):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(GinkgoError, match="backoff_factor"):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_exponential_delay(self):
+        policy = RetryPolicy(base_delay=1e-3, backoff_factor=2.0)
+        assert policy.delay(0) == pytest.approx(1e-3)
+        assert policy.delay(1) == pytest.approx(2e-3)
+        assert policy.delay(3) == pytest.approx(8e-3)
+
+
+class TestFallbackChain:
+    def test_default_skips_primary(self):
+        chain = FallbackChain().resolve(CudaExecutor.create(noisy=False))
+        assert [e.name for e in chain] == ["omp", "reference"]
+
+    def test_accepts_sequence_or_varargs(self):
+        assert FallbackChain("omp", "reference").devices == (
+            "omp",
+            "reference",
+        )
+        assert FallbackChain(["omp"]).devices == ("omp",)
+
+    def test_accepts_executor_instances(self):
+        omp = OmpExecutor.create(noisy=False)
+        chain = FallbackChain(omp).resolve(CudaExecutor.create(noisy=False))
+        assert chain == [omp]
+
+    def test_pinning_to_primary_yields_empty_chain(self):
+        cuda = CudaExecutor.create(noisy=False)
+        assert FallbackChain(cuda).resolve(cuda) == []
+
+
+class TestRetryRecovery:
+    """The acceptance scenario: transient kernel faults healed by retry."""
+
+    def test_retry_matches_fault_free_residual(self, system):
+        expected = reference_residual(system)
+        exec_, inj = faulty_cuda(schedule={"run": [2, 5]})
+        mtx, b = stage(exec_, system, inj)
+        report, x = resilient_solve(exec_, mtx, b, **SOLVE_KWARGS)
+        assert report.converged
+        assert report.executor_name == "cuda"
+        assert report.attempts == 3  # two faulted attempts, then success
+        assert report.retries == 2
+        assert report.fallbacks == 0
+        assert report.faults_injected == 2
+        np.testing.assert_allclose(
+            report.final_residual_norm, expected, rtol=1e-10
+        )
+        # The solution actually solves the system.
+        A, b_np = system
+        residual = b_np - A @ x.numpy()
+        assert np.linalg.norm(residual) <= 1e-8 * np.linalg.norm(b_np)
+
+    def test_every_fault_and_recovery_logged(self, system):
+        exec_, inj = faulty_cuda(schedule={"run": [2, 5]})
+        mtx, b = stage(exec_, system, inj)
+        report, _ = resilient_solve(exec_, mtx, b, **SOLVE_KWARGS)
+        names = [name for name, _ in report.events]
+        assert names.count("fault_injected") == inj.fault_count == 2
+        assert names.count("attempt_failed") == 2
+        assert names.count("retry") == 2
+        assert names[-1] == "solve_completed"
+        # Faults interleave with the recovery actions in causal order.
+        first_fault = names.index("fault_injected")
+        assert names[first_fault + 1 :].index("retry") >= 0
+        retries = [p for name, p in report.events if name == "retry"]
+        assert retries[0]["delay"] == pytest.approx(1e-3)
+        assert retries[1]["delay"] == pytest.approx(2e-3)
+
+    def test_same_seed_identical_event_trails(self, system):
+        def run():
+            exec_, inj = faulty_cuda(seed=11, kernel_rate=0.02)
+            mtx, b = stage(exec_, system, inj)
+            report, _ = resilient_solve(exec_, mtx, b, **SOLVE_KWARGS)
+            return report.events
+
+        first, second = run(), run()
+        assert first == second
+        assert any(name == "fault_injected" for name, _ in first)
+
+    def test_backoff_advances_simulated_clock(self, system):
+        exec_, inj = faulty_cuda(schedule={"run": [0]})
+        mtx, b = stage(exec_, system, inj)
+        retry = RetryPolicy(base_delay=5.0)
+        before = exec_.clock.now
+        report, _ = resilient_solve(
+            exec_, mtx, b, retry=retry, **SOLVE_KWARGS
+        )
+        assert report.converged
+        assert exec_.clock.now - before >= 5.0
+
+
+class TestFallbackRecovery:
+    def test_falls_back_when_retries_exhausted(self, system):
+        expected = reference_residual(system)
+        exec_, inj = faulty_cuda(seed=5, kernel_rate=0.9)
+        mtx, b = stage(exec_, system, inj)
+        report, x = resilient_solve(exec_, mtx, b, **SOLVE_KWARGS)
+        assert report.converged
+        assert report.executor_name == "omp"
+        assert report.fallbacks == 1
+        assert ("fallback", {"from": "cuda", "to": "omp"}) in report.events
+        np.testing.assert_allclose(
+            report.final_residual_norm, expected, rtol=1e-10
+        )
+
+    def test_corruption_triggers_breakdown_then_recovers(self, system):
+        # Call 0 of the copy site is b.clone() at the start of apply: the
+        # poisoned NaN propagates into the residual, breaks the solve
+        # down, and the retry (clean copy) recovers.
+        exec_, inj = faulty_cuda(schedule={"copy": [(0, "corruption")]})
+        mtx, b = stage(exec_, system, inj)
+        report, _ = resilient_solve(exec_, mtx, b, **SOLVE_KWARGS)
+        assert report.converged
+        assert report.count("data_corrupted") == 1
+        failed = [p for name, p in report.events if name == "attempt_failed"]
+        assert failed[0]["error"] == "SolverBreakdown"
+
+    def test_exhausted_raises_with_history(self, system):
+        exec_, inj = faulty_cuda(kernel_rate=1.0)
+        mtx, b = stage(exec_, system, inj)
+        retry = RetryPolicy(max_retries=1)
+        with pytest.raises(ResilienceExhausted) as excinfo:
+            resilient_solve(
+                exec_,
+                mtx,
+                b,
+                retry=retry,
+                fallback=FallbackChain(exec_),  # pin: no degradation
+                **SOLVE_KWARGS,
+            )
+        err = excinfo.value
+        assert err.attempts == 2
+        assert all(name == "cuda" for name, _ in err.history)
+        assert all(isinstance(e, CudaError) for _, e in err.history)
+
+
+class TestCheckpointRestart:
+    def test_restart_resumes_from_checkpoint(self, system):
+        # Fault at kernel call 400 — far enough in that a checkpoint has
+        # been captured by then.
+        exec_, inj = faulty_cuda(schedule={"run": [100]})
+        mtx, b = stage(exec_, system, inj)
+        report, x = resilient_solve(
+            exec_, mtx, b, checkpoint_every=5, **SOLVE_KWARGS
+        )
+        assert report.converged
+        assert report.count("checkpoint_saved") > 0
+        restored = [
+            p for name, p in report.events if name == "checkpoint_restored"
+        ]
+        assert len(restored) == 1
+        assert restored[0]["iteration"] > 0
+        retry_events = [p for name, p in report.events if name == "retry"]
+        assert retry_events[0]["restart_iteration"] == restored[0]["iteration"]
+        # Restarting from a partial solution still reaches the tolerance.
+        A, b_np = system
+        residual = b_np - A @ x.numpy()
+        assert np.linalg.norm(residual) <= 1e-8 * np.linalg.norm(b_np)
+
+    def test_no_checkpoint_restarts_from_scratch(self, system):
+        exec_, inj = faulty_cuda(schedule={"run": [2]})
+        mtx, b = stage(exec_, system, inj)
+        report, _ = resilient_solve(exec_, mtx, b, **SOLVE_KWARGS)
+        retry_events = [p for name, p in report.events if name == "retry"]
+        assert retry_events[0]["restart_iteration"] == 0
+        assert report.count("checkpoint_restored") == 0
+
+
+class TestSolveIntegration:
+    """The resilience knobs on the plain pg.solve surface."""
+
+    def test_solve_routes_to_resilient(self, system):
+        exec_, inj = faulty_cuda(schedule={"run": [2]})
+        mtx, b = stage(exec_, system, inj)
+        report, x = pg.solve(
+            exec_, mtx, b, retry=RetryPolicy(max_retries=2), **SOLVE_KWARGS
+        )
+        assert isinstance(report, ResilienceReport)
+        assert report.converged
+        assert report.retries == 1
+
+    def test_solve_without_knobs_unchanged(self, cuda, system):
+        mtx, b = stage(cuda, system)
+        logger, x = pg.solve(cuda, mtx, b, **SOLVE_KWARGS)
+        assert logger.converged
+        assert not isinstance(logger, ResilienceReport)
+
+    def test_fault_free_resilient_solve_is_plain_solve(self, cuda, system):
+        expected = reference_residual(system)
+        mtx, b = stage(cuda, system)
+        report, _ = resilient_solve(cuda, mtx, b, **SOLVE_KWARGS)
+        assert report.converged
+        assert report.attempts == 1
+        assert report.events[0][0] == "attempt_started"
+        assert report.events[-1][0] == "solve_completed"
+        np.testing.assert_allclose(
+            report.final_residual_norm, expected, rtol=1e-10
+        )
+
+    def test_works_with_device_names(self, system):
+        A, b_np = system
+        omp = pg.device("omp")
+        mtx = Csr.from_scipy(omp, A)
+        b = pg.as_tensor(device=omp, data=b_np)
+        report, _ = resilient_solve("omp", mtx, b, **SOLVE_KWARGS)
+        assert report.converged
+
+
+class TestBreakdownDetection:
+    @staticmethod
+    def _poisoned_system(ref):
+        import scipy.sparse as sp
+
+        # A NaN in the right-hand side makes the very first residual
+        # non-finite, modelling silent data corruption upstream.
+        A = sp.eye(4, format="csr") * 2.0
+        mtx = Csr.from_scipy(ref, A)
+        b_np = np.ones((4, 1))
+        b_np[1, 0] = np.nan
+        b = _unwrap(pg.as_tensor(b_np, device=ref))
+        x = _unwrap(pg.as_tensor(device=ref, dim=(4, 1), fill=0.0))
+        return mtx, b, x
+
+    @staticmethod
+    def _factory(ref, strict):
+        from repro.ginkgo.config import parse
+
+        config = {
+            "type": "cg",
+            "criteria": [{"type": "stop::Iteration", "max_iters": 10}],
+        }
+        if strict:
+            config["strict_breakdown"] = True
+        return parse(ref, config)
+
+    def test_strict_breakdown_raises(self, ref):
+        mtx, b, x = self._poisoned_system(ref)
+        solver = self._factory(ref, strict=True).generate(mtx)
+        with pytest.raises(SolverBreakdown) as excinfo:
+            solver.apply(b, x)
+        assert not np.isfinite(excinfo.value.residual_norm)
+
+    def test_lenient_breakdown_stops_and_flags(self, ref):
+        from repro.ginkgo.log import ConvergenceLogger
+
+        mtx, b, x = self._poisoned_system(ref)
+        solver = self._factory(ref, strict=False).generate(mtx)
+        logger = ConvergenceLogger()
+        solver.add_logger(logger)
+        solver.apply(b, x)
+        assert solver.breakdown
+        assert logger.breakdown
+        assert not logger.converged

@@ -1,0 +1,274 @@
+"""Fault-injection layer: deterministic schedules, rates, and accounting."""
+
+import numpy as np
+import pytest
+
+from repro.ginkgo import (
+    AllocationError,
+    CudaError,
+    CudaExecutor,
+    FaultInjector,
+    FaultyExecutor,
+    GinkgoError,
+    OmpExecutor,
+    ReferenceExecutor,
+)
+from repro.ginkgo.log import RecordLogger
+from repro.ginkgo.matrix import Csr, Dense
+from repro.perfmodel import KernelCost
+
+
+def make_faulty(injector=None, **injector_kwargs):
+    injector = injector or FaultInjector(**injector_kwargs)
+    inner = CudaExecutor.create(noisy=False)
+    return FaultyExecutor.create(inner, injector), injector
+
+
+class TestInjectorPolicy:
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(GinkgoError, match="rate"):
+            FaultInjector(kernel_rate=1.5)
+        with pytest.raises(GinkgoError, match="exceed"):
+            FaultInjector(kernel_rate=0.7, stall_rate=0.7)
+
+    def test_invalid_schedule_rejected(self):
+        with pytest.raises(GinkgoError, match="site"):
+            FaultInjector(schedule={"nope": [0]})
+        with pytest.raises(GinkgoError, match="kind"):
+            FaultInjector(schedule={"alloc": [(0, "stall")]})
+
+    def test_schedule_fires_at_exact_calls(self):
+        inj = FaultInjector(schedule={"run": [1, 3]})
+        verdicts = [inj.decide("run") is not None for _ in range(5)]
+        assert verdicts == [False, True, False, True, False]
+        assert [f.call for f in inj.injected] == [1, 3]
+
+    def test_same_seed_same_sequence(self):
+        def sequence():
+            inj = FaultInjector(seed=42, kernel_rate=0.3, stall_rate=0.1)
+            for _ in range(200):
+                inj.decide("run", detail="k")
+            return [(f.site, f.kind, f.call) for f in inj.injected]
+
+        first, second = sequence(), sequence()
+        assert first == second
+        assert len(first) > 0
+
+    def test_different_seeds_differ(self):
+        def faults(seed):
+            inj = FaultInjector(seed=seed, kernel_rate=0.3)
+            for _ in range(100):
+                inj.decide("run")
+            return [f.call for f in inj.injected]
+
+        assert faults(1) != faults(2)
+
+    def test_max_faults_caps_injection(self):
+        inj = FaultInjector(schedule={"run": [0, 1, 2, 3]}, max_faults=2)
+        fired = [inj.decide("run") is not None for _ in range(4)]
+        assert fired == [True, True, False, False]
+        assert inj.fault_count == 2
+
+    def test_paused_suspends_and_preserves_counters(self):
+        inj = FaultInjector(schedule={"run": [0]})
+        with inj.paused():
+            assert inj.decide("run") is None
+            assert inj.calls("run") == 0
+        # The scheduled call index 0 is still pending once re-armed.
+        assert inj.decide("run") is not None
+
+    def test_corrupt_nan_and_bitflip(self):
+        inj = FaultInjector(seed=0, corruption_mode="nan")
+        buf = np.ones(16)
+        idx = inj.corrupt(buf)
+        assert np.isnan(buf[idx])
+        inj2 = FaultInjector(seed=0, corruption_mode="bitflip")
+        buf2 = np.ones(16)
+        idx2 = inj2.corrupt(buf2)
+        assert buf2[idx2] != 1.0
+
+
+class TestFaultyExecutor:
+    def test_requires_create_factory(self):
+        with pytest.raises(TypeError, match="create"):
+            FaultyExecutor(CudaExecutor.create(noisy=False), FaultInjector())
+
+    def test_rejects_double_wrap_and_non_executor(self):
+        exec_, inj = make_faulty()
+        with pytest.raises(GinkgoError, match="already-faulty"):
+            FaultyExecutor.create(exec_, inj)
+        with pytest.raises(GinkgoError, match="Executor"):
+            FaultyExecutor.create("cuda", inj)
+
+    def test_transparent_delegation(self):
+        exec_, _ = make_faulty()
+        assert exec_.name == "cuda"
+        assert not exec_.is_host
+        assert exec_.get_master().is_host
+        assert exec_.spec is exec_.inner.spec
+        assert exec_.clock is exec_.inner.clock
+        assert exec_.bytes_allocated == exec_.inner.bytes_allocated
+
+    def test_host_wrapper_is_its_own_master(self):
+        inj = FaultInjector()
+        host = FaultyExecutor.create(ReferenceExecutor.create(noisy=False), inj)
+        assert host.get_master() is host
+
+    def test_transient_kernel_fault(self):
+        exec_, inj = make_faulty(schedule={"run": [0]})
+        with pytest.raises(CudaError, match="transient fault in kernel"):
+            exec_.run(KernelCost("spmv", 1.0, 8.0))
+        # The next kernel goes through and advances the clock.
+        before = exec_.clock.now
+        exec_.run(KernelCost("spmv", 1.0, 8.0))
+        assert exec_.clock.now > before
+
+    def test_stall_delays_but_completes(self):
+        exec_, inj = make_faulty(
+            injector=FaultInjector(
+                schedule={"run": [(0, "stall")]}, stall_seconds=0.5
+            )
+        )
+        before = exec_.clock.now
+        exec_.run(KernelCost("spmv", 1.0, 8.0))
+        assert exec_.clock.now - before >= 0.5
+        assert inj.injected[0].kind == "stall"
+
+    def test_alloc_fault_does_not_skew_accounting(self):
+        exec_, inj = make_faulty(schedule={"alloc": [0]})
+        count = exec_.allocation_count
+        used = exec_.bytes_allocated
+        peak = exec_.peak_bytes_allocated
+        with pytest.raises(AllocationError):
+            exec_.alloc((100,), np.float64)
+        assert exec_.allocation_count == count
+        assert exec_.bytes_allocated == used
+        assert exec_.peak_bytes_allocated == peak
+        # Next allocation succeeds and is tracked on the inner executor.
+        buf = exec_.alloc((100,), np.float64)
+        assert exec_.bytes_allocated == used + buf.nbytes
+
+    def test_copy_transient_fault(self):
+        exec_, inj = make_faulty(schedule={"copy": [0]})
+        host = exec_.get_master()
+        data = np.ones(8)
+        with pytest.raises(CudaError, match="copying"):
+            exec_.copy_from(host, data)
+        out = exec_.copy_from(host, data)
+        np.testing.assert_array_equal(out, data)
+
+    def test_copy_corruption_poisons_buffer(self):
+        exec_, inj = make_faulty(schedule={"copy": [(0, "corruption")]})
+        out = exec_.copy_from(exec_.get_master(), np.ones(64))
+        assert np.isnan(out).sum() == 1
+
+    def test_fault_events_logged(self):
+        exec_, inj = make_faulty(schedule={"run": [0], "alloc": [1]})
+        log = RecordLogger()
+        exec_.add_logger(log)
+        with pytest.raises(CudaError):
+            exec_.run(KernelCost("gemv", 1.0, 8.0))
+        exec_.alloc((4,), np.float64)
+        with pytest.raises(AllocationError):
+            exec_.alloc((4,), np.float64)
+        assert log.count("fault_injected") == 2
+        events = [e for e in log.events if e[0] == "fault_injected"]
+        assert events[0][2]["site"] == "run"
+        assert events[0][2]["detail"] == "gemv"
+        assert events[1][2]["site"] == "alloc"
+
+    def test_operators_work_on_faulty_executor(self, rng):
+        import scipy.sparse as sp
+
+        exec_, inj = make_faulty(kernel_rate=0.0)
+        A = sp.random(50, 50, density=0.1, random_state=rng, format="csr")
+        mtx = Csr.from_scipy(exec_, A)
+        x = Dense.full(exec_, (50, 1), 1.0, np.float64)
+        y = Dense.zeros(exec_, (50, 1), np.float64)
+        mtx.apply(x, y)
+        expected = A @ np.ones((50, 1))
+        np.testing.assert_allclose(y.to_numpy(), expected, rtol=1e-13)
+
+    def test_deterministic_fault_sequence_through_executor(self):
+        def run_once():
+            exec_, inj = make_faulty(
+                injector=FaultInjector(seed=9, kernel_rate=0.2)
+            )
+            for i in range(50):
+                try:
+                    exec_.run(KernelCost(f"k{i}", 1.0, 8.0))
+                except CudaError:
+                    pass
+            return [(f.site, f.kind, f.call, f.detail) for f in inj.injected]
+
+        assert run_once() == run_once()
+
+
+class TestOutOfMemoryPaths:
+    """AllocationError paths on a near-full device executor."""
+
+    def test_oversized_alloc_keeps_counters(self, cuda):
+        capacity = cuda.spec.memory_capacity
+        count = cuda.allocation_count
+        # A request beyond capacity must fail before host allocation and
+        # leave the counters untouched.
+        with pytest.raises(AllocationError):
+            cuda.alloc((int(capacity // 8 + 1),), np.float64)
+        assert cuda.allocation_count == count
+        assert cuda.bytes_allocated == 0
+        assert cuda.peak_bytes_allocated == 0
+
+    def test_near_full_device_rejects_next_alloc(self, cuda):
+        # Fill the simulated device to ~99.9% without real host memory:
+        # account a large region directly, then try a real small alloc.
+        headroom = 1024
+        cuda._track_alloc(int(cuda.spec.memory_capacity) - headroom)
+        with pytest.raises(AllocationError, match="failed to allocate"):
+            cuda.alloc((headroom,), np.float64)  # 8x headroom bytes
+        ok = cuda.alloc((headroom // 8,), np.float64)
+        assert ok.nbytes <= headroom
+
+    def test_copy_from_oom_on_full_device(self, cuda, ref):
+        cuda._track_alloc(int(cuda.spec.memory_capacity))
+        with pytest.raises(AllocationError):
+            cuda.copy_from(ref, np.ones(1024))
+
+    def test_failed_alloc_then_success_accounting(self, cuda):
+        buf = cuda.alloc((1000,), np.float64)
+        used = cuda.bytes_allocated
+        count = cuda.allocation_count
+        with pytest.raises(AllocationError):
+            cuda.alloc((int(1e12),), np.float64)
+        assert cuda.bytes_allocated == used
+        assert cuda.allocation_count == count
+        cuda.free(buf)
+        assert cuda.bytes_allocated == used - buf.nbytes
+
+
+class TestFreeBookkeeping:
+    def test_double_free_raises(self, ref):
+        buf = ref.alloc((10,), np.float64)
+        ref.free(buf)
+        with pytest.raises(GinkgoError, match="free"):
+            ref.free(buf)
+
+    def test_free_of_foreign_buffer_raises(self, ref):
+        with pytest.raises(GinkgoError, match="free"):
+            ref.free(np.ones(10))
+
+    def test_double_free_cannot_corrupt_peak(self, ref):
+        a = ref.alloc((100,), np.float64)
+        b = ref.alloc((100,), np.float64)
+        peak = ref.peak_bytes_allocated
+        ref.free(a)
+        with pytest.raises(GinkgoError):
+            ref.free(a)
+        assert ref.bytes_allocated == b.nbytes
+        assert ref.peak_bytes_allocated == peak
+
+    def test_free_through_faulty_wrapper(self):
+        exec_, _ = make_faulty()
+        buf = exec_.alloc((10,), np.float64)
+        exec_.free(buf)
+        with pytest.raises(GinkgoError):
+            exec_.free(buf)

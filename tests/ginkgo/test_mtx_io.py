@@ -138,6 +138,61 @@ class TestReadErrors:
                 "%%MatrixMarket matrix coordinate real general\n% only\n"
             )
 
+    def test_non_numeric_size_line(self):
+        with pytest.raises(MtxError, match="expected an integer"):
+            read_mtx_string(
+                "%%MatrixMarket matrix coordinate real general\n"
+                "two 2 1\n1 1 1.0\n"
+            )
+
+    def test_negative_dimensions(self):
+        with pytest.raises(MtxError, match="negative"):
+            read_mtx_string(
+                "%%MatrixMarket matrix coordinate real general\n"
+                "-2 2 1\n1 1 1.0\n"
+            )
+
+    def test_non_numeric_entry_index(self):
+        with pytest.raises(MtxError, match="row index"):
+            read_mtx_string(
+                "%%MatrixMarket matrix coordinate real general\n"
+                "2 2 1\nx 1 1.0\n"
+            )
+
+    def test_non_numeric_entry_value(self):
+        with pytest.raises(MtxError, match="entry value"):
+            read_mtx_string(
+                "%%MatrixMarket matrix coordinate real general\n"
+                "2 2 1\n1 1 abc\n"
+            )
+
+    def test_excess_entries(self):
+        with pytest.raises(MtxError, match="more than the declared"):
+            read_mtx_string(
+                "%%MatrixMarket matrix coordinate real general\n"
+                "2 2 1\n1 1 1.0\n2 2 2.0\n"
+            )
+
+    def test_array_non_numeric_value(self):
+        with pytest.raises(MtxError, match="array value"):
+            read_mtx_string(
+                "%%MatrixMarket matrix array real general\n2 1\n1.0\nnope\n"
+            )
+
+    def test_array_malformed_size_line(self):
+        with pytest.raises(MtxError, match="array size"):
+            read_mtx_string(
+                "%%MatrixMarket matrix array real general\n2\n1.0\n2.0\n"
+            )
+
+    def test_zero_index_rejected(self):
+        # MatrixMarket is 1-based; an index of 0 lands outside after shift.
+        with pytest.raises(MtxError, match="outside"):
+            read_mtx_string(
+                "%%MatrixMarket matrix coordinate real general\n"
+                "2 2 1\n0 1 1.0\n"
+            )
+
 
 class TestWrite:
     def test_roundtrip_random(self, rng):
