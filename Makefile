@@ -3,11 +3,19 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: verify test bench
+.PHONY: verify unit profile-smoke test bench
 
-# Tier-1 gate: the full unit/integration/property suite, fail-fast.
-verify:
+# Tier-1 gate: the full test suite plus the profiler smoke check.
+verify: unit profile-smoke
+
+# The full unit/integration/property suite, fail-fast.
+unit:
 	$(PYTHON) -m pytest -x -q
+
+# End-to-end profiler acceptance: attribution coverage, Chrome-trace
+# validity, and same-seed trace determinism on a small profiled solve.
+profile-smoke:
+	$(PYTHON) benchmarks/bench_profile_attribution.py --smoke
 
 test: verify
 

@@ -1,14 +1,18 @@
 """Figure 5b: relative performance difference pyGinkgo vs native Ginkgo.
 
 Regenerates the overhead-percentage series and benchmarks the real cost
-of a binding crossing against the bare engine call.
+of a binding crossing against the bare engine call.  The binding share is
+measured two ways: the paper's bound-vs-native differencing, and the span
+profiler's attribution table, which decomposes a *single* bound run into
+kernel/binding/stall time (no second measurement, no subtraction noise).
 """
 
 import numpy as np
 import pytest
 
 from repro.baselines import GinkgoNativeBackend, PyGinkgoBackend
-from repro.bench import fig5b_overhead
+from repro.bench import fig5b_overhead, profile_attribution
+from repro.ginkgo.log import ProfilerHook
 
 from conftest import report
 
@@ -17,6 +21,10 @@ from conftest import report
 def print_figure(overhead_matrices):
     report(
         "Figure 5b reproduction", fig5b_overhead(overhead_matrices)["text"]
+    )
+    report(
+        "Binding share via profiler attribution",
+        profile_attribution(overhead_matrices)["text"],
     )
 
 
@@ -36,3 +44,22 @@ def test_spmv_with_and_without_bindings(benchmark, backend_cls, workload):
     backend = backend_cls(noisy=False)
     handle = backend.prepare(matrix, "csr", np.float32)
     benchmark(lambda: backend.spmv(handle, x))
+
+
+def test_spmv_profiled(benchmark, workload):
+    """The bound SpMV with a profiler attached: the tracing overhead."""
+    matrix, x = workload
+    backend = PyGinkgoBackend(noisy=False)
+    handle = backend.prepare(matrix, "csr", np.float32)
+    prof = ProfilerHook(name="fig5b")
+    prof.attach(backend.clock)
+    try:
+        benchmark(lambda: backend.spmv(handle, x))
+    finally:
+        prof.detach(backend.clock)
+    table = prof.attribution()
+    # The profiler must account for (essentially) all simulated time the
+    # benchmark observed, and see the binding crossings it charged.
+    assert table.coverage >= 0.99
+    assert table.binding_time > 0.0
+    assert "spmv_apply" in table.bindings

@@ -1,0 +1,142 @@
+"""Profiler attribution on a preconditioned solve (GMRES+ILU, 2D stencil).
+
+Two entry points:
+
+* pytest-benchmark tests (run with the rest of ``benchmarks/``) that time
+  a profiled solve and report the attribution table;
+* a standalone smoke mode asserting the PR's acceptance criteria on a
+  tiny stencil matrix::
+
+      python benchmarks/bench_profile_attribution.py --smoke
+
+  checks that the attribution table accounts for >= 99% of the simulated
+  wall-clock span, that the Chrome trace export is valid trace-event
+  JSON with monotonic timestamps, and that two same-seed runs produce
+  byte-identical traces.
+"""
+
+import argparse
+import json
+import sys
+
+import repro as pg
+from repro.bindings import get_binding, reset_models
+from repro.suitesparse.generators import poisson_2d
+
+
+def run_profiled_solve(nx: int = 32, max_iters: int = 200):
+    """One GMRES+ILU solve on an nx-by-nx Poisson stencil, profiled.
+
+    Returns ``(prof, metrics, logger)``.  Global state (device cache,
+    binding-overhead jitter streams) is reset first so same-seed calls
+    are bit-reproducible.
+    """
+    pg.clear_device_cache()
+    reset_models()
+    dev = pg.device("cuda", fresh=True)
+    mtx = get_binding("csr_double_int32")(dev, poisson_2d(nx))
+    n = mtx.size[0]
+    b = pg.as_tensor(device=dev, dim=(n, 1), dtype="double", fill=1.0)
+    metrics = pg.MetricsRegistry()
+    with pg.profile(name="gmres_ilu_stencil", metrics=metrics) as prof:
+        logger, _ = pg.solve(
+            dev, mtx, b,
+            solver="gmres",
+            preconditioner="ilu",
+            max_iters=max_iters,
+            reduction_factor=1e-8,
+        )
+    return prof, metrics, logger
+
+
+def smoke(nx: int = 16) -> int:
+    """Assert the acceptance criteria; returns a process exit code."""
+    prof, metrics, logger = run_profiled_solve(nx=nx)
+    table = prof.attribution()
+    trace_json = prof.to_chrome_trace()
+
+    failures = []
+    if not logger.converged:
+        failures.append("solve did not converge")
+    if table.coverage < 0.99:
+        failures.append(f"attribution coverage {table.coverage:.4f} < 0.99")
+    data = json.loads(trace_json)
+    events = data["traceEvents"]
+    if not events:
+        failures.append("empty traceEvents")
+    ts = [e["ts"] for e in events]
+    if any(a > b for a, b in zip(ts, ts[1:])):
+        failures.append("trace timestamps not monotonic")
+    prof2, _, _ = run_profiled_solve(nx=nx)
+    if prof2.to_chrome_trace() != trace_json:
+        failures.append("same-seed traces are not byte-identical")
+    if metrics.counter("iterations").value != logger.num_iterations + 1:
+        failures.append("iteration counter does not match the solve")
+
+    print(table.summary())
+    print()
+    print(metrics.summary())
+    print()
+    print(
+        f"trace: {len(events)} events, coverage {table.coverage * 100:.2f}%,"
+        f" binding share {table.binding_fraction * 100:.2f}%"
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("profile-smoke OK")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="assert the acceptance criteria on a tiny stencil and exit",
+    )
+    parser.add_argument("--nx", type=int, default=16, help="stencil size")
+    parser.add_argument(
+        "--trace-out", default=None,
+        help="write the Chrome trace JSON of one profiled solve here",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        return smoke(nx=args.nx)
+    prof, metrics, logger = run_profiled_solve(nx=args.nx)
+    print(prof.attribution().summary())
+    if args.trace_out:
+        prof.save_chrome_trace(args.trace_out)
+        print(f"wrote {args.trace_out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark targets
+# ----------------------------------------------------------------------
+try:
+    import pytest
+
+    from conftest import report
+except ImportError:  # standalone invocation outside pytest
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.fixture(scope="module", autouse=True)
+    def print_attribution():
+        prof, metrics, _ = run_profiled_solve(nx=32)
+        report(
+            "Profiler attribution: GMRES+ILU on a 32x32 Poisson stencil",
+            prof.attribution().summary() + "\n\n" + metrics.summary(),
+        )
+
+    def test_profiled_gmres_ilu_solve(benchmark):
+        result = benchmark(lambda: run_profiled_solve(nx=16))
+        prof, _, logger = result
+        assert logger.converged
+        assert prof.attribution().coverage >= 0.99

@@ -57,6 +57,7 @@ from repro.core import (
     orthonormalize,
     power_iteration,
     preconditioner,
+    profile,
     rayleigh_ritz,
     rayleigh_ritz_eigensolver,
     read,
@@ -69,11 +70,14 @@ from repro.core import (
     value_dtype,
     write,
 )
+from repro.ginkgo.log import MetricsRegistry, ProfilerHook
 
 __version__ = "1.0.0"
 
 __all__ = [
     "FallbackChain",
+    "MetricsRegistry",
+    "ProfilerHook",
     "ResilienceReport",
     "RetryPolicy",
     "RitzPairs",
@@ -97,6 +101,7 @@ __all__ = [
     "orthonormalize",
     "power_iteration",
     "preconditioner",
+    "profile",
     "rayleigh_ritz",
     "rayleigh_ritz_eigensolver",
     "read",

@@ -75,10 +75,12 @@ class PyGinkgoBackend(Backend):
         noisy: bool = True,
     ) -> None:
         super().__init__(spec, num_threads=num_threads, seed=seed, noisy=noisy)
-        if spec is NVIDIA_A100 or (spec.kind == "gpu" and "NVIDIA" in spec.name):
-            self.executor = CudaExecutor.create(seed=seed, noisy=noisy, spec=spec)
-        elif spec.kind == "gpu":
+        # Dispatch on the spec's vendor tag, not its display name: custom
+        # AMD specs need not spell out "AMD" (e.g. "Instinct MI250X").
+        if spec.kind == "gpu" and spec.vendor == "amd":
             self.executor = HipExecutor.create(seed=seed, noisy=noisy, spec=spec)
+        elif spec.kind == "gpu":
+            self.executor = CudaExecutor.create(seed=seed, noisy=noisy, spec=spec)
         else:
             self.executor = OmpExecutor.create(
                 num_threads=num_threads, seed=seed, noisy=noisy, spec=spec
@@ -88,9 +90,11 @@ class PyGinkgoBackend(Backend):
         self.clock = self.executor.clock
 
     # ------------------------------------------------------------------
-    def _charge_crossing(self, num_arguments: int = 2) -> None:
+    def _charge_crossing(
+        self, num_arguments: int = 2, tag: str | None = None
+    ) -> None:
         if self.binding_overhead:
-            charge_binding(self.executor, num_arguments)
+            charge_binding(self.executor, num_arguments, tag=tag)
 
     def prepare(self, matrix: sp.spmatrix, fmt: str = "csr", dtype=np.float32):
         fmt = fmt.lower()
@@ -101,7 +105,7 @@ class PyGinkgoBackend(Backend):
         dtype = np.dtype(dtype)
         csr = sp.csr_matrix(matrix)
         cls = _FORMAT_CLASSES[fmt]
-        self._charge_crossing(3)
+        self._charge_crossing(3, tag=f"{fmt}_from_scipy")
         engine_matrix = cls.from_scipy(self.executor, csr, value_dtype=dtype)
         rows, cols = csr.shape
         handle = GinkgoHandle(
@@ -116,7 +120,7 @@ class PyGinkgoBackend(Backend):
 
     def spmv(self, handle: GinkgoHandle, x: np.ndarray) -> np.ndarray:
         np.copyto(handle.x_dense._data, x.reshape(-1, 1).astype(handle.dtype))
-        self._charge_crossing(2)
+        self._charge_crossing(2, tag="spmv_apply")
         handle.engine_matrix.apply(handle.x_dense, handle.y_dense)
         return handle.y_dense._data.reshape(x.shape).astype(
             handle.matrix.dtype, copy=False
@@ -134,7 +138,7 @@ class PyGinkgoBackend(Backend):
         params = {}
         if solver == "gmres":
             params["krylov_dim"] = kwargs.get("restart", 30)
-        self._charge_crossing(3)
+        self._charge_crossing(3, tag=f"{solver}_factory")
         factory = _SOLVER_CLASSES[solver](
             self.executor, criteria=Iteration(iterations), **params
         )
@@ -142,7 +146,7 @@ class PyGinkgoBackend(Backend):
         x = Dense.zeros(self.executor, (b.shape[0], 1), handle.dtype)
         rhs = Dense(self.executor, b.reshape(-1, 1).astype(handle.dtype))
         start = self.clock.now
-        self._charge_crossing(2)  # one crossing for the whole solve
+        self._charge_crossing(2, tag="solver_apply")  # one crossing per solve
         engine_solver.apply(rhs, x)
         elapsed = self.clock.now - start
         return {

@@ -21,6 +21,7 @@ from repro.bench.figures import (
     fig5a_gpu_formats,
     fig5b_overhead,
     fig5c_timediff,
+    profile_attribution,
     solver_cpu_comparison,
     table1_types,
     table2_matrices,
@@ -39,6 +40,7 @@ __all__ = [
     "geometric_mean",
     "measure_solver",
     "measure_spmv",
+    "profile_attribution",
     "solver_cpu_comparison",
     "table1_types",
     "table2_matrices",

@@ -353,6 +353,65 @@ def fig5b_overhead(suite=None, reps: int = 20) -> dict:
     }
 
 
+def profile_attribution(suite=None, reps: int = DEFAULT_REPS) -> dict:
+    """Binding overhead decomposed by the span profiler, not differencing.
+
+    Fig. 5b infers the binding cost by subtracting a native run from a
+    bound run — two measurements, two noise draws.  The profiler answers
+    the same question from *one* run: every crossing is a tagged leaf
+    span, so the attribution table reports the binding share (and the
+    kernel/stall split) directly, per matrix.
+    """
+    from repro.ginkgo.log import ProfilerHook
+
+    suite = suite if suite is not None else overhead_suite()
+    combos = [
+        ("A100 CSR", NVIDIA_A100, "csr"),
+        ("MI100 CSR", AMD_MI100, "csr"),
+    ]
+    records = []
+    for index, spec in enumerate(suite):
+        matrix = spec.build()
+        x = np.random.default_rng(index).random(matrix.shape[1]).astype(
+            np.float32
+        )
+        for name, device, fmt in combos:
+            backend = PyGinkgoBackend(spec=device, seed=index)
+            handle = backend.prepare(matrix, fmt, np.float32)
+            prof = ProfilerHook(name=f"spmv-{spec.name}-{name}")
+            prof.attach(backend.clock)
+            try:
+                measure_spmv(backend, handle, x, repetitions=reps)
+            finally:
+                prof.detach(backend.clock)
+            table = prof.attribution()
+            records.append(
+                {
+                    "combo": name,
+                    "nnz": matrix.nnz,
+                    "kernel": table.kernel_time,
+                    "binding": table.binding_time,
+                    "stall": table.stall_time,
+                    "coverage": table.coverage,
+                    "binding_percent": table.binding_fraction * 100,
+                }
+            )
+        spec.clear()
+    series: dict = {}
+    for rec in records:
+        series.setdefault(rec["combo"], []).append(
+            (rec["nnz"], rec["binding_percent"])
+        )
+    return {
+        "series": series,
+        "records": records,
+        "text": format_series(
+            series, x_label="nnz",
+            title="Binding share of SpMV time, from profiler attribution (%)",
+        ),
+    }
+
+
 def fig5c_timediff(suite=None, reps: int = 3) -> dict:
     """Absolute time difference pyGinkgo minus native Ginkgo (seconds).
 

@@ -21,8 +21,10 @@ Access symbols as attributes::
 """
 
 from repro.bindings.overhead import (
+    binding_overhead,
     binding_overhead_enabled,
     charge_binding,
+    reset_models,
     set_binding_overhead,
 )
 from repro.bindings.registry import BINDINGS, binding_names, get_binding
@@ -30,9 +32,11 @@ from repro.bindings.registry import BINDINGS, binding_names, get_binding
 __all__ = [
     "BINDINGS",
     "binding_names",
+    "binding_overhead",
     "binding_overhead_enabled",
     "charge_binding",
     "get_binding",
+    "reset_models",
     "set_binding_overhead",
 ]
 

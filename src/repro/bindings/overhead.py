@@ -5,13 +5,23 @@ amount (argument conversion, GIL, smart-pointer marshalling).  The charge
 lands on the executor's simulated clock, so it shows up in measured spans
 exactly like it would with real pybind11 bindings.  A global switch turns
 the charge off to model native C++ calls (the Ginkgo side of Fig. 5b/5c).
+
+The module-level state (:data:`_ENABLED`, :data:`_MODELS`) is process
+global; use the :func:`binding_overhead` context manager for scoped
+toggling and :func:`reset_models` to restore the pristine state (the test
+suite does this automatically around every test).
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 from repro.perfmodel import BindingOverheadModel
 
-_ENABLED = True
+#: Default state of the global charge switch.
+_DEFAULT_ENABLED = True
+
+_ENABLED = _DEFAULT_ENABLED
 
 #: One shared model per device family so the jitter streams are stable.
 _MODELS: dict[str, BindingOverheadModel] = {}
@@ -28,10 +38,43 @@ def binding_overhead_enabled() -> bool:
     return _ENABLED
 
 
+@contextmanager
+def binding_overhead(enabled: bool):
+    """Scoped enable/disable of binding-overhead charging.
+
+    Restores the previous state on exit, so nested uses and exceptions
+    cannot leak the global switch across tests or benchmark runs::
+
+        with binding_overhead(False):   # model native C++ calls
+            matrix.apply(b, x)
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    try:
+        yield
+    finally:
+        _ENABLED = previous
+
+
 def _device_family(exec_) -> str:
-    if exec_.spec.kind == "cpu":
+    """Classify an executor into a binding-overhead device family.
+
+    Routes through the device spec's ``kind``/``vendor`` fields — never
+    the display name, which need not contain the vendor string (e.g.
+    ``"Instinct MI250X"``).
+    """
+    spec = exec_.spec
+    if spec.kind == "cpu":
         return "cpu"
-    return "gpu-amd" if "AMD" in exec_.spec.name else "gpu-nvidia"
+    vendor = (spec.vendor or "").lower()
+    if vendor == "amd":
+        return "gpu-amd"
+    if vendor == "nvidia":
+        return "gpu-nvidia"
+    # Specs without a vendor tag (user-defined): fall back to the name,
+    # defaulting to the NVIDIA calibration.
+    return "gpu-amd" if "amd" in spec.name.lower() else "gpu-nvidia"
 
 
 def overhead_model_for(exec_) -> BindingOverheadModel:
@@ -42,15 +85,35 @@ def overhead_model_for(exec_) -> BindingOverheadModel:
     return _MODELS[family]
 
 
-def charge_binding(exec_, num_arguments: int = 2) -> float:
-    """Charge one binding crossing to the executor clock; returns seconds."""
+def charge_binding(exec_, num_arguments: int = 2, tag: str | None = None) -> float:
+    """Charge one binding crossing to the executor clock; returns seconds.
+
+    Args:
+        exec_: Executor whose clock receives the charge (None: no-op).
+        num_arguments: Converted-argument count of the crossing.
+        tag: Call-site tag recorded on the trace span (the suffixed
+            binding symbol name, e.g. ``"gmres_factory_double"``).
+    """
     if not _ENABLED or exec_ is None:
         return 0.0
     overhead = overhead_model_for(exec_).sample(num_arguments)
-    exec_.clock.advance(overhead)
+    exec_.clock.advance(
+        overhead,
+        category="binding",
+        label=tag or "binding_call",
+        num_arguments=num_arguments,
+    )
     return overhead
 
 
 def reset_models() -> None:
-    """Drop the cached models (restarts their jitter streams)."""
+    """Restore pristine module state.
+
+    Drops the cached models (restarting their jitter streams) *and*
+    restores the global enable switch, so a test or benchmark that
+    flipped :func:`set_binding_overhead` cannot break the same-seed
+    determinism of whatever runs next.
+    """
+    global _ENABLED
     _MODELS.clear()
+    _ENABLED = _DEFAULT_ENABLED

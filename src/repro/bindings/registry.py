@@ -71,15 +71,23 @@ def _bound(func, num_arguments: int):
     """Wrap an engine entry point with binding-overhead accounting.
 
     The first positional argument of every binding is the executor, which
-    is where the crossing cost is charged.
+    is where the crossing cost is charged.  The crossing is tagged with
+    the registry symbol name (``wrapper._binding_tag``, filled in by
+    :func:`_build_registry`), so profiler traces show *which* binding was
+    crossed, not just that one was.
     """
 
     def wrapper(exec_, *args, **kwargs):
-        charge_binding(exec_, num_arguments)
+        charge_binding(
+            exec_,
+            num_arguments,
+            tag=getattr(wrapper, "_binding_tag", wrapper.__name__),
+        )
         return func(exec_, *args, **kwargs)
 
     wrapper.__name__ = getattr(func, "__name__", "binding")
     wrapper.__doc__ = func.__doc__
+    wrapper._is_binding = True
     return wrapper
 
 
@@ -197,6 +205,9 @@ def _build_registry() -> dict:
                 registry[f"read_{prefix}_{vt_name}_{it_name}"] = _bound(
                     _make_read(cls, vt, it), 2
                 )
+    for name, func in registry.items():
+        if getattr(func, "_is_binding", False):
+            func._binding_tag = name
     return registry
 
 

@@ -19,6 +19,7 @@ from repro.core.interop import (
     to_scipy,
 )
 from repro.core.io import matrix, read, write
+from repro.core.profile import profile
 from repro.core.rayleigh_ritz import (
     RitzPairs,
     orthonormalize,
@@ -65,6 +66,7 @@ __all__ = [
     "orthonormalize",
     "power_iteration",
     "preconditioner",
+    "profile",
     "rayleigh_ritz",
     "rayleigh_ritz_eigensolver",
     "read",

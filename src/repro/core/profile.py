@@ -1,0 +1,63 @@
+"""The public ``pg.profile()`` context manager.
+
+Wraps :class:`~repro.ginkgo.log.ProfilerHook` wiring into one line::
+
+    with pg.profile() as prof:
+        logger, x = pg.solve(dev, A, b, preconditioner="ilu")
+    print(prof.attribution().summary())
+    prof.save_chrome_trace("solve.json")
+
+With no targets the profiler observes *every* simulated clock — including
+executors created mid-region, e.g. by a fallback chain.  Passing targets
+(device names, executors, solver handles, or LinOps) restricts tracing to
+those clocks.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.core.device import device as _device_factory
+from repro.ginkgo.log import ProfilerHook
+from repro.ginkgo.log.profiler import _resolve_clock
+from repro.perfmodel import SimClock
+
+
+@contextmanager
+def profile(*targets, name: str = "pyginkgo", metrics=None):
+    """Profile everything inside the ``with`` block on the simulated clock.
+
+    Args:
+        *targets: What to trace — device names (``"cuda"``), executors,
+            solver handles, or LinOps.  Empty: trace all clocks globally.
+        name: Name of the recorded trace.
+        metrics: Optional :class:`~repro.ginkgo.log.MetricsRegistry` fed
+            with kernel/binding/iteration/fault counters while tracing.
+
+    Yields:
+        The :class:`~repro.ginkgo.log.ProfilerHook`; query
+        ``prof.trace``, ``prof.attribution()``, ``prof.to_chrome_trace()``
+        after (or inside) the block.
+    """
+    prof = ProfilerHook(name=name, metrics=metrics)
+    clocks = []
+    for target in targets:
+        if isinstance(target, str):
+            target = _device_factory(target)
+        clock = _resolve_clock(target)
+        if clock not in clocks:
+            clocks.append(clock)
+    if clocks:
+        for clock in clocks:
+            prof.attach(clock)
+    else:
+        SimClock.add_global_tracer(prof)
+    try:
+        yield prof
+    finally:
+        if clocks:
+            for clock in clocks:
+                prof.detach(clock)
+        else:
+            SimClock.remove_global_tracer(prof)
+        prof.close()

@@ -183,8 +183,38 @@ def _restore_solution(exec_: Executor, x_dense: Dense, values: np.ndarray):
     the recovery path itself cannot hit an allocation fault.
     """
     if not exec_.is_host:
-        exec_.clock.advance(PCIE_LATENCY + values.nbytes / PCIE_BANDWIDTH)
+        exec_.clock.advance(
+            PCIE_LATENCY + values.nbytes / PCIE_BANDWIDTH,
+            category="transfer",
+            label="checkpoint_restore",
+            bytes=values.nbytes,
+        )
     np.copyto(x_dense._data, values.astype(x_dense.dtype, copy=False))
+
+
+def _emit(exec_: Executor, events: list, name: str, payload: dict) -> None:
+    """Append to the event trail and mirror the event onto the clock trace."""
+    events.append((name, payload))
+    exec_.clock.annotate(name, **payload)
+
+
+def _feed_metrics(metrics, report: "ResilienceReport") -> None:
+    """Mirror a finished solve's report into a metrics registry."""
+    if metrics is None:
+        return
+    metrics.counter("solves").inc()
+    if report.converged:
+        metrics.counter("solves_converged").inc()
+    metrics.counter("attempts").inc(report.attempts)
+    metrics.counter("retries").inc(report.retries)
+    metrics.counter("fallbacks").inc(report.fallbacks)
+    metrics.counter("faults_injected").inc(report.faults_injected)
+    metrics.counter("data_corrupted").inc(report.count("data_corrupted"))
+    metrics.counter("breakdowns").inc(report.count("breakdown"))
+    metrics.counter("checkpoint_restores").inc(
+        report.count("checkpoint_restored")
+    )
+    metrics.histogram("iterations_per_solve").observe(report.num_iterations)
 
 
 def resilient_solve(
@@ -200,6 +230,7 @@ def resilient_solve(
     fallback: FallbackChain | None = None,
     checkpoint_every: int = 0,
     divergence_limit: float | None = None,
+    metrics=None,
     **solver_params,
 ):
     """Fault-tolerant one-call linear solve through the config-solver.
@@ -232,6 +263,10 @@ def resilient_solve(
         divergence_limit: Abandon an attempt early when the residual
             exceeds this multiple of the initial residual (adds a
             ``stop::Divergence`` criterion).
+        metrics: Optional :class:`~repro.ginkgo.log.MetricsRegistry`;
+            receives ``solves``/``attempts``/``retries``/``fallbacks``/
+            ``faults_injected`` counters and an ``iterations_per_solve``
+            histogram.
         **solver_params: Extra solver parameters (``krylov_dim=...``).
 
     Returns:
@@ -297,11 +332,11 @@ def resilient_solve(
                 x_cur = Dense.create(exec_, x_host)
         except retry.retry_on as err:
             history.append((exec_.name, err))
-            events.append(
-                (
-                    "staging_failed",
-                    {"executor": exec_.name, "error": type(err).__name__},
-                )
+            _emit(
+                exec_,
+                events,
+                "staging_failed",
+                {"executor": exec_.name, "error": type(err).__name__},
             )
             continue
 
@@ -310,11 +345,11 @@ def resilient_solve(
         try:
             for attempt in range(retry.max_retries + 1):
                 attempts += 1
-                events.append(
-                    (
-                        "attempt_started",
-                        {"executor": exec_.name, "attempt": attempts},
-                    )
+                _emit(
+                    exec_,
+                    events,
+                    "attempt_started",
+                    {"executor": exec_.name, "attempt": attempts},
                 )
                 checkpointer = (
                     CheckpointLogger(every=checkpoint_every, sink=events)
@@ -328,15 +363,15 @@ def resilient_solve(
                     logger, _ = handle.apply(b_cur, x_cur)
                 except retry.retry_on as err:
                     history.append((exec_.name, err))
-                    events.append(
-                        (
-                            "attempt_failed",
-                            {
-                                "executor": exec_.name,
-                                "attempt": attempts,
-                                "error": type(err).__name__,
-                            },
-                        )
+                    _emit(
+                        exec_,
+                        events,
+                        "attempt_failed",
+                        {
+                            "executor": exec_.name,
+                            "attempt": attempts,
+                            "error": type(err).__name__,
+                        },
                     )
                     # A checkpoint captured during the failed attempt is
                     # still valid state to restart from.
@@ -355,42 +390,44 @@ def resilient_solve(
                     if attempt == retry.max_retries:
                         break
                     delay = retry.delay(attempt)
-                    exec_.clock.advance(delay)
+                    exec_.clock.advance(
+                        delay, category="stall", label="retry_backoff"
+                    )
                     restart_from = 0
                     if checkpoint is not None:
                         restart_from = checkpoint[0]
                         _restore_solution(exec_, x_cur, checkpoint[1])
-                        events.append(
-                            (
-                                "checkpoint_restored",
-                                {"iteration": restart_from},
-                            )
+                        _emit(
+                            exec_,
+                            events,
+                            "checkpoint_restored",
+                            {"iteration": restart_from},
                         )
                     else:
                         _restore_solution(exec_, x_cur, x_host)
-                    events.append(
-                        (
-                            "retry",
-                            {
-                                "executor": exec_.name,
-                                "attempt": attempts + 1,
-                                "delay": delay,
-                                "restart_iteration": restart_from,
-                            },
-                        )
+                    _emit(
+                        exec_,
+                        events,
+                        "retry",
+                        {
+                            "executor": exec_.name,
+                            "attempt": attempts + 1,
+                            "delay": delay,
+                            "restart_iteration": restart_from,
+                        },
                     )
                     continue
                 # Success: the apply ran to a verdict without faulting.
-                events.append(
-                    (
-                        "solve_completed",
-                        {
-                            "executor": exec_.name,
-                            "attempt": attempts,
-                            "converged": logger.converged,
-                            "iterations": logger.num_iterations,
-                        },
-                    )
+                _emit(
+                    exec_,
+                    events,
+                    "solve_completed",
+                    {
+                        "executor": exec_.name,
+                        "attempt": attempts,
+                        "converged": logger.converged,
+                        "iterations": logger.num_iterations,
+                    },
                 )
                 report = ResilienceReport(
                     converged=logger.converged,
@@ -403,19 +440,24 @@ def resilient_solve(
                     executor_name=exec_.name,
                     logger=logger,
                 )
+                _feed_metrics(metrics, report)
                 result = Tensor(x_cur) if wrap_result else x_cur
                 return report, result
         finally:
             exec_.remove_logger(trail)
         if position + 1 < len(chain):
-            events.append(
-                (
-                    "fallback",
-                    {
-                        "from": exec_.name,
-                        "to": chain[position + 1].name,
-                    },
-                )
+            _emit(
+                exec_,
+                events,
+                "fallback",
+                {
+                    "from": exec_.name,
+                    "to": chain[position + 1].name,
+                },
             )
 
+    if metrics is not None:
+        metrics.counter("solves").inc()
+        metrics.counter("solves_exhausted").inc()
+        metrics.counter("attempts").inc(attempts)
     raise ResilienceExhausted(attempts, history)

@@ -86,6 +86,7 @@ def solve(
     retry=None,
     fallback=None,
     checkpoint_every: int = 0,
+    metrics=None,
     **solver_params,
 ):
     """One-call linear solve through the config-solver.
@@ -107,6 +108,8 @@ def solve(
             executors to degrade onto.
         checkpoint_every: Checkpoint the solution every N iterations
             (resilient route only).
+        metrics: Optional :class:`~repro.ginkgo.log.MetricsRegistry`
+            receiving solve/iteration counters (resilient route only).
         **solver_params: Extra solver parameters (``krylov_dim=...``).
 
     Returns:
@@ -128,6 +131,7 @@ def solve(
             retry=retry,
             fallback=fallback,
             checkpoint_every=checkpoint_every,
+            metrics=metrics,
             **solver_params,
         )
     exec_ = (

@@ -131,6 +131,9 @@ class Executor:
             handler = getattr(logger, f"on_{event}", None)
             if handler is not None:
                 handler(self, **kwargs)
+        # Executor events carry only scalar payloads, so they double as
+        # instant markers on the clock's trace (no-op when untraced).
+        self.clock.annotate(event, **kwargs)
 
     # ------------------------------------------------------------------
     # memory management
@@ -141,6 +144,7 @@ class Executor:
         arr = np.zeros(shape, dtype=dtype)
         self._track_alloc(arr.nbytes)
         self._live_buffers[id(arr)] = arr.nbytes
+        self.clock.annotate("alloc", nbytes=arr.nbytes)
         return arr
 
     def alloc_like(self, data: np.ndarray) -> np.ndarray:
@@ -149,6 +153,7 @@ class Executor:
         arr = np.empty_like(data)
         self._track_alloc(arr.nbytes)
         self._live_buffers[id(arr)] = arr.nbytes
+        self.clock.annotate("alloc", nbytes=arr.nbytes)
         return arr
 
     def _check_capacity(self, nbytes: int) -> None:
@@ -215,11 +220,22 @@ class Executor:
                 KernelCost("device_memcpy", 0.0, 2.0 * nbytes, launches=1)
             )
         elif self.is_host and src_exec.is_host:
-            self.clock.advance(nbytes / self.spec.memory_bandwidth)
+            self.clock.advance(
+                nbytes / self.spec.memory_bandwidth,
+                category="transfer",
+                label="host_memcpy",
+                bytes=nbytes,
+            )
         else:
             transfer = PCIE_LATENCY + nbytes / PCIE_BANDWIDTH
-            self.clock.advance(transfer)
-            src_exec.clock.advance(transfer)
+            self.clock.advance(
+                transfer, category="transfer", label="pcie_transfer",
+                bytes=nbytes,
+            )
+            src_exec.clock.advance(
+                transfer, category="transfer", label="pcie_transfer",
+                bytes=nbytes,
+            )
         return out
 
     def synchronize(self) -> None:

@@ -23,6 +23,11 @@ class LinOp:
         size: Operator dimensions as a :class:`Dim` (or coercible value).
     """
 
+    #: Trace category of this operator's apply spans (profiler display
+    #: and attribution grouping): solvers use ``"solver"``,
+    #: preconditioners ``"precond"``, plain operators ``"op"``.
+    _profile_category = "op"
+
     def __init__(self, exec_: Executor, size) -> None:
         self._exec = exec_
         self._size = Dim.of(size)
@@ -74,17 +79,31 @@ class LinOp:
         ``op.size.rows`` rows with the same number of columns as ``b``.
         """
         self._validate_application(b, x)
-        self._log("apply_started", b=b, x=x)
-        self._apply_impl(b, x)
-        self._log("apply_completed", b=b, x=x)
+        clock = self._exec.clock
+        clock.push_span(
+            f"{type(self).__name__}::apply", self._profile_category
+        )
+        try:
+            self._log("apply_started", b=b, x=x)
+            self._apply_impl(b, x)
+            self._log("apply_completed", b=b, x=x)
+        finally:
+            clock.pop_span()
         return x
 
     def apply_advanced(self, alpha, b, beta, x):
         """Compute ``x = alpha * op(b) + beta * x``; returns ``x``."""
         self._validate_application(b, x)
-        self._log("apply_started", b=b, x=x)
-        self._apply_advanced_impl(alpha, b, beta, x)
-        self._log("apply_completed", b=b, x=x)
+        clock = self._exec.clock
+        clock.push_span(
+            f"{type(self).__name__}::apply_advanced", self._profile_category
+        )
+        try:
+            self._log("apply_started", b=b, x=x)
+            self._apply_advanced_impl(alpha, b, beta, x)
+            self._log("apply_completed", b=b, x=x)
+        finally:
+            clock.pop_span()
         return x
 
     def _validate_application(self, b, x) -> None:

@@ -1,0 +1,168 @@
+"""Counters and histograms for solver/runtime observability.
+
+A :class:`MetricsRegistry` is a flat namespace of named :class:`Counter`
+and :class:`Histogram` instruments.  It can be fed three ways, all
+composable:
+
+* attach a :class:`MetricsLogger` to operators (standard logger events);
+* pass it to :class:`~repro.ginkgo.log.ProfilerHook` (kernel launches,
+  binding crossings, iterations, faults from the clock trace);
+* pass it to :func:`repro.core.resilient.resilient_solve` (attempts,
+  retries, fallbacks, checkpoint restores).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ginkgo.log.logger import Logger
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """A named distribution of observed values (kept exactly; small N)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: list[float] = []
+
+    def observe(self, value) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.values))
+
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.values else float("nan")
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else float("nan")
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.values else float("nan")
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (q in [0, 100]) of the observed values."""
+        if not self.values:
+            return float("nan")
+        return float(np.percentile(np.asarray(self.values), q))
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name!r}, count={self.count}, "
+            f"mean={self.mean:.4g})"
+        )
+
+
+class MetricsRegistry:
+    """Get-or-create registry of counters and histograms.
+
+    Instruments are created lazily on first access, so producers never
+    need pre-registration::
+
+        metrics = MetricsRegistry()
+        metrics.counter("solves").inc()
+        metrics.histogram("iterations_per_solve").observe(42)
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict = {}
+        self.histograms: dict = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(name)
+        return self.histograms[name]
+
+    def to_dict(self) -> dict:
+        """Plain-dict snapshot (counter values, histogram summaries)."""
+        out: dict = {"counters": {}, "histograms": {}}
+        for name in sorted(self.counters):
+            out["counters"][name] = self.counters[name].value
+        for name in sorted(self.histograms):
+            hist = self.histograms[name]
+            out["histograms"][name] = {
+                "count": hist.count,
+                "total": hist.total,
+                "min": hist.min,
+                "max": hist.max,
+                "mean": hist.mean,
+            }
+        return out
+
+    def summary(self) -> str:
+        """Aligned text dump of all instruments, sorted by name."""
+        lines = []
+        for name in sorted(self.counters):
+            lines.append(f"{name:<32} {self.counters[name].value:>12}")
+        for name in sorted(self.histograms):
+            hist = self.histograms[name]
+            lines.append(
+                f"{name:<32} {hist.count:>12} obs  "
+                f"mean={hist.mean:.4g} min={hist.min:.4g} max={hist.max:.4g}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self.counters)}, "
+            f"histograms={len(self.histograms)})"
+        )
+
+
+class MetricsLogger(Logger):
+    """Logger feeding a :class:`MetricsRegistry` from operator events.
+
+    Attach to solvers (or executors, for fault events); one registry may
+    be shared by many loggers and profiler hooks.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    def on_apply_started(self, op, **kwargs) -> None:
+        self.registry.counter("applies").inc()
+
+    def on_iteration_complete(self, op, iteration=0, **kwargs) -> None:
+        self.registry.counter("iterations").inc()
+
+    def on_converged(self, op, iteration=0, **kwargs) -> None:
+        self.registry.counter("solves_converged").inc()
+        self.registry.histogram("iterations_per_solve").observe(iteration)
+
+    def on_breakdown(self, op, **kwargs) -> None:
+        self.registry.counter("breakdowns").inc()
+
+    def on_fault_injected(self, op, **kwargs) -> None:
+        self.registry.counter("faults_injected").inc()
+
+    def on_data_corrupted(self, op, **kwargs) -> None:
+        self.registry.counter("data_corrupted").inc()

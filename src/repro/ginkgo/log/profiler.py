@@ -1,0 +1,260 @@
+"""Hierarchical span profiler over the simulated clock.
+
+:class:`ProfilerHook` observes :class:`~repro.perfmodel.SimClock`
+instances as a *tracer* (see :meth:`SimClock.add_tracer`) and assembles a
+:class:`~repro.perfmodel.Trace`:
+
+* every clock advance becomes a leaf span — a kernel execution, binding
+  crossing, synchronisation stall, transfer, or host overhead — carrying
+  the event's flop/byte/launch metadata;
+* every structural ``push_span``/``pop_span`` pair (operator applies,
+  preconditioner generation) becomes a nested span;
+* the solver's per-iteration ``iteration`` clock marks retroactively
+  group everything since the previous boundary into an ``iteration`` span
+  under the owning solver;
+* remaining clock marks (fault injections, allocations, breakdowns,
+  resilience events) become instant events.
+
+Because *all* simulated time flows through the three clock entry points
+(``record``/``advance``/``synchronize``), the resulting
+:class:`~repro.perfmodel.AttributionTable` accounts for essentially the
+entire wall-clock span of a traced solve.
+
+The hook is also a :class:`~repro.ginkgo.log.Logger`: attached to an
+executor or LinOp whose clock is *not* traced it still captures fault
+instants; the handlers no-op when the clock is already traced so events
+are never recorded twice.
+"""
+
+from __future__ import annotations
+
+from repro.ginkgo.log.logger import Logger
+from repro.perfmodel.trace import Span, Trace
+
+
+def _scalars(meta: dict) -> dict:
+    """Keep only JSON-representable scalar metadata values."""
+    out = {}
+    for key, value in meta.items():
+        if value is None or isinstance(value, (bool, str)):
+            out[key] = value
+        elif isinstance(value, (int, float)):
+            out[key] = value
+        elif hasattr(value, "item") and getattr(value, "ndim", 1) == 0:
+            out[key] = value.item()
+    return out
+
+
+def _resolve_clock(target):
+    """The :class:`SimClock` behind an executor, LinOp, or solver handle."""
+    if hasattr(target, "add_tracer"):
+        return target
+    if hasattr(target, "clock"):
+        return target.clock
+    if hasattr(target, "executor"):
+        return target.executor.clock
+    if hasattr(target, "solver"):
+        return target.solver.executor.clock
+    raise TypeError(
+        f"cannot resolve a clock from {type(target).__name__}; expected a "
+        "SimClock, Executor, LinOp, or solver handle"
+    )
+
+
+class ProfilerHook(Logger):
+    """Records a :class:`~repro.perfmodel.Trace` of everything it observes.
+
+    Args:
+        name: Name of the assembled trace.
+        metrics: Optional :class:`~repro.ginkgo.log.MetricsRegistry` fed
+            with kernel-launch / binding-crossing / iteration counters as
+            events stream in.  Resilience events (faults, retries, ...)
+            are counted by ``resilient_solve(metrics=...)`` and
+            :class:`MetricsLogger` instead, so sharing one registry with
+            the solve path cannot double-count them.
+
+    Typical use goes through :func:`repro.core.profile`, but the hook can
+    be wired manually::
+
+        prof = ProfilerHook()
+        prof.attach(executor)
+        solver.apply(b, x)
+        prof.detach(executor)
+        print(prof.attribution().summary())
+    """
+
+    def __init__(self, name: str = "pyginkgo", metrics=None) -> None:
+        self.trace = Trace(name)
+        self.metrics = metrics
+        #: Clock -> track-name mapping, assigned in first-event order.
+        self._clock_tracks: dict = {}
+        self._track_counts: dict = {}
+        #: Open-solver-span id -> start of the current iteration window.
+        self._iter_window: dict = {}
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach(self, target) -> None:
+        """Start observing ``target`` (clock, executor, LinOp, or handle)."""
+        clock = _resolve_clock(target)
+        if not clock.is_traced_by(self):
+            clock.add_tracer(self)
+
+    def detach(self, target) -> None:
+        """Stop observing ``target``; unknown targets are ignored."""
+        clock = _resolve_clock(target)
+        try:
+            clock.remove_tracer(self)
+        except ValueError:
+            pass
+
+    def close(self) -> None:
+        """Close every span still open, at each clock's current time."""
+        for clock, track in self._clock_tracks.items():
+            stack = self.trace._stacks.get(track)
+            while stack:
+                span = self.trace.close(clock.now, track=track)
+                self._iter_window.pop(id(span), None)
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def attribution(self):
+        """The trace aggregated into a kernel/binding/stall table.
+
+        Finalises any still-open spans first so their time is counted.
+        """
+        self.close()
+        return self.trace.attribution()
+
+    def to_chrome_trace(self) -> str:
+        self.close()
+        return self.trace.to_chrome_trace()
+
+    def save_chrome_trace(self, path) -> None:
+        self.close()
+        self.trace.save_chrome_trace(path)
+
+    # ------------------------------------------------------------------
+    # tracer protocol (called by SimClock)
+    # ------------------------------------------------------------------
+    def _track(self, clock) -> str:
+        track = self._clock_tracks.get(clock)
+        if track is None:
+            base = clock.spec.name
+            seen = self._track_counts.get(base, 0)
+            self._track_counts[base] = seen + 1
+            track = base if seen == 0 else f"{base} #{seen + 1}"
+            self._clock_tracks[clock] = track
+        return track
+
+    def on_span_push(self, clock, name, category, meta) -> None:
+        self.trace.open(
+            name, category, clock.now, track=self._track(clock),
+            meta=_scalars(meta),
+        )
+
+    def on_span_pop(self, clock, meta) -> None:
+        span = self.trace.close(
+            clock.now, track=self._track(clock), meta=_scalars(meta)
+        )
+        if span is not None:
+            self._iter_window.pop(id(span), None)
+
+    def on_clock_event(self, clock, category, name, start, duration, meta):
+        self.trace.leaf(
+            name, category, start, duration, track=self._track(clock),
+            meta=_scalars(meta),
+        )
+        if self.metrics is not None:
+            if category == "kernel":
+                self.metrics.counter("kernel_launches").inc(
+                    int(meta.get("launches", 1))
+                )
+            elif category == "binding":
+                self.metrics.counter("binding_calls").inc()
+
+    def on_clock_mark(self, clock, name, meta) -> None:
+        if name == "iteration":
+            self._close_iteration(clock, meta)
+            if self.metrics is not None:
+                self.metrics.counter("iterations").inc()
+            return
+        # Resilience marks (faults, retries, fallbacks, ...) become trace
+        # instants only; their counters are owned by resilient_solve's
+        # report and by MetricsLogger, so a registry shared between the
+        # profiler and the solve path never double-counts them.
+        self.trace.instant(
+            name, clock.now, track=self._track(clock), meta=_scalars(meta)
+        )
+
+    # ------------------------------------------------------------------
+    # iteration adoption
+    # ------------------------------------------------------------------
+    def _close_iteration(self, clock, meta) -> None:
+        """Group the events since the last boundary into an iteration span.
+
+        The solver emits the ``iteration`` mark *after* each iteration's
+        work, so the span is built retroactively: direct children of the
+        innermost open solver span that started inside the current window
+        are re-parented under a fresh ``iteration`` span.
+        """
+        track = self._track(clock)
+        stack = self.trace._stacks.get(track) or []
+        owner = next(
+            (s for s in reversed(stack) if s.category == "solver"), None
+        )
+        if owner is None:
+            # Iteration mark outside any solver apply span (partially
+            # traced run): degrade to an instant marker.
+            self.trace.instant(
+                "iteration", clock.now, track=track, meta=_scalars(meta)
+            )
+            return
+        window = self._iter_window.get(id(owner), owner.start)
+        kept, adopted = [], []
+        for child in owner.children:
+            # Earlier iteration spans may end exactly at the window start;
+            # never re-adopt them.
+            if child.start >= window and child.category != "iteration":
+                adopted.append(child)
+            else:
+                kept.append(child)
+        span = Span(
+            name=f"iteration {meta.get('iteration', len(kept))}",
+            category="iteration",
+            start=window,
+            end=clock.now,
+            track=track,
+            meta=_scalars(meta),
+        )
+        span.children = adopted
+        owner.children = kept + [span]
+        self._iter_window[id(owner)] = clock.now
+
+    # ------------------------------------------------------------------
+    # Logger protocol (standalone attachment to untraced operators)
+    # ------------------------------------------------------------------
+    def _instant_if_untraced(self, op, name, kwargs) -> None:
+        try:
+            clock = _resolve_clock(op)
+        except TypeError:
+            return
+        if clock.is_traced_by(self):
+            return  # the clock mark already recorded it
+        self.trace.instant(
+            name, clock.now, track=self._track(clock), meta=_scalars(kwargs)
+        )
+
+    def on_fault_injected(self, op, **kwargs) -> None:
+        self._instant_if_untraced(op, "fault_injected", kwargs)
+
+    def on_data_corrupted(self, op, **kwargs) -> None:
+        self._instant_if_untraced(op, "data_corrupted", kwargs)
+
+    def __repr__(self) -> str:
+        return (
+            f"ProfilerHook({self.trace.name!r}, "
+            f"tracks={len(self._clock_tracks)}, spans={self.trace.num_spans})"
+        )

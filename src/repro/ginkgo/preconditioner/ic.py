@@ -14,6 +14,8 @@ from repro.ginkgo.solver.triangular import LowerTrs, UpperTrs
 class IcOperator(LinOp):
     """Generated IC operator: L solve followed by L^T solve."""
 
+    _profile_category = "precond"
+
     def __init__(self, factory: "Ic", matrix) -> None:
         super().__init__(matrix.executor, matrix.size)
         self._factorization = ic0(matrix)

@@ -16,6 +16,8 @@ from repro.ginkgo.solver.triangular import LowerTrs, UpperTrs
 class IluOperator(LinOp):
     """Generated ILU operator: two composed triangular solves."""
 
+    _profile_category = "precond"
+
     def __init__(self, factory: "Ilu", matrix) -> None:
         super().__init__(matrix.executor, matrix.size)
         if factory.algorithm == "parilu":

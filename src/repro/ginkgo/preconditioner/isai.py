@@ -21,6 +21,8 @@ from repro.perfmodel import factorization_cost
 class IsaiOperator(LinOp):
     """Generated ISAI operator: one SpMV with the approximate inverse."""
 
+    _profile_category = "precond"
+
     def __init__(self, factory: "Isai", matrix) -> None:
         if not matrix.size.is_square:
             raise BadDimension(

@@ -19,6 +19,8 @@ from repro.perfmodel import factorization_cost, spmv_cost
 class JacobiOperator(LinOp):
     """Generated (block-)Jacobi operator."""
 
+    _profile_category = "precond"
+
     def __init__(self, factory: "Jacobi", matrix) -> None:
         if not matrix.size.is_square:
             raise BadDimension(

@@ -91,6 +91,8 @@ class IterativeSolver(LinOp):
     #: Whether the solver requires a square system matrix.
     requires_square = True
 
+    _profile_category = "solver"
+
     def __init__(self, factory: SolverFactory, matrix: LinOp) -> None:
         if self.requires_square and not matrix.size.is_square:
             raise BadDimension(
@@ -100,7 +102,17 @@ class IterativeSolver(LinOp):
         super().__init__(matrix.executor, matrix.size)
         self._factory = factory
         self._matrix = matrix
-        self._preconditioner = self._generate_preconditioner(factory, matrix)
+        # Preconditioner generation (factorisations, inverses) runs real
+        # kernels; span it so setup cost is attributable separately from
+        # the solve itself.
+        clock = matrix.executor.clock
+        clock.push_span(f"{type(self).__name__}::generate", "generate")
+        try:
+            self._preconditioner = self._generate_preconditioner(
+                factory, matrix
+            )
+        finally:
+            clock.pop_span()
         # Populated after each apply:
         self.num_iterations = 0
         self.converged = False
@@ -167,6 +179,11 @@ class IterativeSolver(LinOp):
                     iteration=iteration,
                     residual_norm=residual_norm,
                 )
+                self._exec.clock.annotate(
+                    "breakdown",
+                    iteration=iteration,
+                    residual_norm=float(np.max(norms)),
+                )
                 if self._factory.strict_breakdown:
                     raise SolverBreakdown(iteration, float(np.max(norms)))
                 return True
@@ -182,6 +199,14 @@ class IterativeSolver(LinOp):
             stop = criterion.check(iteration, residual_norm)
             self._log(
                 "criterion_check_completed", iteration=iteration, stopped=stop
+            )
+            # Iteration boundary marker for attached profilers: the time
+            # since the previous marker is this iteration's span.
+            self._exec.clock.annotate(
+                "iteration",
+                iteration=iteration,
+                residual_norm=float(np.max(norms)),
+                stopped=stop,
             )
             if stop:
                 self.num_iterations = iteration

@@ -114,7 +114,13 @@ class ResidualNorm(CriterionFactory):
             reference = context.initial_resnorm
         else:
             reference = 1.0
-        threshold = self.reduction_factor * np.asarray(reference, dtype=np.float64)
+        reference = np.asarray(reference, dtype=np.float64)
+        # Zero baselines (b = 0, or an exact initial guess) would make
+        # the relative threshold unreachable for any nonzero residual;
+        # fall back to absolute semantics for those entries, as Ginkgo
+        # does, so the b = 0 solve converges to x = 0.
+        reference = np.where(reference > 0.0, reference, 1.0)
+        threshold = self.reduction_factor * reference
         factory = self
 
         class _Bound(Criterion):

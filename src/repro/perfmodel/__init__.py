@@ -52,9 +52,11 @@ from repro.perfmodel.specs import (
     get_device_spec,
 )
 from repro.perfmodel.threads import thread_scaling
+from repro.perfmodel.trace import AttributionTable, Span, Trace
 
 __all__ = [
     "AMD_MI100",
+    "AttributionTable",
     "BindingOverheadModel",
     "DEVICE_SPECS",
     "DeviceSpec",
@@ -67,6 +69,8 @@ __all__ = [
     "NVIDIA_A100",
     "NoiseModel",
     "SimClock",
+    "Span",
+    "Trace",
     "blas1_cost",
     "conversion_cost",
     "dot_cost",

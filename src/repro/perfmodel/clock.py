@@ -37,9 +37,16 @@ class KernelEvent:
 
     @property
     def gflops(self) -> float:
-        """Achieved GFLOP/s of this event (0 for pure data movement)."""
-        if self.duration <= 0.0:
+        """Achieved GFLOP/s of this event (0 for pure data movement).
+
+        Zero-duration events that still performed work (fused/free
+        kernels) report ``inf`` instead of silently returning 0, so
+        aggregated tables can guard them rather than under-report.
+        """
+        if self.flops <= 0.0:
             return 0.0
+        if self.duration <= 0.0:
+            return float("inf")
         return self.flops / self.duration / 1e9
 
 
@@ -54,7 +61,19 @@ class SimClock:
         seed: Seed for the deterministic noise model.
         noisy: Disable to make timings exactly reproducible analytic values
             (used by unit tests).
+
+    Besides event logging, the clock supports *tracers*: observers
+    (typically a :class:`~repro.ginkgo.log.ProfilerHook`) notified of
+    every time advance, structural span push/pop, and annotation.
+    Tracers implement any subset of ``on_clock_event(clock, category,
+    name, start, duration, meta)``, ``on_span_push(clock, name, category,
+    meta)``, ``on_span_pop(clock, meta)``, and ``on_clock_mark(clock,
+    name, meta)``.  Tracers registered globally (on the class) observe
+    every clock, including ones created after registration.
     """
+
+    #: Tracers observing *all* clocks (see :meth:`add_global_tracer`).
+    _global_tracers: list = []
 
     def __init__(
         self,
@@ -78,6 +97,7 @@ class SimClock:
         self.bytes_moved = 0.0
         self.flops_done = 0.0
         self._log_events = False
+        self._tracers: list = []
 
     # ------------------------------------------------------------------
     # configuration
@@ -85,6 +105,58 @@ class SimClock:
     def enable_event_log(self, enabled: bool = True) -> None:
         """Record individual :class:`KernelEvent` objects (off by default)."""
         self._log_events = enabled
+
+    # ------------------------------------------------------------------
+    # tracing
+    # ------------------------------------------------------------------
+    def add_tracer(self, tracer) -> None:
+        """Attach a tracer observing this clock's events and spans."""
+        self._tracers.append(tracer)
+
+    def remove_tracer(self, tracer) -> None:
+        self._tracers.remove(tracer)
+
+    @classmethod
+    def add_global_tracer(cls, tracer) -> None:
+        """Attach a tracer observing every clock (existing and future)."""
+        cls._global_tracers.append(tracer)
+
+    @classmethod
+    def remove_global_tracer(cls, tracer) -> None:
+        cls._global_tracers.remove(tracer)
+
+    @property
+    def _traced(self) -> bool:
+        return bool(self._tracers or SimClock._global_tracers)
+
+    def is_traced_by(self, tracer) -> bool:
+        """Whether ``tracer`` currently observes this clock."""
+        return tracer in self._tracers or tracer in SimClock._global_tracers
+
+    def _notify(self, method: str, *args) -> None:
+        for tracer in self._tracers:
+            handler = getattr(tracer, method, None)
+            if handler is not None:
+                handler(self, *args)
+        for tracer in SimClock._global_tracers:
+            handler = getattr(tracer, method, None)
+            if handler is not None:
+                handler(self, *args)
+
+    def push_span(self, name: str, category: str = "region", **meta) -> None:
+        """Open a structural span (no-op without tracers)."""
+        if self._traced:
+            self._notify("on_span_push", name, category, meta)
+
+    def pop_span(self, **meta) -> None:
+        """Close the innermost structural span (no-op without tracers)."""
+        if self._traced:
+            self._notify("on_span_pop", meta)
+
+    def annotate(self, name: str, **meta) -> None:
+        """Emit an instant marker at the current time (no-op untraced)."""
+        if self._traced:
+            self._notify("on_clock_mark", name, meta)
 
     def reset(self) -> None:
         """Zero the clock and counters and restart the noise sequence."""
@@ -127,11 +199,12 @@ class SimClock:
     def record(self, cost: KernelCost) -> float:
         """Execute one kernel on the virtual timeline; return its duration."""
         duration = self.kernel_time(cost) * self.noise.sample()
+        start = self.now
         if self._log_events:
             self.events.append(
                 KernelEvent(
                     name=cost.name,
-                    start=self.now,
+                    start=start,
                     duration=duration,
                     flops=cost.flops,
                     bytes=cost.bytes,
@@ -142,17 +215,54 @@ class SimClock:
         self.kernel_count += cost.launches
         self.bytes_moved += cost.bytes
         self.flops_done += cost.flops
+        if self._traced:
+            self._notify(
+                "on_clock_event",
+                "kernel",
+                cost.name,
+                start,
+                duration,
+                {
+                    "flops": cost.flops,
+                    "bytes": cost.bytes,
+                    "launches": cost.launches,
+                },
+            )
         return duration
 
-    def advance(self, seconds: float) -> None:
-        """Advance virtual time by a raw amount (host-side overheads)."""
+    def advance(
+        self,
+        seconds: float,
+        category: str = "host",
+        label: str | None = None,
+        **meta,
+    ) -> None:
+        """Advance virtual time by a raw amount (host-side overheads).
+
+        Args:
+            seconds: Simulated time to add.
+            category: Attribution category of the elapsed time
+                (``binding``/``stall``/``transfer``/``host``).
+            label: Event name shown in traces; defaults to the category.
+            **meta: Extra scalar metadata recorded on the trace event.
+        """
         if seconds < 0:
             raise ValueError(f"cannot advance clock by {seconds} s")
+        start = self.now
         self.now += seconds
+        if self._traced:
+            self._notify(
+                "on_clock_event", category, label or category, start,
+                seconds, meta,
+            )
 
     def synchronize(self) -> None:
         """Model a host-device synchronisation point."""
-        self.advance(self.library.sync_overhead * self.noise.sample())
+        self.advance(
+            self.library.sync_overhead * self.noise.sample(),
+            category="stall",
+            label="synchronize",
+        )
 
     # ------------------------------------------------------------------
     # measurement helpers

@@ -19,8 +19,12 @@ class DeviceSpec:
     """Static description of one device used by the roofline model.
 
     Attributes:
-        name: Human-readable device name.
+        name: Human-readable device name (display only — never used for
+            dispatch; classify devices via :attr:`kind`/:attr:`vendor`).
         kind: ``"gpu"`` or ``"cpu"``.
+        vendor: Hardware vendor identifier (``"nvidia"``/``"amd"``/
+            ``"intel"``/``"generic"``); drives device-family dispatch
+            such as binding-overhead calibration.
         memory_bandwidth: Peak DRAM bandwidth in bytes/s (per device for
             GPUs, per socket for CPUs).
         peak_flops: Peak arithmetic throughput in FLOP/s keyed by numpy
@@ -48,6 +52,7 @@ class DeviceSpec:
     effective_bandwidth_fraction: float = 0.85
     noise_sigma: float = 0.03
     memory_capacity: float = 32e9
+    vendor: str = ""
 
     def effective_bandwidth(self, num_threads: int | None = None) -> float:
         """Sustained bandwidth in bytes/s for this device.
@@ -84,6 +89,7 @@ NVIDIA_A100 = DeviceSpec(
     effective_bandwidth_fraction=0.78,
     noise_sigma=0.03,
     memory_capacity=40e9,
+    vendor="nvidia",
 )
 
 AMD_MI100 = DeviceSpec(
@@ -95,6 +101,7 @@ AMD_MI100 = DeviceSpec(
     effective_bandwidth_fraction=0.72,
     noise_sigma=0.06,
     memory_capacity=32e9,
+    vendor="amd",
 )
 
 # One socket of the HoreKa CPU node (the paper reports 2 sockets x 38 cores;
@@ -111,6 +118,7 @@ INTEL_XEON_8368 = DeviceSpec(
     effective_bandwidth_fraction=0.80,
     noise_sigma=0.02,
     memory_capacity=256e9,
+    vendor="intel",
 )
 
 # A deliberately modest host used by the reference executor: sequential,
@@ -127,6 +135,7 @@ GENERIC_HOST = DeviceSpec(
     effective_bandwidth_fraction=0.60,
     noise_sigma=0.01,
     memory_capacity=256e9,
+    vendor="generic",
 )
 
 DEVICE_SPECS = {

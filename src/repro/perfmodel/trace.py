@@ -1,0 +1,408 @@
+"""Hierarchical span traces over the simulated clock.
+
+The profiler (:mod:`repro.ginkgo.log.profiler`) records *spans* — named,
+nested intervals of simulated time — and *leaf events* — the individual
+kernel executions, binding crossings, synchronisation stalls, and
+transfers that actually advance the clock.  This module holds the
+pure data structures:
+
+* :class:`Span` — one named interval with children and metadata;
+* :class:`Trace` — a forest of spans per clock track, with Chrome
+  ``trace_event`` JSON export (loadable in ``chrome://tracing`` or
+  Perfetto);
+* :class:`AttributionTable` — the per-solve decomposition of wall-clock
+  time into kernel / binding / stall buckets (the Fig. 5b/5c
+  decomposition as a queryable object).
+
+Everything here is deterministic: two traces recorded from same-seed runs
+serialise to byte-identical JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+#: Leaf categories counted as attributable time.
+LEAF_CATEGORIES = ("kernel", "binding", "stall", "transfer", "host")
+
+#: Fine-grained category -> coarse attribution bucket.  Anything that is
+#: neither kernel work nor a binding crossing counts as stall time
+#: (synchronisation, transfers, backoff, miscellaneous host overhead).
+BUCKET_OF = {
+    "kernel": "kernel",
+    "binding": "binding",
+    "stall": "stall",
+    "transfer": "stall",
+    "host": "stall",
+}
+
+
+@dataclass
+class Span:
+    """One named interval of simulated time.
+
+    Structural spans (solver applies, iterations, preconditioner
+    generates) contain children; leaf spans (kernels, binding crossings,
+    stalls) carry the flop/byte/launch metadata of one clock event.
+    Instant events are zero-duration spans (``end == start``).
+    """
+
+    name: str
+    category: str
+    start: float
+    end: float | None = None
+    track: str = ""
+    meta: dict = field(default_factory=dict)
+    children: list = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Length of the span in simulated seconds (0 while still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    @property
+    def self_time(self) -> float:
+        """Duration not covered by child spans."""
+        return self.duration - sum(c.duration for c in self.children)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.category in LEAF_CATEGORIES
+
+    def walk(self):
+        """Yield this span and every descendant, depth-first, in order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> list:
+        """All descendant spans (including self) with the given name."""
+        return [s for s in self.walk() if s.name == name]
+
+    @property
+    def gflops(self) -> float:
+        """Achieved GFLOP/s of a leaf span (inf for free/fused kernels).
+
+        Zero-duration events with nonzero flops are *not* dropped: they
+        surface as ``inf`` so aggregated tables can guard them while still
+        attributing their flop counts to the parent span.
+        """
+        flops = float(self.meta.get("flops", 0.0))
+        if flops <= 0.0:
+            return 0.0
+        if self.duration <= 0.0:
+            return float("inf")
+        return flops / self.duration / 1e9
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, {self.category!r}, "
+            f"start={self.start:.3e}, duration={self.duration:.3e}, "
+            f"children={len(self.children)})"
+        )
+
+
+@dataclass
+class _KernelRow:
+    """Aggregated per-kernel statistics in an attribution table."""
+
+    name: str
+    time: float = 0.0
+    calls: int = 0
+    flops: float = 0.0
+    bytes: float = 0.0
+    launches: int = 0
+
+    @property
+    def gflops(self) -> float:
+        """Aggregate GFLOP/s (inf-guarded for zero-time kernels)."""
+        if self.flops <= 0.0:
+            return 0.0
+        if self.time <= 0.0:
+            return float("inf")
+        return self.flops / self.time / 1e9
+
+
+class AttributionTable:
+    """Where the simulated wall-clock time of a trace went.
+
+    Attributes:
+        total: Total traced wall-clock span, in simulated seconds (the sum
+            of root-span durations across tracks).
+        buckets: Seconds per coarse bucket (``kernel``/``binding``/
+            ``stall``).
+        categories: Seconds per fine-grained leaf category.
+        kernels: Per-kernel-name aggregation (:class:`_KernelRow`).
+        bindings: Seconds per binding call-site tag.
+    """
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.buckets: dict = {"kernel": 0.0, "binding": 0.0, "stall": 0.0}
+        self.categories: dict = {}
+        self.kernels: dict = {}
+        self.bindings: dict = {}
+
+    # ------------------------------------------------------------------
+    # accumulation
+    # ------------------------------------------------------------------
+    def add_root(self, span: Span) -> None:
+        self.total += span.duration
+        for node in span.walk():
+            if not node.is_leaf:
+                continue
+            bucket = BUCKET_OF.get(node.category, "stall")
+            self.buckets[bucket] += node.duration
+            self.categories[node.category] = (
+                self.categories.get(node.category, 0.0) + node.duration
+            )
+            if node.category == "kernel":
+                row = self.kernels.setdefault(node.name, _KernelRow(node.name))
+                row.time += node.duration
+                row.calls += 1
+                row.flops += float(node.meta.get("flops", 0.0))
+                row.bytes += float(node.meta.get("bytes", 0.0))
+                row.launches += int(node.meta.get("launches", 0))
+            elif node.category == "binding":
+                self.bindings[node.name] = (
+                    self.bindings.get(node.name, 0.0) + node.duration
+                )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def kernel_time(self) -> float:
+        return self.buckets["kernel"]
+
+    @property
+    def binding_time(self) -> float:
+        return self.buckets["binding"]
+
+    @property
+    def stall_time(self) -> float:
+        return self.buckets["stall"]
+
+    @property
+    def accounted(self) -> float:
+        """Seconds attributed to any leaf bucket."""
+        return sum(self.buckets.values())
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the traced wall-clock span that is attributed."""
+        if self.total <= 0.0:
+            return 1.0 if self.accounted == 0.0 else 0.0
+        return self.accounted / self.total
+
+    @property
+    def binding_fraction(self) -> float:
+        """Binding overhead as a fraction of all attributed time."""
+        accounted = self.accounted
+        return self.binding_time / accounted if accounted > 0 else 0.0
+
+    def summary(self) -> str:
+        """Aligned text table: buckets first, then the slowest kernels."""
+        lines = [f"{'bucket':<28} {'time':>12} {'share':>7}"]
+        total = self.total or 1.0
+        for bucket in ("kernel", "binding", "stall"):
+            seconds = self.buckets[bucket]
+            lines.append(
+                f"{bucket:<28} {seconds * 1e3:>9.4f} ms "
+                f"{seconds / total * 100:>5.1f}%"
+            )
+        lines.append(
+            f"{'(accounted)':<28} {self.accounted * 1e3:>9.4f} ms "
+            f"{self.coverage * 100:>5.1f}%"
+        )
+        if self.kernels:
+            lines.append("")
+            lines.append(
+                f"{'kernel':<28} {'calls':>7} {'time':>12} {'GFLOP/s':>9}"
+            )
+            rows = sorted(
+                self.kernels.values(), key=lambda r: r.time, reverse=True
+            )
+            for row in rows:
+                gf = row.gflops
+                gf_text = "inf" if gf == float("inf") else f"{gf:.1f}"
+                lines.append(
+                    f"{row.name:<28} {row.calls:>7} "
+                    f"{row.time * 1e3:>9.4f} ms {gf_text:>9}"
+                )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"AttributionTable(total={self.total:.3e}, "
+            f"kernel={self.kernel_time:.3e}, "
+            f"binding={self.binding_time:.3e}, "
+            f"stall={self.stall_time:.3e}, "
+            f"coverage={self.coverage:.4f})"
+        )
+
+
+class Trace:
+    """A forest of spans, one tree list per clock track.
+
+    Tracks map to Chrome trace ``tid`` values; the whole trace shares one
+    ``pid``.  Spans on one track never overlap except by nesting (the
+    simulated machine is driven synchronously).
+    """
+
+    def __init__(self, name: str = "trace") -> None:
+        self.name = name
+        self.roots: list[Span] = []
+        self.tracks: list[str] = []
+        self._stacks: dict = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def _stack(self, track: str) -> list:
+        if track not in self._stacks:
+            self._stacks[track] = []
+            self.tracks.append(track)
+        return self._stacks[track]
+
+    def open(self, name, category, start, track="", meta=None) -> Span:
+        """Open a structural span; it becomes the parent of later spans."""
+        span = Span(
+            name=name,
+            category=category,
+            start=start,
+            track=track,
+            meta=dict(meta or {}),
+        )
+        stack = self._stack(track)
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        stack.append(span)
+        return span
+
+    def close(self, end, track="", meta=None) -> Span | None:
+        """Close the innermost open span on ``track``."""
+        stack = self._stack(track)
+        if not stack:
+            return None
+        span = stack.pop()
+        span.end = end
+        if meta:
+            span.meta.update(meta)
+        return span
+
+    def leaf(self, name, category, start, duration, track="", meta=None) -> Span:
+        """Record a closed leaf span (one clock event)."""
+        span = Span(
+            name=name,
+            category=category,
+            start=start,
+            end=start + duration,
+            track=track,
+            meta=dict(meta or {}),
+        )
+        stack = self._stack(track)
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        return span
+
+    def instant(self, name, ts, track="", meta=None) -> Span:
+        """Record a zero-duration marker (faults, allocations, ...)."""
+        return self.leaf(name, "instant", ts, 0.0, track=track, meta=meta)
+
+    def close_all(self, end) -> None:
+        """Close every span still open (end of profiling)."""
+        for track, stack in self._stacks.items():
+            while stack:
+                self.close(end, track=track)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def walk(self):
+        """Every span in the trace, depth-first."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def find(self, name: str) -> list:
+        return [s for s in self.walk() if s.name == name]
+
+    @property
+    def num_spans(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    def attribution(self) -> AttributionTable:
+        """Aggregate the trace into a kernel/binding/stall table."""
+        table = AttributionTable()
+        for root in self.roots:
+            table.add_root(root)
+        return table
+
+    # ------------------------------------------------------------------
+    # Chrome trace_event export
+    # ------------------------------------------------------------------
+    def chrome_trace_events(self) -> list:
+        """The trace as a list of Chrome ``trace_event`` dicts.
+
+        Complete (``ph: "X"``) events for spans, instant (``ph: "i"``)
+        events for zero-duration markers; timestamps in microseconds,
+        ordered monotonically.
+        """
+        tids = {track: index for index, track in enumerate(self.tracks)}
+        events = []
+        for span in self.walk():
+            base = {
+                "name": span.name,
+                "cat": span.category,
+                "ts": span.start * 1e6,
+                "pid": 0,
+                "tid": tids.get(span.track, 0),
+            }
+            if span.meta:
+                base["args"] = {
+                    k: v for k, v in sorted(span.meta.items())
+                }
+            if span.category == "instant" or (
+                span.end is not None
+                and span.duration == 0.0
+                and not span.children
+                and not span.is_leaf
+            ):
+                base["ph"] = "i"
+                base["s"] = "t"
+            else:
+                base["ph"] = "X"
+                base["dur"] = span.duration * 1e6
+            events.append(base)
+        # Monotonic ts; ties broken so enclosing spans precede children.
+        events.sort(key=lambda e: (e["ts"], -e.get("dur", 0.0)))
+        return events
+
+    def to_chrome_trace(self) -> str:
+        """Serialise to Chrome ``trace_event`` JSON.
+
+        The returned string loads in ``chrome://tracing`` and Perfetto;
+        equal traces serialise byte-identically.
+        """
+        payload = {
+            "displayTimeUnit": "ms",
+            "otherData": {"trace": self.name},
+            "traceEvents": self.chrome_trace_events(),
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    def save_chrome_trace(self, path) -> None:
+        """Write the Chrome trace JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_chrome_trace())
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace({self.name!r}, tracks={len(self.tracks)}, "
+            f"spans={self.num_spans})"
+        )

@@ -7,14 +7,17 @@ import scipy.sparse as sp
 from repro import bindings
 from repro.bindings import (
     binding_names,
+    binding_overhead,
     binding_overhead_enabled,
     charge_binding,
     get_binding,
+    reset_models,
     set_binding_overhead,
 )
-from repro.bindings.overhead import overhead_model_for
+from repro.bindings.overhead import _device_family, overhead_model_for
 from repro.ginkgo.executor import CudaExecutor, HipExecutor, ReferenceExecutor
 from repro.ginkgo.matrix import Coo, Csr, Dense
+from repro.perfmodel.specs import AMD_MI100, DeviceSpec
 
 
 @pytest.fixture(autouse=True)
@@ -130,3 +133,77 @@ class TestOverheadAccounting:
         before = exec_.clock.now
         charged = charge_binding(exec_, num_arguments=3)
         assert exec_.clock.now - before == pytest.approx(charged)
+
+
+class TestDeviceFamilyDispatch:
+    # Regression: the family used to be inferred from the display name,
+    # so an AMD spec whose name does not spell out "AMD" was silently
+    # calibrated (and dispatched) as NVIDIA.
+    AMD_UNBRANDED = DeviceSpec(
+        name="Instinct MI250X",
+        kind="gpu",
+        memory_bandwidth=3277e9,
+        peak_flops={"float16": 383e12, "float32": 47.9e12, "float64": 47.9e12},
+        vendor="amd",
+    )
+
+    def test_vendor_field_beats_display_name(self):
+        exec_ = HipExecutor.create(noisy=False, spec=self.AMD_UNBRANDED)
+        assert _device_family(exec_) == "gpu-amd"
+
+    def test_unbranded_amd_spec_gets_amd_calibration(self):
+        unbranded = HipExecutor.create(noisy=False, spec=self.AMD_UNBRANDED)
+        branded = HipExecutor.create(noisy=False, spec=AMD_MI100)
+        assert (
+            overhead_model_for(unbranded).base_overhead
+            == overhead_model_for(branded).base_overhead
+        )
+
+    def test_backend_dispatches_unbranded_amd_to_hip(self):
+        from repro.baselines.ginkgo_backend import PyGinkgoBackend
+
+        backend = PyGinkgoBackend(spec=self.AMD_UNBRANDED, noisy=False)
+        assert isinstance(backend.executor, HipExecutor)
+
+    def test_nameless_vendor_falls_back_to_name(self):
+        legacy = DeviceSpec(
+            name="AMD Radeon VII", kind="gpu", memory_bandwidth=1024e9,
+            peak_flops={"float64": 3.4e12},
+        )
+        exec_ = HipExecutor.create(noisy=False, spec=legacy)
+        assert _device_family(exec_) == "gpu-amd"
+
+
+class TestGlobalStateHygiene:
+    def test_context_manager_restores_state(self):
+        assert binding_overhead_enabled()
+        with binding_overhead(False):
+            assert not binding_overhead_enabled()
+            with binding_overhead(True):
+                assert binding_overhead_enabled()
+            assert not binding_overhead_enabled()
+        assert binding_overhead_enabled()
+
+    def test_context_manager_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with binding_overhead(False):
+                raise RuntimeError("boom")
+        assert binding_overhead_enabled()
+
+    def test_context_manager_suppresses_charge(self, ref):
+        with binding_overhead(False):
+            assert charge_binding(ref) == 0.0
+        assert charge_binding(ref) > 0.0
+
+    def test_reset_models_restores_enable_switch(self):
+        set_binding_overhead(False)
+        reset_models()
+        assert binding_overhead_enabled()
+
+    def test_reset_models_restarts_jitter_streams(self):
+        def consume():
+            reset_models()
+            exec_ = CudaExecutor.create(noisy=False)
+            return [charge_binding(exec_) for _ in range(5)]
+
+        assert consume() == consume()

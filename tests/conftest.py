@@ -6,12 +6,29 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 
+from repro.bindings.overhead import reset_models
 from repro.ginkgo.executor import (
     CudaExecutor,
     HipExecutor,
     OmpExecutor,
     ReferenceExecutor,
 )
+from repro.perfmodel import SimClock
+
+
+@pytest.fixture(autouse=True)
+def _reset_binding_state():
+    """Isolate tests from the bindings' module-global mutable state.
+
+    The overhead layer keeps a process-global enable switch and per-family
+    jitter-stream models; a test that flips or consumes them must not
+    change what any later test observes.  Global clock tracers are also
+    cleared so a leaked profiler cannot observe unrelated tests.
+    """
+    reset_models()
+    yield
+    reset_models()
+    SimClock._global_tracers.clear()
 
 
 @pytest.fixture

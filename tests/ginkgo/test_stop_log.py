@@ -69,6 +69,48 @@ class TestResidualNorm:
         with pytest.raises(GinkgoError):
             ResidualNorm(-1.0)
 
+    # Regression: a zero baseline (b = 0, or an exact initial guess)
+    # used to make the threshold 0.0, so the criterion could never fire
+    # and zero-RHS solves span until the iteration limit.  The criterion
+    # now falls back to absolute semantics (reference 1.0).
+    def test_zero_rhs_baseline_is_absolute(self):
+        crit = ResidualNorm(1e-6, baseline="rhs_norm").generate(
+            CriterionContext(rhs_norm=0.0)
+        )
+        assert not crit.check(1, 1e-3)
+        assert crit.check(2, 1e-7)
+        assert crit.converged
+
+    def test_zero_initial_resnorm_baseline_is_absolute(self):
+        crit = ResidualNorm(1e-6, baseline="initial_resnorm").generate(
+            CriterionContext(initial_resnorm=0.0)
+        )
+        assert crit.check(1, 0.0)
+
+    def test_mixed_zero_columns_fall_back_per_column(self):
+        crit = ResidualNorm(1e-2, baseline="rhs_norm").generate(
+            CriterionContext(rhs_norm=np.array([10.0, 0.0]))
+        )
+        # Column 0 is relative (threshold 0.1); column 1 absolute (1e-2).
+        assert not crit.check(1, np.array([0.05, 0.5]))
+        assert crit.check(2, np.array([0.05, 1e-3]))
+
+    def test_zero_rhs_solve_converges(self, ref, spd_small):
+        from repro.ginkgo.matrix import Csr, Dense
+        from repro.ginkgo.solver import Cg
+
+        mtx = Csr.from_scipy(ref, spd_small)
+        n = mtx.size.rows
+        b = Dense.zeros(ref, (n, 1), np.float64)
+        x = Dense.zeros(ref, (n, 1), np.float64)
+        solver = Cg(
+            ref, criteria=Iteration(200) | ResidualNorm(1e-8)
+        ).generate(mtx)
+        solver.apply(b, x)
+        assert solver.converged
+        assert solver.num_iterations == 0
+        np.testing.assert_array_equal(x.to_numpy(), 0.0)
+
 
 class TestTime:
     def test_stops_after_simulated_time(self):

@@ -1,0 +1,177 @@
+"""Tests of the trace data structures and Chrome export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perfmodel import AttributionTable, Span, Trace
+from repro.perfmodel.clock import KernelEvent
+
+
+class TestSpan:
+    def test_duration_and_self_time(self):
+        parent = Span("solve", "solver", 0.0, end=10.0)
+        parent.children.append(Span("spmv", "kernel", 1.0, end=4.0))
+        parent.children.append(Span("dot", "kernel", 4.0, end=6.0))
+        assert parent.duration == 10.0
+        assert parent.self_time == 5.0
+
+    def test_open_span_has_zero_duration(self):
+        assert Span("open", "op", 3.0).duration == 0.0
+
+    def test_walk_is_depth_first(self):
+        root = Span("a", "op", 0.0, end=3.0)
+        child = Span("b", "op", 0.0, end=2.0)
+        child.children.append(Span("c", "kernel", 0.0, end=1.0))
+        root.children.append(child)
+        assert [s.name for s in root.walk()] == ["a", "b", "c"]
+
+    def test_gflops_inf_guard(self):
+        # Zero-duration work must surface as inf, not silently 0.
+        free = Span("fused", "kernel", 0.0, end=0.0, meta={"flops": 100.0})
+        assert free.gflops == float("inf")
+        none = Span("memcpy", "kernel", 0.0, end=1.0, meta={"flops": 0.0})
+        assert none.gflops == 0.0
+        real = Span("spmv", "kernel", 0.0, end=1e-9, meta={"flops": 10.0})
+        assert real.gflops == pytest.approx(10.0)
+
+
+class TestKernelEventGflops:
+    def test_zero_duration_with_flops_is_inf(self):
+        event = KernelEvent("fused", 0.0, 0.0, flops=50.0, bytes=0.0, launches=1)
+        assert event.gflops == float("inf")
+
+    def test_zero_flops_is_zero(self):
+        event = KernelEvent("copy", 0.0, 0.0, flops=0.0, bytes=8.0, launches=1)
+        assert event.gflops == 0.0
+
+    def test_normal_rate(self):
+        event = KernelEvent("spmv", 0.0, 1e-3, flops=2e6, bytes=0.0, launches=1)
+        assert event.gflops == pytest.approx(2.0e-3 / 1e-3)
+
+
+class TestTrace:
+    def build(self) -> Trace:
+        trace = Trace("t")
+        trace.open("solve", "solver", 0.0, track="gpu")
+        trace.leaf("spmv", "kernel", 0.0, 2.0, track="gpu",
+                   meta={"flops": 4.0, "bytes": 8.0, "launches": 1})
+        trace.leaf("crossing", "binding", 2.0, 1.0, track="gpu")
+        trace.instant("fault", 2.5, track="gpu", meta={"site": "spmv"})
+        trace.leaf("sync", "stall", 3.0, 1.0, track="gpu")
+        trace.close(4.0, track="gpu")
+        return trace
+
+    def test_nesting(self):
+        trace = self.build()
+        assert len(trace.roots) == 1
+        root = trace.roots[0]
+        assert [c.name for c in root.children] == [
+            "spmv", "crossing", "fault", "sync",
+        ]
+
+    def test_close_on_empty_stack_returns_none(self):
+        assert Trace().close(1.0) is None
+
+    def test_close_all(self):
+        trace = Trace()
+        trace.open("a", "op", 0.0)
+        trace.open("b", "op", 1.0)
+        trace.close_all(5.0)
+        assert all(s.end == 5.0 for s in trace.walk())
+
+    def test_find_and_num_spans(self):
+        trace = self.build()
+        assert trace.num_spans == 5
+        assert len(trace.find("spmv")) == 1
+
+    def test_attribution_buckets(self):
+        table = self.build().attribution()
+        assert table.total == 4.0
+        assert table.kernel_time == 2.0
+        assert table.binding_time == 1.0
+        assert table.stall_time == 1.0
+        assert table.coverage == pytest.approx(1.0)
+
+    def test_chrome_trace_round_trips(self):
+        data = json.loads(self.build().to_chrome_trace())
+        events = data["traceEvents"]
+        assert len(events) == 5
+        phases = {e["name"]: e["ph"] for e in events}
+        assert phases["solve"] == "X"
+        assert phases["fault"] == "i"
+
+    def test_chrome_trace_ts_monotonic(self):
+        events = json.loads(self.build().to_chrome_trace())["traceEvents"]
+        ts = [e["ts"] for e in events]
+        assert ts == sorted(ts)
+
+    def test_chrome_trace_parents_precede_children(self):
+        events = self.build().chrome_trace_events()
+        names = [e["name"] for e in events]
+        assert names.index("solve") < names.index("spmv")
+
+    def test_tracks_map_to_tids(self):
+        trace = Trace()
+        trace.leaf("a", "kernel", 0.0, 1.0, track="gpu")
+        trace.leaf("b", "kernel", 0.0, 1.0, track="host")
+        tids = {e["name"]: e["tid"] for e in trace.chrome_trace_events()}
+        assert tids == {"a": 0, "b": 1}
+
+    def test_serialisation_is_deterministic(self):
+        assert self.build().to_chrome_trace() == self.build().to_chrome_trace()
+
+
+class TestAttributionTable:
+    def test_empty_table_coverage_is_one(self):
+        table = AttributionTable()
+        assert table.coverage == 1.0
+        assert table.binding_fraction == 0.0
+
+    def test_transfer_and_host_fold_into_stall(self):
+        trace = Trace()
+        trace.open("region", "region", 0.0)
+        trace.leaf("pcie", "transfer", 0.0, 1.0)
+        trace.leaf("misc", "host", 1.0, 2.0)
+        trace.close(3.0)
+        table = trace.attribution()
+        assert table.stall_time == 3.0
+        assert table.categories == {"transfer": 1.0, "host": 2.0}
+
+    def test_kernel_rows_aggregate(self):
+        trace = Trace()
+        trace.open("region", "region", 0.0)
+        for i in range(3):
+            trace.leaf("spmv", "kernel", float(i), 1.0,
+                       meta={"flops": 10.0, "bytes": 4.0, "launches": 2})
+        trace.close(3.0)
+        row = trace.attribution().kernels["spmv"]
+        assert row.calls == 3
+        assert row.time == 3.0
+        assert row.flops == 30.0
+        assert row.launches == 6
+
+    def test_kernel_row_gflops_inf_guard(self):
+        trace = Trace()
+        trace.open("region", "region", 0.0)
+        trace.leaf("free", "kernel", 0.0, 0.0, meta={"flops": 5.0})
+        trace.close(0.0)
+        table = trace.attribution()
+        assert table.kernels["free"].gflops == float("inf")
+        # And the summary must render without raising on the inf.
+        assert "inf" in table.summary()
+
+    def test_binding_tags_aggregate(self):
+        trace = Trace()
+        trace.open("region", "region", 0.0)
+        trace.leaf("gmres_factory_double", "binding", 0.0, 1.0)
+        trace.leaf("gmres_factory_double", "binding", 1.0, 1.0)
+        trace.leaf("dense_double", "binding", 2.0, 0.5)
+        trace.close(2.5)
+        table = trace.attribution()
+        assert table.bindings == {
+            "gmres_factory_double": 2.0, "dense_double": 0.5,
+        }
+        assert table.binding_fraction == pytest.approx(1.0)
