@@ -3,10 +3,10 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: verify unit profile-smoke test bench
+.PHONY: verify unit profile-smoke perf-smoke test bench
 
-# Tier-1 gate: the full test suite plus the profiler smoke check.
-verify: unit profile-smoke
+# Tier-1 gate: the full test suite plus the profiler and perf smoke checks.
+verify: unit profile-smoke perf-smoke
 
 # The full unit/integration/property suite, fail-fast.
 unit:
@@ -16,6 +16,11 @@ unit:
 # validity, and same-seed trace determinism on a small profiled solve.
 profile-smoke:
 	$(PYTHON) benchmarks/bench_profile_attribution.py --smoke
+
+# Hot-path acceptance: warm (pooled) solves must beat cold rebuilds by
+# >= 1.25x with byte-identical residual histories and same-seed traces.
+perf-smoke:
+	$(PYTHON) benchmarks/bench_hot_path.py --smoke
 
 test: verify
 

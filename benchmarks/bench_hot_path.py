@@ -1,0 +1,212 @@
+"""Cold vs warm hot-path benchmark (GMRES+ILU on a 2D Poisson stencil).
+
+Measures the host-side wall-clock win of the zero-allocation hot path:
+
+* **cold** — every solve rebuilds the ILU preconditioner and the GMRES
+  handle, so binding dispatch, preconditioner generation, and every
+  scratch allocation happen from scratch;
+* **warm** — one handle solves repeatedly, reusing the solver workspace
+  pool, the matrix-side conversion caches, and the pre-resolved binding
+  dispatch entries.
+
+Numerics must not drift: every warm solve's residual history is compared
+byte-for-byte against its cold counterpart, and two same-seed warm runs
+must produce byte-identical Chrome traces.
+
+Standalone::
+
+    python benchmarks/bench_hot_path.py            # full run
+    python benchmarks/bench_hot_path.py --smoke    # CI gate (fast)
+
+Writes ``BENCH_hot_path.json`` next to the repo root with the timings.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import repro as pg
+from repro.bindings import dispatch, reset_models
+from repro.ginkgo import cachestats
+from repro.ginkgo.matrix import Csr
+from repro.suitesparse.generators import poisson_2d
+
+#: Acceptance threshold: warm solves must be at least this much faster.
+MIN_SPEEDUP = 1.25
+
+
+def _median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def _fresh_state():
+    """Reset every process-global cache so paths start identically."""
+    pg.clear_device_cache()
+    reset_models()
+    dispatch.clear()
+    cachestats.reset()
+
+
+def _setup(nx):
+    dev = pg.device("cuda", fresh=True)
+    mtx = Csr.from_scipy(dev, poisson_2d(nx))
+    n = mtx.size[0]
+    b = pg.as_tensor(device=dev, dim=(n, 1), dtype="double", fill=1.0)
+    return dev, mtx, b, n
+
+
+def _one_solve(dev, mtx, b, n, handle=None, max_iters=400):
+    """Run one GMRES+ILU solve; returns (handle, history, seconds)."""
+    t0 = time.perf_counter()
+    if handle is None:
+        precond = pg.preconditioner.Ilu(dev, mtx)
+        handle = pg.solver.gmres(
+            dev, mtx, preconditioner=precond,
+            max_iters=max_iters, reduction_factor=1e-5,
+        )
+    x = pg.as_tensor(device=dev, dim=(n, 1), dtype="double")
+    logger, _ = handle.apply(b, x)
+    elapsed = time.perf_counter() - t0
+    if not logger.converged:
+        raise RuntimeError("benchmark solve did not converge")
+    return handle, list(logger.residual_norms), elapsed
+
+
+def run_cold(nx, repeats, max_iters):
+    _fresh_state()
+    dev, mtx, b, n = _setup(nx)
+    times, histories = [], []
+    for _ in range(repeats):
+        _, hist, dt = _one_solve(dev, mtx, b, n, max_iters=max_iters)
+        times.append(dt)
+        histories.append(hist)
+    return times, histories
+
+
+def run_warm(nx, repeats, max_iters, trace=False):
+    """One handle, ``repeats`` solves.
+
+    With ``trace=True`` the whole run is profiled (for the same-seed
+    determinism check); timings from a traced run carry profiler overhead
+    and must not be compared against an untraced cold run.
+    """
+    _fresh_state()
+    dev, mtx, b, n = _setup(nx)
+    times, histories = [], []
+    handle = None
+
+    def body():
+        nonlocal handle
+        for _ in range(repeats):
+            handle, hist, dt = _one_solve(
+                dev, mtx, b, n, handle=handle, max_iters=max_iters
+            )
+            times.append(dt)
+            histories.append(hist)
+
+    trace_json = None
+    if trace:
+        with pg.profile(dev, name="warm_hot_path") as prof:
+            body()
+        trace_json = prof.to_chrome_trace()
+    else:
+        body()
+    stats = cachestats.snapshot()
+    return times, histories, trace_json, stats
+
+
+def run(nx=48, repeats=8, max_iters=400, out_path="BENCH_hot_path.json"):
+    """Run both paths, check the invariants, write the JSON report."""
+    failures = []
+
+    cold_times, cold_hists = run_cold(nx, repeats, max_iters)
+    warm_times, warm_hists, _, stats = run_warm(nx, repeats, max_iters)
+    _, _, trace1, _ = run_warm(nx, repeats, max_iters, trace=True)
+    _, _, trace2, _ = run_warm(nx, repeats, max_iters, trace=True)
+
+    # Numerics: every warm history byte-identical to its cold twin.
+    if warm_hists != cold_hists:
+        failures.append("warm residual histories differ from cold")
+    if any(h != cold_hists[0] for h in cold_hists):
+        failures.append("cold residual histories drift across repeats")
+    # Determinism: same-seed warm runs trace identically.
+    if trace1 != trace2:
+        failures.append("same-seed warm traces are not byte-identical")
+
+    # Steady-state comparison: drop each path's first solve (both pay
+    # one-time import/lazy-init costs there) and take per-solve medians,
+    # which are robust to host scheduling noise.
+    cold_mean = _median(cold_times[1:])
+    warm_mean = _median(warm_times[1:])
+    speedup = cold_mean / warm_mean if warm_mean > 0 else float("inf")
+    if speedup < MIN_SPEEDUP:
+        failures.append(
+            f"warm speedup {speedup:.2f}x below the {MIN_SPEEDUP:.2f}x gate"
+        )
+    if stats.get("cache_workspace_hit", 0) == 0:
+        failures.append("warm path recorded no workspace hits")
+
+    report = {
+        "benchmark": "hot_path_gmres_ilu",
+        "nx": nx,
+        "unknowns": nx * nx,
+        "repeats": repeats,
+        "cold_median_s": cold_mean,
+        "warm_median_s": warm_mean,
+        "cold_times_s": cold_times,
+        "warm_times_s": warm_times,
+        "speedup": speedup,
+        "min_speedup_gate": MIN_SPEEDUP,
+        "residual_histories_identical": warm_hists == cold_hists,
+        "same_seed_traces_identical": trace1 == trace2,
+        "iterations_per_solve": len(cold_hists[0]),
+        "cache_stats_warm": stats,
+        "failures": failures,
+    }
+    Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
+
+    print(
+        f"cold {cold_mean * 1e3:8.2f} ms/solve | "
+        f"warm {warm_mean * 1e3:8.2f} ms/solve | "
+        f"speedup {speedup:5.2f}x (gate {MIN_SPEEDUP:.2f}x)"
+    )
+    hits = stats.get("cache_workspace_hit", 0)
+    misses = stats.get("cache_workspace_miss", 0)
+    print(
+        f"workspace {hits} hits / {misses} misses, "
+        f"dispatch {stats.get('cache_dispatch_hit', 0)} hits, "
+        f"format {stats.get('cache_format_hit', 0)} hits"
+    )
+    print(f"wrote {out_path}")
+    return report
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="fast CI gate: small stencil, assert the acceptance criteria",
+    )
+    parser.add_argument("--nx", type=int, default=None, help="stencil size")
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--out", default="BENCH_hot_path.json")
+    args = parser.parse_args()
+    nx = args.nx or (32 if args.smoke else 48)
+    repeats = args.repeats or (6 if args.smoke else 10)
+    report = run(nx=nx, repeats=repeats, out_path=args.out)
+    if report["failures"]:
+        for failure in report["failures"]:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("perf-smoke OK" if args.smoke else "hot-path bench OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

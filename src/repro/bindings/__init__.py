@@ -24,10 +24,13 @@ from repro.bindings.overhead import (
     binding_overhead,
     binding_overhead_enabled,
     charge_binding,
+    device_family,
     reset_models,
     set_binding_overhead,
 )
 from repro.bindings.registry import BINDINGS, binding_names, get_binding
+from repro.bindings import dispatch
+from repro.bindings.dispatch import resolve, symbol_for
 
 __all__ = [
     "BINDINGS",
@@ -35,9 +38,13 @@ __all__ = [
     "binding_overhead",
     "binding_overhead_enabled",
     "charge_binding",
+    "device_family",
+    "dispatch",
     "get_binding",
     "reset_models",
+    "resolve",
     "set_binding_overhead",
+    "symbol_for",
 ]
 
 

@@ -57,8 +57,29 @@ def binding_overhead(enabled: bool):
         _ENABLED = previous
 
 
-def _device_family(exec_) -> str:
+def device_family(exec_) -> str:
     """Classify an executor into a binding-overhead device family.
+
+    The classification is a pure function of the executor's device spec,
+    so the result is memoized on the executor itself (it survives
+    :func:`reset_models`, which only restarts the jitter streams).
+    """
+    family = getattr(exec_, "_binding_family", None)
+    if family is None:
+        family = _classify_family(exec_)
+        try:
+            exec_._binding_family = family
+        except AttributeError:  # exotic executors with __slots__
+            pass
+    return family
+
+
+# Backwards-compatible alias of the pre-memoization name.
+_device_family = device_family
+
+
+def _classify_family(exec_) -> str:
+    """Uncached family classification.
 
     Routes through the device spec's ``kind``/``vendor`` fields — never
     the display name, which need not contain the vendor string (e.g.
@@ -79,7 +100,7 @@ def _device_family(exec_) -> str:
 
 def overhead_model_for(exec_) -> BindingOverheadModel:
     """The (shared) overhead model for an executor's device family."""
-    family = _device_family(exec_)
+    family = device_family(exec_)
     if family not in _MODELS:
         _MODELS[family] = BindingOverheadModel.for_device(family)
     return _MODELS[family]

@@ -59,11 +59,12 @@ def read(
             f"unknown matrix format {format!r}; "
             f"available: {sorted(FORMAT_PREFIXES)}"
         )
-    name = (
-        f"read_{FORMAT_PREFIXES[fmt]}_{value_suffix(dtype)}_"
-        f"{index_suffix(index_dtype)}"
-    )
-    return bindings.get_binding(name)(exec_, path, **kwargs)
+    return bindings.resolve(
+        f"read_{FORMAT_PREFIXES[fmt]}",
+        value_suffix(dtype),
+        index_suffix(index_dtype),
+        exec_=exec_,
+    )(exec_, path, **kwargs)
 
 
 def matrix(
@@ -92,14 +93,15 @@ def matrix(
             f"unknown matrix format {format!r}; "
             f"available: {sorted(FORMAT_PREFIXES)}"
         )
-    name = (
-        f"{FORMAT_PREFIXES[fmt]}_{value_suffix(dtype)}_"
-        f"{index_suffix(index_dtype)}"
-    )
     import scipy.sparse as sp
 
     mat = data if sp.issparse(data) else sp.csr_matrix(data)
-    return bindings.get_binding(name)(exec_, mat, **kwargs)
+    return bindings.resolve(
+        FORMAT_PREFIXES[fmt],
+        value_suffix(dtype),
+        index_suffix(index_dtype),
+        exec_=exec_,
+    )(exec_, mat, **kwargs)
 
 
 def write(path, matrix, **kwargs) -> None:

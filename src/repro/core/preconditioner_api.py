@@ -2,13 +2,15 @@
 
 Each entry point dispatches through the type-suffixed binding for the
 matrix's value type and immediately generates the preconditioner on the
-matrix, returning an operator ready to pass to a solver.
+matrix, returning an operator ready to pass to a solver.  Symbol lookup
+goes through the pre-resolved dispatch cache
+(:mod:`repro.bindings.dispatch`), so repeated construction skips the
+per-call name mangling without losing the binding-overhead charge.
 """
 
 from __future__ import annotations
 
 from repro import bindings
-from repro.core.types import value_suffix
 
 
 def Ilu(device, mtx, algorithm: str = "exact", sweeps: int = 5):
@@ -17,7 +19,7 @@ def Ilu(device, mtx, algorithm: str = "exact", sweeps: int = 5):
     ``algorithm="parilu"`` selects Ginkgo's fixed-point construction with
     the given number of ``sweeps``.
     """
-    factory = bindings.get_binding(f"ilu_factory_{value_suffix(mtx.dtype)}")(
+    factory = bindings.resolve("ilu_factory", mtx.dtype, exec_=device)(
         device, algorithm=algorithm, sweeps=sweeps
     )
     return factory.generate(mtx)
@@ -25,31 +27,29 @@ def Ilu(device, mtx, algorithm: str = "exact", sweeps: int = 5):
 
 def Ic(device, mtx):
     """IC(0) preconditioner for symmetric positive-definite matrices."""
-    factory = bindings.get_binding(f"ic_factory_{value_suffix(mtx.dtype)}")(
-        device
-    )
+    factory = bindings.resolve("ic_factory", mtx.dtype, exec_=device)(device)
     return factory.generate(mtx)
 
 
 def Jacobi(device, mtx, max_block_size: int = 1):
     """Scalar (block size 1) or block Jacobi preconditioner."""
-    factory = bindings.get_binding(
-        f"jacobi_factory_{value_suffix(mtx.dtype)}"
-    )(device, max_block_size=max_block_size)
+    factory = bindings.resolve("jacobi_factory", mtx.dtype, exec_=device)(
+        device, max_block_size=max_block_size
+    )
     return factory.generate(mtx)
 
 
 def Isai(device, mtx, sparsity_power: int = 1):
     """Incomplete sparse approximate inverse preconditioner."""
-    factory = bindings.get_binding(
-        f"isai_factory_{value_suffix(mtx.dtype)}"
-    )(device, sparsity_power=sparsity_power)
+    factory = bindings.resolve("isai_factory", mtx.dtype, exec_=device)(
+        device, sparsity_power=sparsity_power
+    )
     return factory.generate(mtx)
 
 
 def Amg(device, mtx, **kwargs):
     """Aggregation-AMG preconditioner (one V-cycle per apply)."""
-    factory = bindings.get_binding(
-        f"multigrid_factory_{value_suffix(mtx.dtype)}"
-    )(device, **kwargs)
+    factory = bindings.resolve("multigrid_factory", mtx.dtype, exec_=device)(
+        device, **kwargs
+    )
     return factory.generate(mtx)

@@ -18,6 +18,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 
 from repro.core.device import device as _device_factory
+from repro.ginkgo import cachestats
 from repro.ginkgo.log import ProfilerHook
 from repro.ginkgo.log.profiler import _resolve_clock
 from repro.perfmodel import SimClock
@@ -40,6 +41,10 @@ def profile(*targets, name: str = "pyginkgo", metrics=None):
         after (or inside) the block.
     """
     prof = ProfilerHook(name=name, metrics=metrics)
+    if metrics is not None:
+        # Workspace/format/dispatch cache hits and misses inside the
+        # region land as cache_* counters next to the kernel counters.
+        cachestats.register_sink(metrics)
     clocks = []
     for target in targets:
         if isinstance(target, str):
@@ -60,4 +65,6 @@ def profile(*targets, name: str = "pyginkgo", metrics=None):
                 prof.detach(clock)
         else:
             SimClock.remove_global_tracer(prof)
+        if metrics is not None:
+            cachestats.unregister_sink(metrics)
         prof.close()

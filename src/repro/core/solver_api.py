@@ -12,7 +12,7 @@ import numpy as np
 
 from repro import bindings
 from repro.core.tensor import Tensor
-from repro.core.types import value_suffix
+from repro.core.types import value_dtype
 from repro.ginkgo.exceptions import GinkgoError
 from repro.ginkgo.log import ConvergenceLogger
 from repro.ginkgo.matrix.dense import Dense
@@ -81,8 +81,11 @@ def _make_solver(
 ) -> SolverHandle:
     # Abstract LinOps (compositions, stencils, ...) carry no dtype; the
     # engine iterates in double precision for them.
-    suffix = value_suffix(getattr(mtx, "dtype", np.float64))
-    factory_binding = bindings.get_binding(f"{name}_factory_{suffix}")
+    factory_binding = bindings.resolve(
+        f"{name}_factory",
+        value_dtype(getattr(mtx, "dtype", np.float64)),
+        exec_=device,
+    )
     factory = factory_binding(
         device,
         criteria=_build_criteria(max_iters, reduction_factor, criteria),
@@ -186,15 +189,15 @@ def ir(device, mtx, inner_solver=None, **kwargs) -> SolverHandle:
 
 def direct(device, mtx) -> SolverHandle:
     """Sparse direct (LU) solver."""
-    suffix = value_suffix(mtx.dtype)
-    factory = bindings.get_binding(f"direct_factory_{suffix}")(device)
+    factory = bindings.resolve("direct_factory", mtx.dtype, exec_=device)(
+        device
+    )
     return SolverHandle(factory.generate(mtx))
 
 
 def lower_trs(device, mtx, unit_diagonal: bool = False) -> SolverHandle:
     """Lower triangular solver."""
-    suffix = value_suffix(mtx.dtype)
-    factory = bindings.get_binding(f"lower_trs_factory_{suffix}")(
+    factory = bindings.resolve("lower_trs_factory", mtx.dtype, exec_=device)(
         device, unit_diagonal=unit_diagonal
     )
     return SolverHandle(factory.generate(mtx))
@@ -202,8 +205,7 @@ def lower_trs(device, mtx, unit_diagonal: bool = False) -> SolverHandle:
 
 def upper_trs(device, mtx, unit_diagonal: bool = False) -> SolverHandle:
     """Upper triangular solver."""
-    suffix = value_suffix(mtx.dtype)
-    factory = bindings.get_binding(f"upper_trs_factory_{suffix}")(
+    factory = bindings.resolve("upper_trs_factory", mtx.dtype, exec_=device)(
         device, unit_diagonal=unit_diagonal
     )
     return SolverHandle(factory.generate(mtx))

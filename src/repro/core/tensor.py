@@ -13,7 +13,7 @@ import numpy as np
 
 from repro import bindings
 from repro.core.device import device as _device_factory
-from repro.core.types import value_dtype, value_suffix
+from repro.core.types import value_dtype
 from repro.ginkgo.exceptions import GinkgoError
 from repro.ginkgo.executor import Executor
 from repro.ginkgo.matrix.dense import Dense
@@ -202,13 +202,12 @@ def as_tensor(
         else _device_factory(device or "reference")
     )
     dt = value_dtype(dtype)
-    suffix = value_suffix(dt)
 
     if data is None:
         if dim is None:
             raise GinkgoError("as_tensor needs either data or dim=")
         rows, cols = (dim, 1) if np.isscalar(dim) else (dim[0], dim[1])
-        dense = bindings.get_binding(f"dense_empty_{suffix}")(
+        dense = bindings.resolve("dense_empty", dt, exec_=exec_)(
             exec_, rows, cols
         )
         if fill is not None and fill != 0.0:
@@ -224,7 +223,7 @@ def as_tensor(
     arr = np.asarray(data)
     if arr.dtype != dt:
         arr = arr.astype(dt)
-    dense = bindings.get_binding(f"dense_{suffix}")(exec_, arr)
+    dense = bindings.resolve("dense", dt, exec_=exec_)(exec_, arr)
     return Tensor(dense)
 
 

@@ -1,0 +1,81 @@
+"""Process-wide hit/miss accounting for the reuse layer.
+
+Three caches make up the zero-allocation hot path, and all of them report
+here so one place answers "what did reuse save":
+
+* ``workspace`` — solver :class:`~repro.ginkgo.solver.workspace.Workspace`
+  buffer reuse across ``apply()`` calls and restart cycles;
+* ``format`` — memoized SciPy views, transposes, and format conversions
+  on the sparse/dense matrix classes (generation-counter invalidated);
+* ``dispatch`` — pre-resolved type-suffixed binding symbols in
+  :mod:`repro.bindings.dispatch`.
+
+Counts are kept in a flat module-global table (queryable with
+:func:`snapshot`), mirrored into any registered
+:class:`~repro.ginkgo.log.MetricsRegistry` sinks (``pg.profile(metrics=...)``
+registers its registry for the duration of the region), and — when the
+owning executor's clock is traced — emitted as ``cache_hit``/``cache_miss``
+trace instants so profiler timelines show where reuse struck.
+
+Counter mirroring is owned exclusively by this module: the profiler hook
+renders the clock marks as instants but never counts them, so a registry
+that is both a sink here and attached to a profiler cannot double-count.
+"""
+
+from __future__ import annotations
+
+_COUNTS: dict[str, int] = {}
+_SINKS: list = []
+
+
+def record(kind: str, hit: bool, clock=None, **meta) -> None:
+    """Count one cache lookup.
+
+    Args:
+        kind: Cache family (``"workspace"``/``"format"``/``"dispatch"``).
+        hit: Whether the lookup was served from the cache.
+        clock: Optional :class:`~repro.perfmodel.SimClock` to annotate;
+            the mark is a free instant (no simulated time is charged), so
+            reuse never perturbs modeled timings.
+        **meta: Scalar details recorded on the trace instant (buffer name,
+            byte size, symbol, ...).
+    """
+    key = f"cache_{kind}_{'hit' if hit else 'miss'}"
+    _COUNTS[key] = _COUNTS.get(key, 0) + 1
+    for sink in _SINKS:
+        sink.counter(key).inc()
+    if clock is not None:
+        clock.annotate("cache_hit" if hit else "cache_miss", kind=kind, **meta)
+
+
+def register_sink(registry) -> None:
+    """Mirror future cache counts into ``registry`` (idempotent)."""
+    if registry not in _SINKS:
+        _SINKS.append(registry)
+
+
+def unregister_sink(registry) -> None:
+    """Stop mirroring into ``registry``; unknown registries are ignored."""
+    try:
+        _SINKS.remove(registry)
+    except ValueError:
+        pass
+
+
+def snapshot() -> dict:
+    """Copy of the global count table (``cache_<kind>_<hit|miss>`` keys)."""
+    return dict(_COUNTS)
+
+
+def counts(kind: str) -> tuple:
+    """``(hits, misses)`` of one cache family."""
+    return (
+        _COUNTS.get(f"cache_{kind}_hit", 0),
+        _COUNTS.get(f"cache_{kind}_miss", 0),
+    )
+
+
+def reset() -> None:
+    """Zero the global table and drop all sinks (test isolation)."""
+    _COUNTS.clear()
+    _SINKS.clear()

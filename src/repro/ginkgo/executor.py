@@ -214,7 +214,29 @@ class Executor:
         """
         out = self.alloc_like(np.ascontiguousarray(data))
         np.copyto(out, data)
-        nbytes = data.nbytes
+        self._charge_copy(src_exec, data.nbytes)
+        return out
+
+    def copy_into(
+        self, src_exec: "Executor", data: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        """Copy ``data`` (resident on ``src_exec``) into existing buffer ``out``.
+
+        Charges exactly what :meth:`copy_from` charges for the transfer
+        itself, minus the allocation: workspace pools use this so a reused
+        buffer costs the same simulated time as a fresh ``clone()``.
+        """
+        if out.shape != data.shape or out.dtype != data.dtype:
+            raise GinkgoError(
+                f"{self.name}: copy_into target mismatch "
+                f"({out.shape}/{out.dtype} vs {data.shape}/{data.dtype})"
+            )
+        np.copyto(out, data)
+        self._charge_copy(src_exec, data.nbytes)
+        return out
+
+    def _charge_copy(self, src_exec: "Executor", nbytes: int) -> None:
+        """Advance the clock(s) for one ``nbytes`` transfer from ``src_exec``."""
         if src_exec is self:
             self.clock.record(
                 KernelCost("device_memcpy", 0.0, 2.0 * nbytes, launches=1)
@@ -236,7 +258,6 @@ class Executor:
                 transfer, category="transfer", label="pcie_transfer",
                 bytes=nbytes,
             )
-        return out
 
     def synchronize(self) -> None:
         """Wait for all outstanding device work (models stream sync)."""

@@ -399,6 +399,29 @@ class FaultyExecutor(Executor):
             )
         return out
 
+    def copy_into(
+        self, src_exec: Executor, data: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        fault = self._injector.decide("copy", detail=f"copy:{data.nbytes}B")
+        if fault is not None and fault.kind == "transient":
+            self._announce(fault)
+            raise CudaError(
+                f"simulated transient fault copying {data.nbytes} bytes "
+                f"to {self.name}"
+            )
+        if isinstance(src_exec, FaultyExecutor):
+            src_exec = src_exec.inner
+        elif src_exec is self:
+            src_exec = self._inner
+        self._inner.copy_into(src_exec, data, out)
+        if fault is not None:  # kind == "corruption"
+            poisoned = self._injector.corrupt(out)
+            self._announce(fault)
+            self._log(
+                "data_corrupted", index=fault.index, flat_index=poisoned
+            )
+        return out
+
     def run(self, cost) -> float:
         fault = self._injector.decide("run", detail=cost.name)
         if fault is not None:

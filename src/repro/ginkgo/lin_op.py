@@ -32,6 +32,12 @@ class LinOp:
         self._exec = exec_
         self._size = Dim.of(size)
         self._loggers: list = []
+        #: Generation counter for the operator's stored values; memoized
+        #: derived objects (transposes, conversions, SciPy views) key on
+        #: it so in-place mutation can never serve stale results.
+        self._data_version = 0
+        #: op key -> (data_version, derived object).
+        self._derived_cache: dict = {}
 
     # ------------------------------------------------------------------
     # properties
@@ -48,6 +54,48 @@ class LinOp:
     def shape(self) -> tuple:
         """NumPy-style alias of :attr:`size`."""
         return (self._size.rows, self._size.cols)
+
+    # ------------------------------------------------------------------
+    # mutation tracking and derived-object memoization
+    # ------------------------------------------------------------------
+    @property
+    def data_version(self) -> int:
+        """Generation counter; bumps whenever stored values mutate."""
+        return self._data_version
+
+    def mark_modified(self) -> None:
+        """Record an in-place value mutation, invalidating derived caches.
+
+        Public mutators (and ``apply`` on the output operand) call this
+        automatically; code writing through raw data arrays must call it
+        by hand.
+        """
+        self._data_version += 1
+        if self._derived_cache:
+            self._derived_cache.clear()
+
+    def _cached_derived(self, key: str, builder):
+        """Memoize ``builder()`` under ``key`` for the current generation.
+
+        Hits return the *same* derived object as the original call; any
+        simulated conversion charge must be recorded by the caller before
+        the lookup so cached conversions still cost what the performance
+        model dictates.
+        """
+        from repro.ginkgo import cachestats
+
+        entry = self._derived_cache.get(key)
+        hit = entry is not None and entry[0] == self._data_version
+        if hit:
+            value = entry[1]
+        else:
+            value = builder()
+            self._derived_cache[key] = (self._data_version, value)
+        cachestats.record(
+            "format", hit, clock=self._exec.clock, op=key,
+            format=getattr(self, "_format_name", type(self).__name__.lower()),
+        )
+        return value
 
     # ------------------------------------------------------------------
     # logging
@@ -89,6 +137,7 @@ class LinOp:
             self._log("apply_completed", b=b, x=x)
         finally:
             clock.pop_span()
+        x.mark_modified()
         return x
 
     def apply_advanced(self, alpha, b, beta, x):
@@ -104,6 +153,7 @@ class LinOp:
             self._log("apply_completed", b=b, x=x)
         finally:
             clock.pop_span()
+        x.mark_modified()
         return x
 
     def _validate_application(self, b, x) -> None:

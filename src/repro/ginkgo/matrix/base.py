@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.ginkgo import cachestats
 from repro.ginkgo.dim import Dim
 from repro.ginkgo.exceptions import GinkgoError
 from repro.ginkgo.executor import Executor
@@ -105,12 +106,28 @@ class SparseBase(LinOp):
     def _to_scipy(self) -> sp.spmatrix:
         raise NotImplementedError
 
-    def _invalidate_cache(self) -> None:
+    def mark_modified(self) -> None:
+        """Record an in-place value mutation.
+
+        Drops the cached SciPy view on top of the derived-object caches
+        :class:`~repro.ginkgo.lin_op.LinOp` invalidates.  Public mutators
+        call this automatically; code writing through raw ``values``
+        arrays must call it by hand.
+        """
+        super().mark_modified()
         self._scipy_cache = None
 
+    def _invalidate_cache(self) -> None:
+        self.mark_modified()
+
     def _scipy_view(self) -> sp.spmatrix:
-        if self._scipy_cache is None:
+        hit = self._scipy_cache is not None
+        if not hit:
             self._scipy_cache = self._to_scipy()
+        cachestats.record(
+            "format", hit, clock=self._exec.clock,
+            op="scipy_view", format=self._format_name,
+        )
         return self._scipy_cache
 
     def _spmv_arrays(self, b: np.ndarray) -> np.ndarray:

@@ -50,7 +50,6 @@ class Coo(SparseBase):
         np.copyto(self._col_idxs, col_idxs)
         self._values = exec_.alloc_like(values)
         np.copyto(self._values, values)
-        self._csr_cache = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -104,10 +103,13 @@ class Coo(SparseBase):
 
     def _spmv_arrays(self, b: np.ndarray) -> np.ndarray:
         # SciPy COO matvec converts internally; a cached CSR view is
-        # numerically equivalent and faster for repeated applies.
-        if getattr(self, "_csr_cache", None) is None:
-            self._csr_cache = self._scipy_view().tocsr()
-        mat = self._csr_cache
+        # numerically equivalent and faster for repeated applies.  The
+        # view is keyed on the data generation, so in-place value
+        # mutations (scale, writes + mark_modified) can never leave a
+        # stale CSR serving future SpMVs.
+        mat = self._cached_derived(
+            "csr_view", lambda: self._scipy_view().tocsr()
+        )
         if self._value_dtype == np.float16:
             out = mat.astype(np.float32) @ b.astype(np.float32)
             return out.astype(np.float16)
@@ -117,20 +119,35 @@ class Coo(SparseBase):
     # structural operations
     # ------------------------------------------------------------------
     def transpose(self) -> "Coo":
-        """Return ``A^T`` as a new COO matrix (swap row/col indices)."""
+        """Return ``A^T`` as a new COO matrix (swap row/col indices).
+
+        Memoized per data generation; the conversion charge is recorded
+        on every call.
+        """
         self._exec.run(
             conversion_cost(
                 "coo", "coo_t", self._size.rows, self.nnz,
                 self.value_bytes, self.index_bytes,
             )
         )
-        return Coo(
-            self._exec,
-            self._size.transposed,
-            self._col_idxs,
-            self._row_idxs,
-            self._values,
+        return self._cached_derived(
+            "transpose",
+            lambda: Coo(
+                self._exec,
+                self._size.transposed,
+                self._col_idxs,
+                self._row_idxs,
+                self._values,
+            ),
         )
+
+    def scale(self, alpha) -> "Coo":
+        """Scale all stored values in place."""
+        from repro.ginkgo.matrix.dense import _scalar_value
+
+        self._values *= self._value_dtype.type(_scalar_value(alpha))
+        self._invalidate_cache()
+        return self
 
     def copy_to(self, exec_: Executor) -> "Coo":
         """Return a copy resident on ``exec_``."""
@@ -156,10 +173,13 @@ class Coo(SparseBase):
                 self.value_bytes, self.index_bytes,
             )
         )
-        return Csr.from_scipy(
-            self._exec,
-            self._scipy_view(),
-            value_dtype=self._value_dtype,
-            index_dtype=self._index_dtype,
-            strategy=strategy,
+        return self._cached_derived(
+            f"convert_to_csr[{strategy}]",
+            lambda: Csr.from_scipy(
+                self._exec,
+                self._scipy_view(),
+                value_dtype=self._value_dtype,
+                index_dtype=self._index_dtype,
+                strategy=strategy,
+            ),
         )

@@ -156,14 +156,21 @@ class Csr(SparseBase):
     # structural operations
     # ------------------------------------------------------------------
     def transpose(self) -> "Csr":
-        """Return ``A^T`` as a new CSR matrix."""
-        t = self._scipy_view().transpose().tocsr()
+        """Return ``A^T`` as a new CSR matrix.
+
+        Memoized per data generation (repeat calls return the same
+        object); the conversion charge is recorded on every call.
+        """
         self._exec.run(
             conversion_cost(
                 "csr", "csr_t", self._size.rows, self.nnz,
                 self.value_bytes, self.index_bytes,
             )
         )
+        return self._cached_derived("transpose", self._build_transpose)
+
+    def _build_transpose(self) -> "Csr":
+        t = self._scipy_view().transpose().tocsr()
         return Csr.from_scipy(
             self._exec, t, index_dtype=self._index_dtype,
             strategy=self._strategy,
@@ -229,23 +236,30 @@ class Csr(SparseBase):
         """Convert to :class:`~repro.ginkgo.matrix.coo.Coo`."""
         from repro.ginkgo.matrix.coo import Coo
 
-        coo = self._scipy_view().tocoo()
         self._record_conversion("coo")
-        return Coo(
-            self._exec,
-            self._size,
-            coo.row.astype(self._index_dtype),
-            coo.col.astype(self._index_dtype),
-            coo.data.astype(self._value_dtype),
-        )
+
+        def build():
+            coo = self._scipy_view().tocoo()
+            return Coo(
+                self._exec,
+                self._size,
+                coo.row.astype(self._index_dtype),
+                coo.col.astype(self._index_dtype),
+                coo.data.astype(self._value_dtype),
+            )
+
+        return self._cached_derived("convert_to_coo", build)
 
     def convert_to_ell(self):
         """Convert to :class:`~repro.ginkgo.matrix.ell.Ell`."""
         from repro.ginkgo.matrix.ell import Ell
 
         self._record_conversion("ell")
-        return Ell.from_scipy(
-            self._exec, self._scipy_view(), index_dtype=self._index_dtype
+        return self._cached_derived(
+            "convert_to_ell",
+            lambda: Ell.from_scipy(
+                self._exec, self._scipy_view(), index_dtype=self._index_dtype
+            ),
         )
 
     def convert_to_sellp(self, slice_size: int = 32):
@@ -253,11 +267,14 @@ class Csr(SparseBase):
         from repro.ginkgo.matrix.sellp import Sellp
 
         self._record_conversion("sellp")
-        return Sellp.from_scipy(
-            self._exec,
-            self._scipy_view(),
-            slice_size=slice_size,
-            index_dtype=self._index_dtype,
+        return self._cached_derived(
+            f"convert_to_sellp[{slice_size}]",
+            lambda: Sellp.from_scipy(
+                self._exec,
+                self._scipy_view(),
+                slice_size=slice_size,
+                index_dtype=self._index_dtype,
+            ),
         )
 
     def convert_to_hybrid(self, percent: float = 0.8):
@@ -265,11 +282,14 @@ class Csr(SparseBase):
         from repro.ginkgo.matrix.hybrid import Hybrid
 
         self._record_conversion("hybrid")
-        return Hybrid.from_scipy(
-            self._exec,
-            self._scipy_view(),
-            percent=percent,
-            index_dtype=self._index_dtype,
+        return self._cached_derived(
+            f"convert_to_hybrid[{percent}]",
+            lambda: Hybrid.from_scipy(
+                self._exec,
+                self._scipy_view(),
+                percent=percent,
+                index_dtype=self._index_dtype,
+            ),
         )
 
     def convert_to_sparsity_csr(self):
@@ -277,9 +297,12 @@ class Csr(SparseBase):
         from repro.ginkgo.matrix.sparsity_csr import SparsityCsr
 
         self._record_conversion("sparsity_csr")
-        return SparsityCsr(
-            self._exec, self._size, self._row_ptrs, self._col_idxs,
-            value_dtype=self._value_dtype,
+        return self._cached_derived(
+            "convert_to_sparsity_csr",
+            lambda: SparsityCsr(
+                self._exec, self._size, self._row_ptrs, self._col_idxs,
+                value_dtype=self._value_dtype,
+            ),
         )
 
     def _record_conversion(self, dst: str) -> None:

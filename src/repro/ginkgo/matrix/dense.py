@@ -170,6 +170,7 @@ class Dense(LinOp):
         self._exec.run(
             blas1_cost("copy", self._size.num_elements, self.value_bytes, 2)
         )
+        self.mark_modified()
         return self
 
     # ------------------------------------------------------------------
@@ -181,6 +182,7 @@ class Dense(LinOp):
         self._exec.run(
             blas1_cost("fill", self._size.num_elements, self.value_bytes, 1)
         )
+        self.mark_modified()
         return self
 
     def scale(self, alpha) -> "Dense":
@@ -193,6 +195,7 @@ class Dense(LinOp):
         self._exec.run(
             blas1_cost("scale", self._size.num_elements, self.value_bytes, 2)
         )
+        self.mark_modified()
         return self
 
     def inv_scale(self, alpha) -> "Dense":
@@ -204,6 +207,7 @@ class Dense(LinOp):
         self._exec.run(
             blas1_cost("inv_scale", self._size.num_elements, self.value_bytes, 2)
         )
+        self.mark_modified()
         return self
 
     def add_scaled(self, alpha, other: "Dense") -> "Dense":
@@ -217,6 +221,7 @@ class Dense(LinOp):
         self._exec.run(
             blas1_cost("add_scaled", self._size.num_elements, self.value_bytes, 3)
         )
+        self.mark_modified()
         return self
 
     def sub_scaled(self, alpha, other: "Dense") -> "Dense":
@@ -264,16 +269,23 @@ class Dense(LinOp):
     # structural operations
     # ------------------------------------------------------------------
     def transpose(self) -> "Dense":
-        """Return the transposed matrix (new allocation)."""
+        """Return the transposed matrix.
+
+        Memoized per data generation (repeat calls return the same
+        object); the transpose kernel is charged on every call.
+        """
+        self._exec.run(
+            blas1_cost("transpose", self._size.num_elements, self.value_bytes, 2)
+        )
+        return self._cached_derived("transpose", self._build_transpose)
+
+    def _build_transpose(self) -> "Dense":
         out = Dense.__new__(Dense)
         LinOp.__init__(out, self._exec, self._size.transposed)
         out._data = self._exec.alloc_like(
             np.ascontiguousarray(self._data.T)
         )
         np.copyto(out._data, self._data.T)
-        self._exec.run(
-            blas1_cost("transpose", self._size.num_elements, self.value_bytes, 2)
-        )
         return out
 
     def column(self, index: int) -> "Dense":
@@ -281,6 +293,22 @@ class Dense(LinOp):
         if not 0 <= index < self._size.cols:
             raise IndexError(f"column {index} out of range")
         return Dense(self._exec, self._data[:, index : index + 1])
+
+    def column_view(self, index: int) -> "Dense":
+        """Writable zero-copy view of one column as an ``n x 1`` Dense.
+
+        The view aliases this matrix's storage — writes through it land
+        here directly.  Wrapper objects are cached per column, so multi-RHS
+        loops acquire each column once instead of wrapping per access.
+        """
+        if not 0 <= index < self._size.cols:
+            raise IndexError(f"column {index} out of range")
+        views = self.__dict__.setdefault("_column_wrappers", {})
+        wrapper = views.get(index)
+        if wrapper is None:
+            wrapper = Dense._wrap(self._exec, self._data[:, index : index + 1])
+            views[index] = wrapper
+        return wrapper
 
     def row_slice(self, start: int, stop: int) -> "Dense":
         """Copy of rows ``[start, stop)``."""
@@ -330,12 +358,16 @@ class Dense(LinOp):
     # conversions
     # ------------------------------------------------------------------
     def convert_to_csr(self, index_dtype=np.int32):
-        """Convert to :class:`~repro.ginkgo.matrix.csr.Csr`."""
+        """Convert to :class:`~repro.ginkgo.matrix.csr.Csr` (memoized)."""
         from repro.ginkgo.matrix.csr import Csr
         import scipy.sparse as sp
 
-        mat = sp.csr_matrix(self._data)
-        return Csr.from_scipy(self._exec, mat, index_dtype=index_dtype)
+        return self._cached_derived(
+            f"convert_to_csr[{np.dtype(index_dtype).name}]",
+            lambda: Csr.from_scipy(
+                self._exec, sp.csr_matrix(self._data), index_dtype=index_dtype
+            ),
+        )
 
     def _check_same_shape(self, other: "Dense", op_name: str) -> None:
         if other.size != self._size:

@@ -37,6 +37,14 @@ class Hybrid(SparseBase):
         self._ell = ell
         self._coo = coo
 
+    def mark_modified(self) -> None:
+        # The hybrid's caches are built from the parts, so invalidation
+        # cascades down; mutating a part directly requires marking the
+        # hybrid itself.
+        super().mark_modified()
+        self._ell.mark_modified()
+        self._coo.mark_modified()
+
     @classmethod
     def from_scipy(
         cls,
@@ -126,10 +134,13 @@ class Hybrid(SparseBase):
                 self.value_bytes, self.index_bytes,
             )
         )
-        return Csr.from_scipy(
-            self._exec,
-            self._to_scipy(),
-            value_dtype=self._value_dtype,
-            index_dtype=self._index_dtype,
-            strategy=strategy,
+        return self._cached_derived(
+            f"convert_to_csr[{strategy}]",
+            lambda: Csr.from_scipy(
+                self._exec,
+                self._scipy_view(),
+                value_dtype=self._value_dtype,
+                index_dtype=self._index_dtype,
+                strategy=strategy,
+            ),
         )

@@ -220,10 +220,13 @@ class Sellp(SparseBase):
                 self.value_bytes, self.index_bytes,
             )
         )
-        return Csr.from_scipy(
-            self._exec,
-            self._to_scipy(),
-            value_dtype=self._value_dtype,
-            index_dtype=self._index_dtype,
-            strategy=strategy,
+        return self._cached_derived(
+            f"convert_to_csr[{strategy}]",
+            lambda: Csr.from_scipy(
+                self._exec,
+                self._scipy_view(),
+                value_dtype=self._value_dtype,
+                index_dtype=self._index_dtype,
+                strategy=strategy,
+            ),
         )

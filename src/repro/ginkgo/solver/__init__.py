@@ -19,6 +19,7 @@ from repro.ginkgo.solver.idr import Idr
 from repro.ginkgo.solver.cb_gmres import CbGmres
 from repro.ginkgo.solver.triangular import LowerTrs, UpperTrs
 from repro.ginkgo.solver.direct import Direct
+from repro.ginkgo.solver.workspace import Workspace
 
 __all__ = [
     "Bicg",
@@ -36,4 +37,5 @@ __all__ = [
     "Minres",
     "SolverFactory",
     "UpperTrs",
+    "Workspace",
 ]

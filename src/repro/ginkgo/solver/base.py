@@ -8,6 +8,7 @@ from repro.ginkgo.dim import Dim
 from repro.ginkgo.exceptions import BadDimension, GinkgoError, SolverBreakdown
 from repro.ginkgo.lin_op import Identity, LinOp, LinOpFactory
 from repro.ginkgo.matrix.dense import Dense
+from repro.ginkgo.solver.workspace import Workspace
 from repro.ginkgo.stop import (
     Combined,
     CriterionContext,
@@ -113,6 +114,9 @@ class IterativeSolver(LinOp):
             )
         finally:
             clock.pop_span()
+        # Scratch buffers persist across apply() calls and restart cycles;
+        # the first solve populates the pool, later solves run allocation-free.
+        self._workspace = Workspace(matrix.executor)
         # Populated after each apply:
         self.num_iterations = 0
         self.converged = False
@@ -148,6 +152,15 @@ class IterativeSolver(LinOp):
     def parameters(self) -> dict:
         return dict(self._factory.params)
 
+    @property
+    def workspace(self) -> Workspace:
+        """The solver's persistent scratch-buffer pool."""
+        return self._workspace
+
+    def clear_workspace(self) -> None:
+        """Release all pooled scratch buffers back to the executor."""
+        self._workspace.clear()
+
     # ------------------------------------------------------------------
     # LinOp interface
     # ------------------------------------------------------------------
@@ -158,8 +171,8 @@ class IterativeSolver(LinOp):
             clock=self._exec.clock,
             start_time=self._exec.clock.now,
         )
-        # Initial residual r0 = b - A x0.
-        r = b.clone()
+        # Initial residual r0 = b - A x0 (pooled; charges like b.clone()).
+        r = self._workspace.dense_like("base.r0", b)
         self._matrix.apply_advanced(-1.0, x, 1.0, r)
         context.initial_resnorm = r.compute_norm2()
         criterion = self._factory.criteria.generate(context)
@@ -226,7 +239,7 @@ class IterativeSolver(LinOp):
         self._iterate(self._matrix, self._preconditioner, b, x, r, monitor)
 
     def _apply_advanced_impl(self, alpha, b, beta, x) -> None:
-        tmp = x.clone()
+        tmp = self._workspace.dense_like("base.advanced_tmp", x)
         self._apply_impl(b, tmp)
         x.scale(beta)
         x.add_scaled(alpha, tmp)

@@ -9,7 +9,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ginkgo.exceptions import NotSupported
-from repro.ginkgo.matrix.dense import Dense
 from repro.ginkgo.solver.base import IterativeSolver, SolverFactory
 from repro.ginkgo.solver.cg import _safe_divide
 
@@ -24,16 +23,16 @@ class BicgSolver(IterativeSolver):
                 f"{type(A).__name__}"
             )
         At = A.transpose()
-        exec_ = self._exec
-        r2 = r.clone()  # shadow residual
-        z = Dense.empty(exec_, r.size, r.dtype)
-        z2 = Dense.empty(exec_, r.size, r.dtype)
-        q = Dense.empty(exec_, r.size, r.dtype)
-        q2 = Dense.empty(exec_, r.size, r.dtype)
+        ws = self._workspace
+        r2 = ws.dense_like("bicg.r2", r)  # shadow residual
+        z = ws.dense("bicg.z", r.size, r.dtype)
+        z2 = ws.dense("bicg.z2", r.size, r.dtype)
+        q = ws.dense("bicg.q", r.size, r.dtype)
+        q2 = ws.dense("bicg.q2", r.size, r.dtype)
         M.apply(r, z)
         M.apply(r2, z2)
-        p = z.clone()
-        p2 = z2.clone()
+        p = ws.dense_like("bicg.p", z)
+        p2 = ws.dense_like("bicg.p2", z2)
         rz = r2.compute_dot(z)
 
         iteration = 0

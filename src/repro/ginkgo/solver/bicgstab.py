@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ginkgo.matrix.dense import Dense
 from repro.ginkgo.solver.base import IterativeSolver, SolverFactory
 from repro.ginkgo.solver.cg import _safe_divide
 
@@ -13,14 +12,14 @@ class BicgstabSolver(IterativeSolver):
     """Generated BiCGSTAB operator (van der Vorst's algorithm)."""
 
     def _iterate(self, A, M, b, x, r, monitor) -> None:
-        exec_ = self._exec
-        r_tld = r.clone()
-        p = r.clone()
-        p_hat = Dense.empty(exec_, r.size, r.dtype)
-        s_hat = Dense.empty(exec_, r.size, r.dtype)
-        v = Dense.empty(exec_, r.size, r.dtype)
-        s = Dense.empty(exec_, r.size, r.dtype)
-        t = Dense.empty(exec_, r.size, r.dtype)
+        ws = self._workspace
+        r_tld = ws.dense_like("bicgstab.r_tld", r)
+        p = ws.dense_like("bicgstab.p", r)
+        p_hat = ws.dense("bicgstab.p_hat", r.size, r.dtype)
+        s_hat = ws.dense("bicgstab.s_hat", r.size, r.dtype)
+        v = ws.dense("bicgstab.v", r.size, r.dtype)
+        s = ws.dense("bicgstab.s", r.size, r.dtype)
+        t = ws.dense("bicgstab.t", r.size, r.dtype)
         rho_old = None
         alpha = np.ones(r.size.cols)
         omega = np.ones(r.size.cols)

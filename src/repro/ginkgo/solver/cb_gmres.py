@@ -19,7 +19,6 @@ import numpy as np
 
 from repro.ginkgo.exceptions import GinkgoError
 from repro.ginkgo.matrix.base import check_value_dtype
-from repro.ginkgo.matrix.dense import Dense
 from repro.ginkgo.solver.base import IterativeSolver, SolverFactory
 from repro.ginkgo.solver.gmres import DEFAULT_KRYLOV_DIM
 from repro.perfmodel import KernelCost, blas1_cost
@@ -37,12 +36,13 @@ class CbGmresSolver(IterativeSolver):
         storage = check_value_dtype(
             self._factory.params.get("storage_precision", np.float32)
         )
+        ws = self._workspace
         for c in range(b.size.cols):
             self._solve_column(
                 A,
                 M,
-                Dense._wrap(self._exec, b._data[:, c : c + 1]),
-                Dense._wrap(self._exec, x._data[:, c : c + 1]),
+                ws.column_view(f"cb_gmres.b[{c}]", b, c),
+                ws.column_view(f"cb_gmres.x[{c}]", x, c),
                 krylov_dim,
                 storage,
                 monitor,
@@ -50,11 +50,12 @@ class CbGmresSolver(IterativeSolver):
 
     def _solve_column(self, A, M, b, x, m, storage, monitor) -> bool:
         exec_ = self._exec
+        ws = self._workspace
         n = b.size.rows
         storage_bytes = storage.itemsize
         total_iteration = 0
-        w = Dense.empty(exec_, b.size, b.dtype)
-        r = Dense.empty(exec_, b.size, b.dtype)
+        w = ws.dense("cb_gmres.w", b.size, b.dtype)
+        r = ws.dense("cb_gmres.r", b.size, b.dtype)
 
         while True:
             w.copy_values_from(b)
@@ -65,13 +66,13 @@ class CbGmresSolver(IterativeSolver):
                 monitor(total_iteration, 0.0)
                 return True
             # The compressed basis: stored in `storage` precision.
-            basis = np.zeros((n, m + 1), dtype=storage)
+            basis = ws.array("cb_gmres.basis", (n, m + 1), dtype=storage)
             basis[:, 0] = (r._data[:, 0] / beta).astype(storage)
             exec_.run(blas1_cost("cb_gmres_init", n, storage_bytes, 2))
-            hessenberg = np.zeros((m + 1, m))
-            givens_cos = np.zeros(m)
-            givens_sin = np.zeros(m)
-            g = np.zeros(m + 1)
+            hessenberg = ws.array("cb_gmres.hessenberg", (m + 1, m))
+            givens_cos = ws.array("cb_gmres.givens_cos", m)
+            givens_sin = ws.array("cb_gmres.givens_sin", m)
+            g = ws.array("cb_gmres.g", m + 1)
             g[0] = beta
 
             inner = 0
@@ -137,7 +138,7 @@ class CbGmresSolver(IterativeSolver):
                 if stopped or h_next == 0.0:
                     break
 
-            y = np.zeros(inner)
+            y = ws.array("cb_gmres.y", inner)
             for i in range(inner - 1, -1, -1):
                 y[i] = (
                     g[i] - hessenberg[i, i + 1 : inner] @ y[i + 1 : inner]

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ginkgo.matrix.dense import Dense
 from repro.ginkgo.solver.base import IterativeSolver, SolverFactory
 
 
@@ -29,10 +28,11 @@ class CgSolver(IterativeSolver):
     def _iterate(self, A, M, b, x, r, monitor) -> None:
         from repro.ginkgo.solver.kernels import cg_step_1, cg_step_2
 
-        z = Dense.empty(self._exec, r.size, r.dtype)
+        ws = self._workspace
+        z = ws.dense("cg.z", r.size, r.dtype)
         M.apply(r, z)
-        p = z.clone()
-        q = Dense.empty(self._exec, r.size, r.dtype)
+        p = ws.dense_like("cg.p", z)
+        q = ws.dense("cg.q", r.size, r.dtype)
         rz = r.compute_dot(z)
 
         iteration = 0

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ginkgo.matrix.dense import Dense
 from repro.ginkgo.solver.base import IterativeSolver, SolverFactory
 from repro.ginkgo.solver.cg import _safe_divide
 
@@ -19,14 +18,16 @@ class CgsSolver(IterativeSolver):
     """Generated CGS operator (Sonneveld's algorithm, preconditioned)."""
 
     def _iterate(self, A, M, b, x, r, monitor) -> None:
-        exec_ = self._exec
-        r_tld = r.clone()  # fixed shadow residual r~0
-        p = Dense.zeros(exec_, r.size, r.dtype)
-        u = Dense.zeros(exec_, r.size, r.dtype)
-        q = Dense.zeros(exec_, r.size, r.dtype)
-        v = Dense.empty(exec_, r.size, r.dtype)
-        t = Dense.empty(exec_, r.size, r.dtype)
-        u_hat = Dense.empty(exec_, r.size, r.dtype)
+        ws = self._workspace
+        r_tld = ws.dense_like("cgs.r_tld", r)  # fixed shadow residual r~0
+        # p/u/q are READ in the first cgs_step_1 before being written, so
+        # they must come back zeroed on every apply.
+        p = ws.dense("cgs.p", r.size, r.dtype, zero=True)
+        u = ws.dense("cgs.u", r.size, r.dtype, zero=True)
+        q = ws.dense("cgs.q", r.size, r.dtype, zero=True)
+        v = ws.dense("cgs.v", r.size, r.dtype)
+        t = ws.dense("cgs.t", r.size, r.dtype)
+        u_hat = ws.dense("cgs.u_hat", r.size, r.dtype)
         rho_old = np.ones(r.size.cols)
 
         from repro.ginkgo.solver.kernels import (

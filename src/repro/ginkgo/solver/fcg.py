@@ -7,7 +7,6 @@ preconditioners that change between iterations.
 
 from __future__ import annotations
 
-from repro.ginkgo.matrix.dense import Dense
 from repro.ginkgo.solver.base import IterativeSolver, SolverFactory
 from repro.ginkgo.solver.cg import _safe_divide
 
@@ -16,11 +15,12 @@ class FcgSolver(IterativeSolver):
     """Generated FCG operator."""
 
     def _iterate(self, A, M, b, x, r, monitor) -> None:
-        z = Dense.empty(self._exec, r.size, r.dtype)
+        ws = self._workspace
+        z = ws.dense("fcg.z", r.size, r.dtype)
         M.apply(r, z)
-        p = z.clone()
-        q = Dense.empty(self._exec, r.size, r.dtype)
-        r_old = r.clone()
+        p = ws.dense_like("fcg.p", z)
+        q = ws.dense("fcg.q", r.size, r.dtype)
+        r_old = ws.dense_like("fcg.r_old", r)
         rz = r.compute_dot(z)
 
         iteration = 0
@@ -36,7 +36,7 @@ class FcgSolver(IterativeSolver):
                 return
             M.apply(r, z)
             # Flexible beta: ((r - r_old), z) / rz.
-            diff = r.clone()
+            diff = ws.dense_like("fcg.diff", r)
             diff.sub_scaled(1.0, r_old)
             rz_new = diff.compute_dot(z)
             beta = _safe_divide(rz_new, rz)

@@ -20,7 +20,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ginkgo.exceptions import GinkgoError
-from repro.ginkgo.matrix.dense import Dense
 from repro.ginkgo.solver.base import IterativeSolver, SolverFactory
 
 #: Default Krylov dimension, matching Ginkgo and the paper's restart of 30.
@@ -35,14 +34,17 @@ class GmresSolver(IterativeSolver):
         if krylov_dim < 1:
             raise GinkgoError(f"krylov_dim must be >= 1, got {krylov_dim}")
         # Each right-hand-side column builds its own Krylov space and is
-        # solved to its own stopping verdict.
+        # solved to its own stopping verdict.  The column operands are
+        # cached writable views into b/x, so per-column results land in x
+        # directly and the wrapper objects are reused across restarts.
+        ws = self._workspace
         cols = b.size.cols
         for c in range(cols):
             self._solve_column(
                 A,
                 M,
-                Dense._wrap(self._exec, b._data[:, c : c + 1]),
-                Dense._wrap(self._exec, x._data[:, c : c + 1]),
+                ws.column_view(f"gmres.b[{c}]", b, c),
+                ws.column_view(f"gmres.x[{c}]", x, c),
                 krylov_dim,
                 monitor if cols == 1 else _ColumnMonitor(monitor, c, cols),
             )
@@ -56,11 +58,12 @@ class GmresSolver(IterativeSolver):
         from repro.perfmodel import KernelCost, blas1_cost
 
         exec_ = self._exec
+        ws = self._workspace
         n = b.size.rows
         m = krylov_dim
         total_iteration = 0
-        w = Dense.empty(exec_, b.size, b.dtype)
-        r = Dense.empty(exec_, b.size, b.dtype)
+        w = ws.dense("gmres.w", b.size, b.dtype)
+        r = ws.dense("gmres.r", b.size, b.dtype)
 
         while True:
             # Preconditioned residual r = M^{-1}(b - A x).
@@ -71,14 +74,15 @@ class GmresSolver(IterativeSolver):
             if beta == 0.0:
                 monitor(total_iteration, 0.0)
                 return True
-            # Krylov basis block (device-resident workspace in Ginkgo).
-            basis = np.zeros((n, m + 1), dtype=np.float64)
+            # Krylov basis block (device-resident workspace in Ginkgo);
+            # pooled across restart cycles, columns, and apply() calls.
+            basis = ws.array("gmres.basis", (n, m + 1))
             basis[:, 0] = r._data[:, 0] / beta
             record_fused(exec_, "gmres_init", n, b.value_bytes, 2)
-            hessenberg = np.zeros((m + 1, m))
-            givens_cos = np.zeros(m)
-            givens_sin = np.zeros(m)
-            g = np.zeros(m + 1)
+            hessenberg = ws.array("gmres.hessenberg", (m + 1, m))
+            givens_cos = ws.array("gmres.givens_cos", m)
+            givens_sin = ws.array("gmres.givens_sin", m)
+            g = ws.array("gmres.g", m + 1)
             g[0] = beta
 
             inner = 0
@@ -139,7 +143,7 @@ class GmresSolver(IterativeSolver):
             # Solve the small triangular system R y = g ON THE DEVICE —
             # low parallelism makes this a per-row dependency chain of
             # small kernels (CuPy instead solves it on the CPU).
-            y = np.zeros(inner)
+            y = ws.array("gmres.y", inner)
             for i in range(inner - 1, -1, -1):
                 y[i] = (
                     g[i] - hessenberg[i, i + 1 : inner] @ y[i + 1 : inner]

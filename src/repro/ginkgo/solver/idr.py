@@ -13,7 +13,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ginkgo.exceptions import GinkgoError
-from repro.ginkgo.matrix.dense import Dense
 from repro.ginkgo.solver.base import IterativeSolver, SolverFactory
 from repro.ginkgo.solver.kernels import record_fused
 
@@ -27,12 +26,13 @@ class IdrSolver(IterativeSolver):
             raise GinkgoError(f"subspace_dim must be >= 1, got {s}")
         deterministic = bool(self._factory.params.get("deterministic", True))
         kappa = float(self._factory.params.get("kappa", 0.7))
+        ws = self._workspace
         for c in range(b.size.cols):
             self._solve_column(
                 A,
                 M,
-                Dense._wrap(self._exec, b._data[:, c : c + 1]),
-                Dense._wrap(self._exec, x._data[:, c : c + 1]),
+                ws.column_view(f"idr.b[{c}]", b, c),
+                ws.column_view(f"idr.x[{c}]", x, c),
                 s,
                 deterministic,
                 kappa,
@@ -51,16 +51,18 @@ class IdrSolver(IterativeSolver):
         record_fused(exec_, "idr_init_shadow", n * s, b.value_bytes, 2)
 
         # r = b - A x (recomputed; the caller's r may alias workspace).
-        r = b.clone()
+        ws = self._workspace
+        r = ws.dense_like("idr.r", b)
         A.apply_advanced(-1.0, x, 1.0, r)
 
-        g_block = np.zeros((n, s))
-        u_block = np.zeros((n, s))
-        m_small = np.eye(s)
+        g_block = ws.array("idr.g_block", (n, s))
+        u_block = ws.array("idr.u_block", (n, s))
+        m_small = ws.array("idr.m_small", (s, s))
+        np.fill_diagonal(m_small, 1.0)
         omega = 1.0
-        v = Dense.empty(exec_, b.size, b.dtype)
-        v_hat = Dense.empty(exec_, b.size, b.dtype)
-        t = Dense.empty(exec_, b.size, b.dtype)
+        v = ws.dense("idr.v", b.size, b.dtype)
+        v_hat = ws.dense("idr.v_hat", b.size, b.dtype)
+        t = ws.dense("idr.t", b.size, b.dtype)
 
         iteration = 0
         while True:

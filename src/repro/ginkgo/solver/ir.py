@@ -9,7 +9,6 @@ solves corrected in high precision.
 from __future__ import annotations
 
 from repro.ginkgo.lin_op import Identity, LinOp
-from repro.ginkgo.matrix.dense import Dense
 from repro.ginkgo.solver.base import IterativeSolver, SolverFactory
 
 
@@ -32,7 +31,7 @@ class IrSolver(IterativeSolver):
         return self._inner
 
     def _iterate(self, A, M, b, x, r, monitor) -> None:
-        correction = Dense.empty(self._exec, r.size, r.dtype)
+        correction = self._workspace.dense("ir.correction", r.size, r.dtype)
         iteration = 0
         while True:
             iteration += 1

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ginkgo.matrix.dense import Dense
 from repro.ginkgo.solver.base import IterativeSolver, SolverFactory
 
 
@@ -17,13 +16,14 @@ class MinresSolver(IterativeSolver):
     """Generated MINRES operator (multi-RHS handled column by column)."""
 
     def _iterate(self, A, M, b, x, r, monitor) -> None:
+        ws = self._workspace
         stop = False
         for c in range(b.size.cols):
             stop = self._solve_column(
                 A,
                 M,
-                Dense._wrap(self._exec, b._data[:, c : c + 1]),
-                Dense._wrap(self._exec, x._data[:, c : c + 1]),
+                ws.column_view(f"minres.b[{c}]", b, c),
+                ws.column_view(f"minres.x[{c}]", x, c),
                 monitor,
             )
             if stop and b.size.cols == 1:
@@ -31,10 +31,11 @@ class MinresSolver(IterativeSolver):
 
     def _solve_column(self, A, M, b, x, monitor) -> bool:
         exec_ = self._exec
+        ws = self._workspace
         # r1 = b - A x ; y = M^{-1} r1.
-        r1 = b.clone()
+        r1 = ws.dense_like("minres.r1", b)
         A.apply_advanced(-1.0, x, 1.0, r1)
-        y = Dense.empty(exec_, r1.size, r1.dtype)
+        y = ws.dense("minres.y", r1.size, r1.dtype)
         M.apply(r1, y)
         beta1 = float(r1.compute_dot(y)[0])
         if beta1 < 0:
@@ -48,10 +49,14 @@ class MinresSolver(IterativeSolver):
         dbar, epsln = 0.0, 0.0
         phibar = beta1
         cs, sn = -1.0, 0.0
-        w = Dense.zeros(exec_, r1.size, r1.dtype)
-        w2 = Dense.zeros(exec_, r1.size, r1.dtype)
-        r2 = r1.clone()
-        v = Dense.empty(exec_, r1.size, r1.dtype)
+        # w/w2 are read with nonzero coefficients from iteration 2 on, so
+        # pooled reuse must hand them back zeroed; `spare` rotates in as
+        # the next w and is always fully overwritten first.
+        w = ws.dense("minres.w", r1.size, r1.dtype, zero=True)
+        w2 = ws.dense("minres.w2", r1.size, r1.dtype, zero=True)
+        spare = ws.dense("minres.w1", r1.size, r1.dtype)
+        r2 = ws.dense_like("minres.r2", r1)
+        v = ws.dense("minres.v", r1.size, r1.dtype)
         tiny = np.finfo(np.float64).tiny
 
         iteration = 0
@@ -89,13 +94,18 @@ class MinresSolver(IterativeSolver):
             phibar = sn * phibar
 
             # Solution update: w = (v - oldeps*w1 - delta*w2) / gamma.
+            # Three pooled buffers rotate through the w/w2/w1 roles; the
+            # vacated one becomes the next iteration's w.  copy_into
+            # charges the same transfer a fresh v.clone() would.
             w1 = w2
             w2 = w
-            w = v.clone()
+            w = spare
+            exec_.copy_into(v.executor, v._data, w._data)
             w.sub_scaled(oldeps, w1)
             w.sub_scaled(delta, w2)
             w.scale(1.0 / gamma)
             x.add_scaled(phi, w)
+            spare = w1
 
             if monitor(iteration, abs(phibar)):
                 return True

@@ -1,0 +1,185 @@
+"""Per-solver workspace pools for the zero-allocation hot path.
+
+Every iterative solver owns a :class:`Workspace` holding its Krylov basis,
+Hessenberg / Givens arrays, and residual/temporary vectors, keyed by name
+and validated against ``(shape, dtype)`` on every acquisition.  The first
+``apply()`` populates the pool; subsequent applies (and restart cycles)
+reuse the same buffers, so the steady-state solve path performs no real
+allocations — mirroring real Ginkgo's persistent solver workspace arrays.
+
+Reuse is numerically and temporally invisible:
+
+* a pooled buffer served with ``zero=True`` is re-zeroed with a raw
+  ``ndarray.fill`` carrying no simulated cost, exactly like the free
+  zero-initialisation a fresh ``Executor.alloc`` provides;
+* :meth:`dense_like` charges the same transfer cost as ``Dense.clone()``
+  via :meth:`Executor.copy_into` — only the allocation (a free trace
+  annotation) disappears;
+* host-side bookkeeping arrays (:meth:`array`) were plain ``np.zeros``
+  before and remain charge-free.
+
+Buffers are re-allocated automatically when a request's shape or dtype
+changes (the old buffer is returned to the executor), and :meth:`clear`
+releases everything — repeated solves therefore no longer grow the
+executor's ``bytes_allocated`` without bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ginkgo import cachestats
+from repro.ginkgo.dim import Dim
+from repro.ginkgo.matrix.dense import Dense
+
+
+class Workspace:
+    """A named pool of solver scratch buffers bound to one executor.
+
+    Acquisitions report hits/misses to :mod:`repro.ginkgo.cachestats`
+    under the ``workspace`` kind, so ``pg.profile(metrics=...)`` shows
+    what reuse saves.
+    """
+
+    def __init__(self, exec_) -> None:
+        self._exec = exec_
+        #: name -> pooled Dense (buffers allocated on ``exec_``).
+        self._dense: dict[str, Dense] = {}
+        #: name -> host-side NumPy bookkeeping array.
+        self._arrays: dict[str, np.ndarray] = {}
+        #: name -> ((owner buffer id, column index), column wrapper Dense).
+        self._columns: dict[str, tuple[tuple, Dense]] = {}
+
+    @property
+    def executor(self):
+        return self._exec
+
+    # ------------------------------------------------------------------
+    # executor-resident buffers
+    # ------------------------------------------------------------------
+    def dense(self, name: str, size, dtype, zero: bool = False) -> Dense:
+        """A pooled ``Dense`` of the given shape/dtype.
+
+        Args:
+            name: Pool slot; each slot holds one buffer.
+            size: Requested ``(rows, cols)`` (anything ``Dim.of`` accepts).
+            dtype: Requested value type.
+            zero: When True the buffer's contents are guaranteed zero on
+                return (misses are zero-allocated; hits are re-zeroed
+                without any simulated charge).  When False the contents
+                are unspecified, as with ``Dense.empty`` — callers must
+                fully overwrite before reading.
+        """
+        size = Dim.of(size)
+        buf = self._dense.get(name)
+        hit = (
+            buf is not None
+            and buf.size == size
+            and buf.dtype == np.dtype(dtype)
+        )
+        if hit:
+            if zero:
+                # A fresh alloc is zero-initialised at no simulated cost;
+                # re-zeroing a reused buffer must be equally free, so this
+                # bypasses Dense.fill (which charges a blas1 kernel).
+                buf._data.fill(0)
+        else:
+            if buf is not None:
+                self._exec.free(buf._data)
+            buf = Dense.empty(self._exec, size, dtype)
+            self._dense[name] = buf
+        cachestats.record(
+            "workspace", hit, clock=self._exec.clock,
+            buffer=name, nbytes=buf._data.nbytes,
+        )
+        return buf
+
+    def dense_like(self, name: str, src: Dense) -> Dense:
+        """A pooled copy of ``src`` — the reusable form of ``src.clone()``.
+
+        Charges exactly the transfer ``clone()`` charges (the allocation
+        itself is free in the performance model), so swapping ``clone()``
+        for ``dense_like`` never changes simulated timings.
+        """
+        buf = self.dense(name, (src.size.rows, src.size.cols), src.dtype)
+        self._exec.copy_into(src.executor, src._data, buf._data)
+        return buf
+
+    def column_view(self, name: str, block: Dense, index: int) -> Dense:
+        """A cached writable view of ``block``'s column ``index``.
+
+        The wrapper aliases the block's storage, so writes through the
+        view land in the block; the cached wrapper is rebuilt if the slot
+        is reused for a different block or column.
+        """
+        cached = self._columns.get(name)
+        if cached is not None:
+            owner, wrapper = cached
+            if owner == (id(block._data), index):
+                cachestats.record(
+                    "workspace", True, clock=self._exec.clock,
+                    buffer=name, column=index,
+                )
+                return wrapper
+        wrapper = Dense._wrap(self._exec, block._data[:, index : index + 1])
+        self._columns[name] = ((id(block._data), index), wrapper)
+        cachestats.record(
+            "workspace", False, clock=self._exec.clock,
+            buffer=name, column=index,
+        )
+        return wrapper
+
+    # ------------------------------------------------------------------
+    # host-side bookkeeping arrays
+    # ------------------------------------------------------------------
+    def array(self, name: str, shape, dtype=np.float64) -> np.ndarray:
+        """A pooled host array, always returned zeroed (``np.zeros`` drop-in).
+
+        These hold iteration bookkeeping the solvers keep host-side
+        (Hessenberg entries, Givens rotations, small projections); they
+        never lived in executor memory and carry no simulated cost.
+        """
+        shape = tuple(np.atleast_1d(shape))
+        arr = self._arrays.get(name)
+        hit = (
+            arr is not None
+            and arr.shape == shape
+            and arr.dtype == np.dtype(dtype)
+        )
+        if hit:
+            arr.fill(0)
+        else:
+            arr = np.zeros(shape, dtype=dtype)
+            self._arrays[name] = arr
+        cachestats.record(
+            "workspace", hit, clock=self._exec.clock,
+            buffer=name, nbytes=arr.nbytes,
+        )
+        return arr
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Release every pooled buffer back to the executor."""
+        for buf in self._dense.values():
+            self._exec.free(buf._data)
+        self._dense.clear()
+        self._arrays.clear()
+        self._columns.clear()
+
+    @property
+    def num_buffers(self) -> int:
+        return len(self._dense) + len(self._arrays)
+
+    @property
+    def bytes_held(self) -> int:
+        """Executor bytes currently pinned by the pool."""
+        return sum(buf._data.nbytes for buf in self._dense.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"Workspace(executor={self._exec.name}, "
+            f"dense={len(self._dense)}, arrays={len(self._arrays)}, "
+            f"bytes={self.bytes_held})"
+        )

@@ -1,0 +1,109 @@
+"""Pre-resolved binding dispatch cache."""
+
+import numpy as np
+import pytest
+
+from repro import bindings
+from repro.bindings import dispatch
+from repro.bindings.overhead import device_family, reset_models
+from repro.ginkgo import cachestats
+from repro.ginkgo.exceptions import GinkgoError
+from repro.ginkgo.executor import CudaExecutor, HipExecutor, ReferenceExecutor
+
+
+class TestResolve:
+    def test_returns_registry_wrapper(self):
+        resolved = dispatch.resolve("gmres_factory", np.float64)
+        assert resolved is bindings.get_binding("gmres_factory_double")
+
+    def test_repeat_is_cached(self):
+        first = dispatch.resolve("csr", np.float64, np.int32)
+        assert dispatch.resolve("csr", np.float64, np.int32) is first
+        assert dispatch.cache_size() == 1
+
+    def test_suffix_strings_and_dtypes_agree(self):
+        assert dispatch.resolve("csr", "double", "int32") is dispatch.resolve(
+            "csr", np.float64, np.int32
+        )
+
+    def test_symbol_for(self):
+        assert dispatch.symbol_for("gmres_factory", np.float32) == (
+            "gmres_factory_float"
+        )
+        assert dispatch.symbol_for("csr", "half", "int64") == "csr_half_int64"
+        assert dispatch.symbol_for("CUDA") == "CUDA"
+
+    def test_unknown_symbol_raises(self):
+        with pytest.raises(GinkgoError, match="no binding symbol"):
+            dispatch.resolve("nonsense_factory", np.float64)
+
+    def test_unknown_dtype_raises(self):
+        with pytest.raises(GinkgoError, match="value"):
+            dispatch.resolve("csr", np.complex128, np.int32)
+        with pytest.raises(GinkgoError, match="index"):
+            dispatch.resolve("csr", np.float64, np.int16)
+
+    def test_counts_and_clear(self):
+        cachestats.reset()
+        dispatch.clear()
+        dispatch.resolve("cg_factory", np.float64)
+        dispatch.resolve("cg_factory", np.float64)
+        dispatch.resolve("cg_factory", np.float32)
+        hits, misses = cachestats.counts("dispatch")
+        assert (hits, misses) == (1, 2)
+        dispatch.clear()
+        assert dispatch.cache_size() == 0
+        dispatch.resolve("cg_factory", np.float64)
+        assert cachestats.counts("dispatch") == (1, 3)
+
+    def test_family_pins_cache_key(self):
+        cuda = CudaExecutor.create(noisy=False)
+        hip = HipExecutor.create(noisy=False)
+        a = dispatch.resolve("cg_factory", np.float64, exec_=cuda)
+        b = dispatch.resolve("cg_factory", np.float64, exec_=hip)
+        assert a is b  # same wrapper either way...
+        assert dispatch.cache_size() == 2  # ...but per-family entries
+
+
+class TestChargePreserved:
+    def test_resolved_wrapper_still_charges_binding(self):
+        exec_ = CudaExecutor.create(noisy=False)
+        factory = dispatch.resolve("dense", np.float64, exec_=exec_)
+        t0 = exec_.clock.now
+        factory(exec_, np.ones((3, 1)))
+        assert exec_.clock.now > t0  # binding crossing charged
+
+    def test_warm_and_cold_charge_identically(self):
+        def charge(warm):
+            reset_models()
+            dispatch.clear()
+            exec_ = CudaExecutor.create(noisy=False)
+            if warm:
+                dispatch.resolve("dense", np.float64, exec_=exec_)
+            binding = dispatch.resolve("dense", np.float64, exec_=exec_)
+            t0 = exec_.clock.now
+            binding(exec_, np.ones((3, 1)))
+            return exec_.clock.now - t0
+
+        assert charge(warm=True) == charge(warm=False)
+
+
+class TestDeviceFamilyMemo:
+    def test_family_memoized_on_executor(self):
+        exec_ = CudaExecutor.create(noisy=False)
+        assert not hasattr(exec_, "_binding_family")
+        assert device_family(exec_) == "gpu-nvidia"
+        assert exec_._binding_family == "gpu-nvidia"
+        assert device_family(exec_) == "gpu-nvidia"
+
+    def test_family_survives_reset_models(self):
+        exec_ = ReferenceExecutor.create(noisy=False)
+        assert device_family(exec_) == "cpu"
+        reset_models()
+        assert exec_._binding_family == "cpu"
+        assert device_family(exec_) == "cpu"
+
+    def test_families_by_executor_kind(self):
+        assert device_family(CudaExecutor.create(noisy=False)) == "gpu-nvidia"
+        assert device_family(HipExecutor.create(noisy=False)) == "gpu-amd"
+        assert device_family(ReferenceExecutor.create(noisy=False)) == "cpu"

@@ -6,7 +6,9 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 
+from repro.bindings import dispatch
 from repro.bindings.overhead import reset_models
+from repro.ginkgo import cachestats
 from repro.ginkgo.executor import (
     CudaExecutor,
     HipExecutor,
@@ -26,8 +28,12 @@ def _reset_binding_state():
     cleared so a leaked profiler cannot observe unrelated tests.
     """
     reset_models()
+    dispatch.clear()
+    cachestats.reset()
     yield
     reset_models()
+    dispatch.clear()
+    cachestats.reset()
     SimClock._global_tracers.clear()
 
 

@@ -1,0 +1,93 @@
+"""Cache hit/miss counters through pg.profile and the resilient path."""
+
+import numpy as np
+
+import repro as pg
+from repro.core.resilient import FallbackChain, RetryPolicy, resilient_solve
+from repro.ginkgo import (
+    CudaExecutor,
+    FaultInjector,
+    FaultyExecutor,
+    cachestats,
+)
+from repro.ginkgo.matrix import Csr
+from repro.suitesparse.generators import spd_random
+
+N = 200
+
+
+def _system(seed=3):
+    A = spd_random(N, 0.03, seed=seed)
+    b = np.random.default_rng(7).standard_normal((N, 1))
+    return A, b
+
+
+class TestProfileMetrics:
+    def test_profile_receives_cache_counters(self):
+        A, b_np = _system()
+        dev = CudaExecutor.create(noisy=False)
+        mtx = Csr.from_scipy(dev, A)
+        b = pg.as_tensor(device=dev, data=b_np)
+        metrics = pg.MetricsRegistry()
+        with pg.profile(metrics=metrics):
+            handle = pg.solver.cg(dev, mtx, max_iters=400)
+            handle.apply(b, pg.as_tensor(device=dev, dim=(N, 1)))
+            handle.apply(b, pg.as_tensor(device=dev, dim=(N, 1)))
+        assert metrics.counter("cache_workspace_miss").value > 0
+        assert metrics.counter("cache_workspace_hit").value > 0
+        assert metrics.counter("cache_dispatch_miss").value > 0
+        # The registry mirrors the module-global tallies for the region.
+        hits, _ = cachestats.counts("workspace")
+        assert metrics.counter("cache_workspace_hit").value <= hits
+
+    def test_sink_detaches_after_region(self):
+        metrics = pg.MetricsRegistry()
+        with pg.profile(metrics=metrics):
+            pass
+        before = metrics.counter("cache_workspace_miss").value
+        dev = CudaExecutor.create(noisy=False)
+        ws_probe = pg.as_tensor(device=dev, dim=(4, 1))  # outside the region
+        assert ws_probe is not None
+        assert metrics.counter("cache_workspace_miss").value == before
+
+    def test_snapshot_reports_all_kinds(self):
+        cachestats.reset()
+        cachestats.record("workspace", True)
+        cachestats.record("format", False)
+        snap = cachestats.snapshot()
+        assert snap["cache_workspace_hit"] == 1
+        assert snap["cache_format_miss"] == 1
+        assert cachestats.counts("format") == (0, 1)
+
+
+class TestResilientInteraction:
+    def test_retries_reuse_pool_and_match_fault_free(self):
+        """Workspace pooling must survive retry loops unchanged."""
+        A, b_np = _system()
+        clean = CudaExecutor.create(noisy=False)
+        mtx_c = Csr.from_scipy(clean, A)
+        b_c = pg.as_tensor(device=clean, data=b_np)
+        report0, x0 = resilient_solve(
+            clean, mtx_c, b_c,
+            solver="gmres", max_iters=600, reduction_factor=1e-9,
+            fallback=FallbackChain(clean),
+        )
+        assert report0.converged
+
+        injector = FaultInjector(seed=11, kernel_rate=0.002, copy_rate=0.002)
+        faulty = FaultyExecutor.create(
+            CudaExecutor.create(noisy=False), injector
+        )
+        with injector.paused():
+            mtx_f = Csr.from_scipy(faulty, A)
+            b_f = pg.as_tensor(device=faulty, data=b_np)
+        report, x = resilient_solve(
+            faulty, mtx_f, b_f,
+            solver="gmres", max_iters=600, reduction_factor=1e-9,
+            retry=RetryPolicy(max_retries=8),
+            fallback=FallbackChain(faulty),
+        )
+        assert report.converged
+        np.testing.assert_allclose(
+            x.numpy(), x0.numpy(), rtol=1e-6, atol=1e-8
+        )

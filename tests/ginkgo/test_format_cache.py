@@ -1,0 +1,137 @@
+"""Derived-object memoization on matrices: hits, invalidation, charges."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.ginkgo import cachestats
+from repro.ginkgo.matrix import Coo, Csr, Dense, Ell, Hybrid, Sellp
+
+
+@pytest.fixture
+def small_sp(rng):
+    mat = sp.random(12, 12, density=0.4, format="csr", random_state=rng)
+    mat.setdiag(4.0)
+    return mat.tocsr()
+
+
+class TestMemoization:
+    def test_transpose_memoized(self, ref, small_sp):
+        mtx = Csr.from_scipy(ref, small_sp)
+        t1 = mtx.transpose()
+        t2 = mtx.transpose()
+        assert t2 is t1  # hits return the same derived object
+
+    def test_conversions_memoized_per_key(self, ref, small_sp):
+        mtx = Csr.from_scipy(ref, small_sp)
+        assert mtx.convert_to_coo() is mtx.convert_to_coo()
+        assert mtx.convert_to_ell() is mtx.convert_to_ell()
+        # Different parameters are different cache keys.
+        s1 = mtx.convert_to_sellp(slice_size=8)
+        s2 = mtx.convert_to_sellp(slice_size=16)
+        assert s1 is not s2
+        assert mtx.convert_to_sellp(slice_size=8) is s1
+
+    @pytest.mark.parametrize("cls", [Coo, Ell, Sellp, Hybrid])
+    def test_convert_to_csr_memoized(self, cls, ref, small_sp):
+        mtx = cls.from_scipy(ref, small_sp)
+        assert mtx.convert_to_csr() is mtx.convert_to_csr()
+
+    def test_dense_transpose_memoized(self, ref, rng):
+        d = Dense(ref, rng.standard_normal((6, 4)))
+        assert d.transpose() is d.transpose()
+
+    def test_format_hits_counted(self, ref, small_sp):
+        mtx = Csr.from_scipy(ref, small_sp)
+        cachestats.reset()
+        mtx.transpose()
+        mtx.transpose()
+        hits, misses = cachestats.counts("format")
+        assert hits >= 1 and misses >= 1
+
+
+class TestInvalidation:
+    def test_mark_modified_invalidates(self, ref, small_sp):
+        mtx = Csr.from_scipy(ref, small_sp)
+        t1 = mtx.transpose()
+        version = mtx.data_version
+        mtx.mark_modified()
+        assert mtx.data_version == version + 1
+        assert mtx.transpose() is not t1
+
+    def test_coo_stale_csr_cache_regression(self, ref):
+        """In-place value mutation must invalidate COO's cached CSR view.
+
+        The pre-fix code cached the ``tocsr()`` product unconditionally,
+        so an SpMV after mutation silently used the old values.
+        """
+        base = sp.coo_matrix(np.array([[2.0, 0.0], [0.0, 3.0]]))
+        mtx = Coo.from_scipy(ref, base)
+        b = Dense(ref, np.ones((2, 1)))
+        x = Dense.zeros(ref, (2, 1), np.float64)
+        mtx.apply(b, x)  # populates the csr view cache
+        np.testing.assert_array_equal(np.asarray(x), [[2.0], [3.0]])
+        mtx.scale(10.0)  # public mutator: invalidates automatically
+        mtx.apply(b, x)
+        np.testing.assert_array_equal(np.asarray(x), [[20.0], [30.0]])
+
+    def test_coo_raw_write_plus_mark_modified(self, ref):
+        base = sp.coo_matrix(np.array([[2.0, 0.0], [0.0, 3.0]]))
+        mtx = Coo.from_scipy(ref, base)
+        b = Dense(ref, np.ones((2, 1)))
+        x = Dense.zeros(ref, (2, 1), np.float64)
+        mtx.apply(b, x)
+        mtx.values[:] = [5.0, 7.0]  # raw write needs an explicit mark
+        mtx.mark_modified()
+        mtx.apply(b, x)
+        np.testing.assert_array_equal(np.asarray(x), [[5.0], [7.0]])
+
+    def test_apply_output_is_invalidated(self, ref, small_sp):
+        """apply() mutates x, so x's own derived caches must drop."""
+        mtx = Csr.from_scipy(ref, small_sp)
+        x = Dense.zeros(ref, (12, 1), np.float64)
+        t1 = x.transpose()
+        mtx.apply(Dense(ref, np.ones((12, 1))), x)
+        assert x.transpose() is not t1
+        np.testing.assert_array_equal(
+            np.asarray(x.transpose()), np.asarray(x).T
+        )
+
+    def test_dense_mutators_invalidate(self, ref, rng):
+        d = Dense(ref, rng.standard_normal((5, 2)))
+        t1 = d.transpose()
+        d.scale(2.0)
+        t2 = d.transpose()
+        assert t2 is not t1
+        np.testing.assert_array_equal(np.asarray(t2), np.asarray(d).T)
+
+    def test_hybrid_invalidation_cascades_to_parts(self, ref, small_sp):
+        mtx = Hybrid.from_scipy(ref, small_sp)
+        part_csr = mtx.ell_part.convert_to_csr()
+        mtx.mark_modified()
+        assert mtx.ell_part.convert_to_csr() is not part_csr
+
+
+class TestChargesStillFire:
+    def test_conversion_charges_per_call_despite_memo(self, ref, small_sp):
+        """A cached conversion still costs what the perf model dictates."""
+        mtx = Csr.from_scipy(ref, small_sp)
+        t0 = ref.clock.now
+        mtx.convert_to_coo()
+        cold = ref.clock.now - t0
+        t1 = ref.clock.now
+        mtx.convert_to_coo()  # memo hit
+        warm = ref.clock.now - t1
+        assert cold > 0.0
+        assert warm == pytest.approx(cold)
+
+    def test_transpose_charges_per_call(self, ref, small_sp):
+        mtx = Csr.from_scipy(ref, small_sp)
+        t0 = ref.clock.now
+        mtx.transpose()
+        cold = ref.clock.now - t0
+        t1 = ref.clock.now
+        mtx.transpose()
+        warm = ref.clock.now - t1
+        assert cold > 0.0
+        assert warm == pytest.approx(cold)

@@ -1,0 +1,206 @@
+"""Solver workspace pool: reuse, invalidation, and numerics preservation."""
+
+import numpy as np
+import pytest
+
+from repro.ginkgo import cachestats
+from repro.ginkgo.log import ConvergenceLogger
+from repro.ginkgo.matrix import Csr, Dense
+from repro.ginkgo.solver import (
+    Bicg,
+    Bicgstab,
+    CbGmres,
+    Cg,
+    Cgs,
+    Fcg,
+    Gmres,
+    Idr,
+    Ir,
+    Minres,
+    Workspace,
+)
+from repro.ginkgo.stop import Iteration, ResidualNorm
+
+ALL_SOLVERS = [Cg, Fcg, Cgs, Bicg, Bicgstab, Gmres, Minres, Idr, Ir, CbGmres]
+CRIT = Iteration(300) | ResidualNorm(1e-10)
+
+
+class TestWorkspacePool:
+    def test_same_key_returns_same_buffer(self, ref):
+        ws = Workspace(ref)
+        a = ws.dense("t", (6, 1), np.float64)
+        b = ws.dense("t", (6, 1), np.float64)
+        assert b is a
+        assert b._data is a._data
+
+    def test_size_change_reallocates(self, ref):
+        ws = Workspace(ref)
+        a = ws.dense("t", (6, 1), np.float64)
+        b = ws.dense("t", (9, 1), np.float64)
+        assert b is not a
+        assert b.size.rows == 9
+
+    def test_dtype_change_reallocates(self, ref):
+        ws = Workspace(ref)
+        a = ws.dense("t", (6, 1), np.float64)
+        b = ws.dense("t", (6, 1), np.float32)
+        assert b is not a
+        assert b.dtype == np.float32
+
+    def test_zero_refill_on_reuse(self, ref):
+        ws = Workspace(ref)
+        a = ws.dense("t", (4, 1), np.float64, zero=True)
+        a._data[:] = 7.0
+        b = ws.dense("t", (4, 1), np.float64, zero=True)
+        assert b is a
+        np.testing.assert_array_equal(np.asarray(b), 0.0)
+
+    def test_nonzero_reuse_keeps_stale_contents(self, ref):
+        # zero=False hands back the buffer as-is; callers must overwrite.
+        ws = Workspace(ref)
+        a = ws.dense("t", (4, 1), np.float64)
+        a._data[:] = 7.0
+        b = ws.dense("t", (4, 1), np.float64)
+        np.testing.assert_array_equal(np.asarray(b), 7.0)
+
+    def test_dense_like_copies_values(self, ref):
+        ws = Workspace(ref)
+        src = Dense(ref, np.arange(5, dtype=np.float64).reshape(5, 1))
+        dst = ws.dense_like("c", src)
+        np.testing.assert_array_equal(np.asarray(dst), np.asarray(src))
+        # Writing the pooled copy must not alias the source.
+        dst._data[:] = -1.0
+        assert np.asarray(src)[2, 0] == 2.0
+
+    def test_array_pool_always_zeroed(self, ref):
+        ws = Workspace(ref)
+        a = ws.array("h", (3, 4))
+        a[:] = 5.0
+        b = ws.array("h", (3, 4))
+        assert b is a
+        np.testing.assert_array_equal(b, 0.0)
+        c = ws.array("h", (2, 2))
+        assert c.shape == (2, 2)
+
+    def test_clear_releases_everything(self, ref):
+        ws = Workspace(ref)
+        ws.dense("a", (8, 1), np.float64)
+        ws.array("h", (4,))
+        assert ws.num_buffers > 0 and ws.bytes_held > 0
+        ws.clear()
+        assert ws.num_buffers == 0
+        assert ws.bytes_held == 0
+        # The pool is usable again after clear().
+        ws.dense("a", (8, 1), np.float64)
+
+    def test_column_view_writes_through(self, ref):
+        ws = Workspace(ref)
+        block = Dense.zeros(ref, (4, 3), np.float64)
+        col = ws.column_view("col", block, 1)
+        col._data[:] = 9.0
+        assert np.asarray(block)[:, 1].tolist() == [9.0] * 4
+        assert np.asarray(block)[:, 0].tolist() == [0.0] * 4
+        # Same owner + index is served from the pool.
+        assert ws.column_view("col", block, 1) is col
+
+    def test_workspace_hits_counted(self, ref, spd_small, rng):
+        mtx = Csr.from_scipy(ref, spd_small)
+        solver = Cg(ref, criteria=CRIT).generate(mtx)
+        b = Dense(ref, spd_small @ rng.standard_normal((spd_small.shape[0], 1)))
+        cachestats.reset()
+        solver.apply(b, Dense.zeros(ref, (spd_small.shape[0], 1), np.float64))
+        hits1, misses1 = cachestats.counts("workspace")
+        assert misses1 > 0  # cold apply populates the pool
+        solver.apply(b, Dense.zeros(ref, (spd_small.shape[0], 1), np.float64))
+        hits2, misses2 = cachestats.counts("workspace")
+        assert misses2 == misses1  # warm apply allocates nothing new
+        assert hits2 > hits1
+
+
+class TestSolverReuseNumerics:
+    @pytest.mark.parametrize("factory_cls", ALL_SOLVERS)
+    def test_residual_history_identical_on_reuse(
+        self, factory_cls, ref, spd_small, rng
+    ):
+        """A warm (pooled) apply must be bit-identical to a cold one."""
+        xstar = rng.standard_normal((spd_small.shape[0], 1))
+        b_np = spd_small @ xstar
+
+        def run(solver):
+            logger = ConvergenceLogger()
+            solver.add_logger(logger)
+            x = Dense.zeros(ref, (spd_small.shape[0], 1), np.float64)
+            solver.apply(Dense(ref, b_np), x)
+            solver.remove_logger(logger)
+            return list(logger.residual_norms), np.asarray(x).copy()
+
+        mtx = Csr.from_scipy(ref, spd_small)
+        solver = factory_cls(ref, criteria=CRIT).generate(mtx)
+        cold_hist, cold_x = run(solver)
+        warm_hist, warm_x = run(solver)  # reuses the pooled workspace
+        assert warm_hist == cold_hist  # exact float equality, not allclose
+        np.testing.assert_array_equal(warm_x, cold_x)
+
+        fresh = factory_cls(ref, criteria=CRIT).generate(mtx)
+        fresh_hist, fresh_x = run(fresh)
+        assert fresh_hist == cold_hist
+        np.testing.assert_array_equal(fresh_x, cold_x)
+
+    @pytest.mark.parametrize("factory_cls", [Gmres, CbGmres, Idr, Minres])
+    def test_multi_rhs_write_back(self, factory_cls, ref, spd_small, rng):
+        """Pooled column views must write the per-column solves back to x."""
+        xstar = rng.standard_normal((spd_small.shape[0], 3))
+        mtx = Csr.from_scipy(ref, spd_small)
+        solver = factory_cls(ref, criteria=CRIT).generate(mtx)
+        x = Dense.zeros(ref, (spd_small.shape[0], 3), np.float64)
+        solver.apply(Dense(ref, spd_small @ xstar), x)
+        np.testing.assert_allclose(np.asarray(x), xstar, atol=1e-6)
+        # Warm repeat hits the pooled views and stays correct.
+        x2 = Dense.zeros(ref, (spd_small.shape[0], 3), np.float64)
+        solver.apply(Dense(ref, spd_small @ xstar), x2)
+        np.testing.assert_array_equal(np.asarray(x2), np.asarray(x))
+
+    def test_reuse_across_executors_is_independent(self, ref, omp, spd_small, rng):
+        """Each generated solver pools on its own executor."""
+        xstar = rng.standard_normal((spd_small.shape[0], 1))
+        b_np = spd_small @ xstar
+        results = []
+        for exec_ in (ref, omp):
+            mtx = Csr.from_scipy(exec_, spd_small)
+            solver = Cg(exec_, criteria=CRIT).generate(mtx)
+            assert solver.workspace._exec is exec_
+            x = Dense.zeros(exec_, (spd_small.shape[0], 1), np.float64)
+            solver.apply(Dense(exec_, b_np), x)
+            results.append(np.asarray(x).copy())
+        np.testing.assert_array_equal(results[0], results[1])
+
+    def test_clear_workspace_then_solve_again(self, ref, spd_small, rng):
+        xstar = rng.standard_normal((spd_small.shape[0], 1))
+        b_np = spd_small @ xstar
+        mtx = Csr.from_scipy(ref, spd_small)
+        solver = Gmres(ref, criteria=CRIT).generate(mtx)
+
+        def run():
+            x = Dense.zeros(ref, (spd_small.shape[0], 1), np.float64)
+            solver.apply(Dense(ref, b_np), x)
+            return np.asarray(x).copy()
+
+        first = run()
+        solver.clear_workspace()
+        assert solver.workspace.num_buffers == 0
+        np.testing.assert_array_equal(run(), first)
+
+    def test_mixed_dtype_applies_share_one_pool(self, ref, spd_small, rng):
+        """float32 after float64 reallocates instead of serving stale bufs."""
+        mtx64 = Csr.from_scipy(ref, spd_small)
+        xstar = rng.standard_normal((spd_small.shape[0], 1))
+        solver = Cg(ref, criteria=CRIT).generate(mtx64)
+        x = Dense.zeros(ref, (spd_small.shape[0], 1), np.float64)
+        solver.apply(Dense(ref, spd_small @ xstar), x)
+        b32 = Dense(ref, (spd_small @ xstar).astype(np.float32))
+        x32 = Dense.zeros(ref, (spd_small.shape[0], 1), np.float32)
+        solver.apply(b32, x32)
+        assert np.asarray(x32).dtype == np.float32
+        np.testing.assert_allclose(
+            np.asarray(x32), xstar.astype(np.float32), atol=1e-2
+        )
