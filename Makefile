@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: verify unit profile-smoke perf-smoke test bench
+.PHONY: verify unit profile-smoke perf-smoke test bench bench-report
 
 # Tier-1 gate: the full test suite plus the profiler and perf smoke checks.
 verify: unit profile-smoke perf-smoke
@@ -19,10 +19,17 @@ profile-smoke:
 
 # Hot-path acceptance: warm (pooled) solves must beat cold rebuilds by
 # >= 1.25x with byte-identical residual histories and same-seed traces.
+# Batch acceptance: one batched solve of 64 small systems must beat 64
+# sequential scalar solves by >= 3x with byte-identical histories.
 perf-smoke:
 	$(PYTHON) benchmarks/bench_hot_path.py --smoke
+	$(PYTHON) benchmarks/bench_batch.py --smoke
 
 test: verify
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+# Aggregate every BENCH_*.json acceptance report into one summary table.
+bench-report:
+	$(PYTHON) benchmarks/bench_report.py

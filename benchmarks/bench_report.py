@@ -1,0 +1,101 @@
+"""Aggregate every ``BENCH_*.json`` acceptance report into one summary.
+
+Each acceptance benchmark (``bench_hot_path.py``, ``bench_batch.py``,
+...) writes a ``BENCH_<name>.json`` next to the repo root with its
+timings, its gate, and a ``failures`` list.  This tool collects them
+into a single table — the one-stop view of the repo's performance
+claims — and exits nonzero if any report carries failures.
+
+Standalone::
+
+    python benchmarks/bench_report.py             # table to stdout
+    python benchmarks/bench_report.py --json out  # combined JSON too
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def collect(root: Path) -> list:
+    """Load every BENCH_*.json under ``root`` (sorted by name)."""
+    reports = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            data = {"benchmark": path.stem, "failures": [f"unreadable: {err}"]}
+        data.setdefault("benchmark", path.stem)
+        data["_file"] = path.name
+        reports.append(data)
+    return reports
+
+
+def _fmt_speedup(report) -> str:
+    speedup = report.get("speedup")
+    gate = report.get("min_speedup_gate")
+    if speedup is None:
+        return "-"
+    text = f"{speedup:.2f}x"
+    if gate is not None:
+        text += f" (gate {gate:.2f}x)"
+    return text
+
+
+def render(reports) -> str:
+    rows = [("benchmark", "speedup", "status", "file")]
+    for report in reports:
+        failures = report.get("failures") or []
+        status = "OK" if not failures else f"FAIL ({len(failures)})"
+        rows.append(
+            (
+                str(report.get("benchmark")),
+                _fmt_speedup(report),
+                status,
+                report["_file"],
+            )
+        )
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    for report in reports:
+        for failure in report.get("failures") or []:
+            lines.append(f"  {report.get('benchmark')}: FAIL {failure}")
+    return "\n".join(lines)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root", default=str(REPO_ROOT),
+        help="directory holding the BENCH_*.json reports",
+    )
+    parser.add_argument(
+        "--json", default=None,
+        help="also write the combined reports to this JSON file",
+    )
+    args = parser.parse_args()
+    reports = collect(Path(args.root))
+    if not reports:
+        print("no BENCH_*.json reports found", file=sys.stderr)
+        return 1
+    print(render(reports))
+    if args.json:
+        combined = [
+            {k: v for k, v in r.items() if k != "_file"} for r in reports
+        ]
+        Path(args.json).write_text(json.dumps(combined, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 1 if any(r.get("failures") for r in reports) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

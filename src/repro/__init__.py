@@ -37,6 +37,7 @@ from repro.core import (
     FallbackChain,
     ResilienceReport,
     RetryPolicy,
+    BatchSolverHandle,
     RitzPairs,
     SolverHandle,
     TABLE1,
@@ -44,6 +45,7 @@ from repro.core import (
     arnoldi,
     array,
     as_tensor,
+    batch,
     build_config,
     clear_device_cache,
     config_solver,
@@ -75,6 +77,7 @@ from repro.ginkgo.log import MetricsRegistry, ProfilerHook
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchSolverHandle",
     "FallbackChain",
     "MetricsRegistry",
     "ProfilerHook",
@@ -88,6 +91,7 @@ __all__ = [
     "arnoldi",
     "array",
     "as_tensor",
+    "batch",
     "build_config",
     "clear_device_cache",
     "config_solver",

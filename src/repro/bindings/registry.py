@@ -14,6 +14,16 @@ from functools import partial
 import numpy as np
 
 from repro.bindings.overhead import charge_binding
+from repro.ginkgo.batch import (
+    BatchBicgstab,
+    BatchCg,
+    BatchCsr,
+    BatchDense,
+    BatchGmres,
+    BatchJacobi,
+    BatchLowerTrs,
+    BatchUpperTrs,
+)
 from repro.ginkgo.executor import (
     CudaExecutor,
     HipExecutor,
@@ -51,6 +61,14 @@ VALUE_TYPES = {
 INDEX_TYPES = {
     "int32": np.int32,
     "int64": np.int64,
+}
+
+#: Batched solver factories (``gko::batch::solver``): one binding
+#: crossing sets up a whole K-system solve.
+_BATCH_SOLVER_FACTORIES = {
+    "batch_cg": BatchCg,
+    "batch_bicgstab": BatchBicgstab,
+    "batch_gmres": BatchGmres,
 }
 
 _SOLVER_FACTORIES = {
@@ -145,6 +163,44 @@ def _make_read(cls, value_dtype, index_dtype):
     return reader
 
 
+def _make_batch_dense(value_dtype):
+    def batch_dense(exec_, items):
+        arrays = [np.asarray(item, dtype=value_dtype) for item in items]
+        return BatchDense.from_dense_list(exec_, arrays)
+
+    batch_dense.__doc__ = (
+        f"Stack array-likes into a BatchDense with "
+        f"{np.dtype(value_dtype).name} values."
+    )
+    return batch_dense
+
+
+def _make_batch_csr(value_dtype, index_dtype):
+    def batch_csr(exec_, scipy_matrices, **kwargs):
+        return BatchCsr.from_scipy_list(
+            exec_,
+            scipy_matrices,
+            value_dtype=value_dtype,
+            index_dtype=index_dtype,
+            **kwargs,
+        )
+
+    batch_csr.__doc__ = (
+        f"Stack SciPy matrices sharing one pattern into a BatchCsr "
+        f"({np.dtype(value_dtype).name} values, "
+        f"{np.dtype(index_dtype).name} indices)."
+    )
+    return batch_csr
+
+
+def _make_batch_jacobi():
+    def factory(exec_, max_block_size: int = 1):
+        return BatchJacobi(max_block_size=max_block_size)
+
+    factory.__doc__ = "Create a BatchJacobi preconditioner factory."
+    return factory
+
+
 def _make_solver_factory(cls):
     def factory(exec_, *args, **kwargs):
         return cls(exec_, *args, **kwargs)
@@ -165,10 +221,24 @@ def _build_registry() -> dict:
     for vt_name, vt in VALUE_TYPES.items():
         registry[f"dense_{vt_name}"] = _bound(_make_dense(vt), 2)
         registry[f"dense_empty_{vt_name}"] = _bound(_make_dense_empty(vt), 3)
+        registry[f"batch_dense_{vt_name}"] = _bound(_make_batch_dense(vt), 2)
         for solver_name, solver_cls in _SOLVER_FACTORIES.items():
             registry[f"{solver_name}_factory_{vt_name}"] = _bound(
                 _make_solver_factory(solver_cls), 3
             )
+        for solver_name, solver_cls in _BATCH_SOLVER_FACTORIES.items():
+            registry[f"{solver_name}_factory_{vt_name}"] = _bound(
+                _make_solver_factory(solver_cls), 3
+            )
+        registry[f"batch_jacobi_factory_{vt_name}"] = _bound(
+            _make_batch_jacobi(), 2
+        )
+        registry[f"batch_lower_trs_factory_{vt_name}"] = _bound(
+            _make_solver_factory(BatchLowerTrs), 2
+        )
+        registry[f"batch_upper_trs_factory_{vt_name}"] = _bound(
+            _make_solver_factory(BatchUpperTrs), 2
+        )
         registry[f"direct_factory_{vt_name}"] = _bound(
             _make_solver_factory(Direct), 1
         )
@@ -205,6 +275,9 @@ def _build_registry() -> dict:
                 registry[f"read_{prefix}_{vt_name}_{it_name}"] = _bound(
                     _make_read(cls, vt, it), 2
                 )
+            registry[f"batch_csr_{vt_name}_{it_name}"] = _bound(
+                _make_batch_csr(vt, it), 3
+            )
     for name, func in registry.items():
         if getattr(func, "_is_binding", False):
             func._binding_tag = name

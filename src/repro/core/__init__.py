@@ -7,8 +7,10 @@ Implements the user-facing entry points of the paper's Listings 1 and 2 —
 primitives, and NumPy/SciPy interoperability.
 """
 
+from repro.core import batch_api as batch
 from repro.core import preconditioner_api as preconditioner
 from repro.core import solver_api as solver
+from repro.core.batch_api import BatchSolverHandle
 from repro.core.device import clear_device_cache, device
 from repro.core.eigensolvers import arnoldi, lanczos, power_iteration
 from repro.core.interop import (
@@ -43,6 +45,7 @@ from repro.core.tensor import Tensor, array, as_tensor
 from repro.core.types import TABLE1, index_dtype, value_dtype
 
 __all__ = [
+    "BatchSolverHandle",
     "FallbackChain",
     "ResilienceReport",
     "RetryPolicy",
@@ -53,6 +56,7 @@ __all__ = [
     "arnoldi",
     "array",
     "as_tensor",
+    "batch",
     "build_config",
     "clear_device_cache",
     "config_solver",

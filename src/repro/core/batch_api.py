@@ -1,0 +1,180 @@
+"""The ``pg.batch`` namespace: batched solver bindings.
+
+Mirrors ``pg.solver`` for many small systems at once: each function
+resolves the type-suffixed batched factory through the binding layer
+(one binding crossing per batch, not per system), generates it on the
+stacked system matrix, and returns a :class:`BatchSolverHandle` whose
+``apply(b, x)`` returns ``(loggers, x)`` — one convergence logger per
+system, so per-system diagnostics keep the scalar API's shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import bindings
+from repro.core.types import value_dtype
+from repro.ginkgo.batch.matrix import BatchCsr, BatchDense
+from repro.ginkgo.exceptions import GinkgoError
+from repro.ginkgo.log import ConvergenceLogger
+from repro.ginkgo.stop import Iteration, ResidualNorm
+
+
+def _unwrap(operand) -> BatchDense:
+    if isinstance(operand, BatchDense):
+        return operand
+    raise GinkgoError(
+        f"expected a BatchDense operand, got {type(operand).__name__}"
+    )
+
+
+def matrices(device, scipy_matrices, value_dtype=None, index_dtype=np.int32):
+    """Stack SciPy matrices sharing one sparsity pattern into a BatchCsr."""
+    binding = bindings.resolve("batch_csr", value_dtype or np.float64,
+                               index_dtype, exec_=device)
+    return binding(device, scipy_matrices)
+
+
+def vectors(device, arrays, value_dtype=np.float64) -> BatchDense:
+    """Stack equally-shaped array-likes into a BatchDense."""
+    binding = bindings.resolve("batch_dense", value_dtype, exec_=device)
+    return binding(device, arrays)
+
+
+def zeros_like(operand: BatchDense) -> BatchDense:
+    """A zero BatchDense with ``operand``'s batch shape and dtype."""
+    b = _unwrap(operand)
+    return BatchDense.zeros(b.executor, b.num_systems, b.size, b.dtype)
+
+
+class BatchSolverHandle:
+    """A generated batched solver with pyGinkgo's apply contract.
+
+    ``apply(b, x)`` solves all systems in place on ``x`` (the initial
+    guesses) and returns ``(loggers, x)``: one
+    :class:`~repro.ginkgo.log.ConvergenceLogger` per system — each
+    holding exactly the history a scalar solve of that system would
+    produce — and the stacked solution.  The full per-system stopping
+    record is also available as :attr:`status` after the solve.
+    """
+
+    def __init__(self, solver) -> None:
+        self._solver = solver
+        self._loggers = [
+            ConvergenceLogger() for _ in range(solver.num_systems)
+        ]
+        for k, logger in enumerate(self._loggers):
+            solver.add_system_logger(k, logger)
+
+    @property
+    def solver(self):
+        """The underlying engine batch solver."""
+        return self._solver
+
+    @property
+    def num_systems(self) -> int:
+        return self._solver.num_systems
+
+    @property
+    def loggers(self) -> list:
+        return self._loggers
+
+    @property
+    def status(self):
+        """Per-system stopping record of the last ``apply``."""
+        return self._solver.status
+
+    def apply(self, b, x):
+        """Solve ``A[k] x[k] = b[k]`` for all systems from the guesses in ``x``."""
+        self._solver.apply(_unwrap(b), _unwrap(x))
+        return self._loggers, x
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchSolverHandle({type(self._solver).__name__}, "
+            f"K={self.num_systems})"
+        )
+
+
+def _build_criteria(max_iters, reduction_factor, criteria):
+    if criteria is not None:
+        return criteria
+    built = Iteration(max_iters)
+    if reduction_factor is not None:
+        built = built | ResidualNorm(reduction_factor, baseline="rhs_norm")
+    return built
+
+
+def _make_batch_solver(
+    name,
+    device,
+    mtx,
+    preconditioner=None,
+    max_iters=1000,
+    reduction_factor=1e-6,
+    criteria=None,
+    **params,
+) -> BatchSolverHandle:
+    factory_binding = bindings.resolve(
+        f"{name}_factory",
+        value_dtype(getattr(mtx, "dtype", np.float64)),
+        exec_=device,
+    )
+    factory = factory_binding(
+        device,
+        criteria=_build_criteria(max_iters, reduction_factor, criteria),
+        preconditioner=preconditioner,
+        **params,
+    )
+    return BatchSolverHandle(factory.generate(mtx))
+
+
+def cg(device, mtx, preconditioner=None, **kwargs) -> BatchSolverHandle:
+    """Batched Conjugate Gradient solver (SPD systems)."""
+    return _make_batch_solver("batch_cg", device, mtx, preconditioner, **kwargs)
+
+
+def bicgstab(device, mtx, preconditioner=None, **kwargs) -> BatchSolverHandle:
+    """Batched BiCGSTAB solver (general systems)."""
+    return _make_batch_solver(
+        "batch_bicgstab", device, mtx, preconditioner, **kwargs
+    )
+
+
+def gmres(device, mtx, preconditioner=None, **kwargs) -> BatchSolverHandle:
+    """Batched restarted GMRES solver (general systems)."""
+    return _make_batch_solver(
+        "batch_gmres", device, mtx, preconditioner, **kwargs
+    )
+
+
+def jacobi(device, mtx=None, max_block_size: int = 1):
+    """Batched scalar-Jacobi preconditioner (factory, or generated on ``mtx``)."""
+    dtype = getattr(mtx, "dtype", np.float64) if mtx is not None else np.float64
+    binding = bindings.resolve(
+        "batch_jacobi_factory", value_dtype(dtype), exec_=device
+    )
+    factory = binding(device, max_block_size=max_block_size)
+    if mtx is None:
+        return factory
+    return factory.generate(mtx)
+
+
+def lower_trs(device, mtx, unit_diagonal: bool = False):
+    """Batched forward substitution on lower-triangular systems."""
+    binding = bindings.resolve(
+        "batch_lower_trs_factory",
+        value_dtype(getattr(mtx, "dtype", np.float64)),
+        exec_=device,
+    )
+    return binding(device, unit_diagonal=unit_diagonal).generate(mtx)
+
+
+def upper_trs(device, mtx, unit_diagonal: bool = False):
+    """Batched backward substitution on upper-triangular systems."""
+    binding = bindings.resolve(
+        "batch_upper_trs_factory",
+        value_dtype(getattr(mtx, "dtype", np.float64)),
+        exec_=device,
+    )
+    return binding(device, unit_diagonal=unit_diagonal).generate(mtx)

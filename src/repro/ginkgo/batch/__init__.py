@@ -1,0 +1,47 @@
+"""Batched linear algebra (``gko::batch``).
+
+Stacked formats and lockstep solvers for many small independent systems
+sharing one sparsity pattern.  One batched kernel call advances all
+``K`` systems, amortizing the Python dispatch overhead that dominates
+small solves; per-system stopping keeps every residual history
+bit-identical to ``K`` sequential scalar solves.
+"""
+
+from repro.ginkgo.batch.matrix import BatchCsr, BatchDense
+from repro.ginkgo.batch.preconditioner import (
+    BatchIdentity,
+    BatchJacobi,
+    BatchJacobiOperator,
+)
+from repro.ginkgo.batch.solver import (
+    BatchBicgstab,
+    BatchBicgstabSolver,
+    BatchCg,
+    BatchCgSolver,
+    BatchGmres,
+    BatchGmresSolver,
+    BatchIterativeSolver,
+    BatchSolverFactory,
+)
+from repro.ginkgo.batch.stop import BatchCriteria, BatchStatus
+from repro.ginkgo.batch.triangular import BatchLowerTrs, BatchUpperTrs
+
+__all__ = [
+    "BatchBicgstab",
+    "BatchBicgstabSolver",
+    "BatchCg",
+    "BatchCgSolver",
+    "BatchCriteria",
+    "BatchCsr",
+    "BatchDense",
+    "BatchGmres",
+    "BatchGmresSolver",
+    "BatchIdentity",
+    "BatchIterativeSolver",
+    "BatchJacobi",
+    "BatchJacobiOperator",
+    "BatchLowerTrs",
+    "BatchSolverFactory",
+    "BatchStatus",
+    "BatchUpperTrs",
+]

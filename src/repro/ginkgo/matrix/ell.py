@@ -69,11 +69,12 @@ class Ell(SparseBase):
         width = int(row_nnz.max()) if rows else 0
         col_idxs = np.zeros((rows, width), dtype=index_dtype)
         values = np.zeros((rows, width), dtype=value_dtype)
-        for r in range(rows):
-            start, stop = csr.indptr[r], csr.indptr[r + 1]
-            n = stop - start
-            col_idxs[r, :n] = csr.indices[start:stop]
-            values[r, :n] = csr.data[start:stop]
+        # Scatter each row's entries into its leading slots in one shot:
+        # the row-major flattening of the mask enumerates (row, slot)
+        # pairs in exactly CSR's row-sorted entry order.
+        in_row = np.arange(width)[None, :] < row_nnz[:, None]
+        col_idxs[in_row] = csr.indices
+        values[in_row] = csr.data
         return cls(exec_, Dim(*csr.shape), col_idxs, values)
 
     # ------------------------------------------------------------------
@@ -106,10 +107,13 @@ class Ell(SparseBase):
     def _spmv_arrays(self, b: np.ndarray) -> np.ndarray:
         compute = np.float32 if self._value_dtype == np.float16 else self._value_dtype
         x = b.astype(compute, copy=False)
-        y = np.zeros((self._size.rows, x.shape[1]), dtype=compute)
+        if self._values.shape[1] == 0:
+            return np.zeros((self._size.rows, x.shape[1]), dtype=self._value_dtype)
         vals = self._values.astype(compute, copy=False)
-        for k in range(self._values.shape[1]):
-            y += vals[:, k : k + 1] * x[self._col_idxs[:, k], :]
+        # One gather of every referenced x row, then a contraction over
+        # the slot axis — the whole SpMV in two vector kernels (padding
+        # slots contribute value 0 * x[col 0]).
+        y = np.einsum("rk,rkj->rj", vals, x[self._col_idxs, :])
         return y.astype(self._value_dtype, copy=False)
 
     def _to_scipy(self) -> sp.csr_matrix:

@@ -90,29 +90,32 @@ class Sellp(SparseBase):
         num_slices = -(-rows // slice_size) if rows else 0
         row_nnz = np.diff(csr.indptr)
 
-        slice_lengths = np.zeros(num_slices, dtype=index_dtype)
-        for s in range(num_slices):
-            lo, hi = s * slice_size, min((s + 1) * slice_size, rows)
-            slice_lengths[s] = row_nnz[lo:hi].max() if hi > lo else 0
+        # Per-slice maximum row length via a padded reshape.
+        padded_nnz = np.zeros(num_slices * slice_size, dtype=np.int64)
+        padded_nnz[:rows] = row_nnz
+        slice_lengths = (
+            padded_nnz.reshape(num_slices, slice_size)
+            .max(axis=1, initial=0)
+            .astype(index_dtype)
+        )
         slice_sets = np.zeros(num_slices + 1, dtype=index_dtype)
         np.cumsum(slice_lengths * slice_size, out=slice_sets[1:])
 
-        total = int(slice_sets[-1])
+        total = int(slice_sets[-1]) if num_slices else 0
         col_idxs = np.zeros(total, dtype=index_dtype)
         values = np.zeros(total, dtype=value_dtype)
-        for s in range(num_slices):
-            lo = s * slice_size
-            hi = min(lo + slice_size, rows)
-            length = int(slice_lengths[s])
-            base = int(slice_sets[s])
-            for local, r in enumerate(range(lo, hi)):
-                start, stop = csr.indptr[r], csr.indptr[r + 1]
-                n = stop - start
-                # Column-major within the slice: entry k of row `local`
-                # lives at base + k * slice_size + local.
-                dest = base + np.arange(n) * slice_size + local
-                col_idxs[dest] = csr.indices[start:stop]
-                values[dest] = csr.data[start:stop]
+        # Scatter every stored entry at once.  Column-major within the
+        # slice: entry k of row `local` lives at base + k*slice_size +
+        # local, computed per nonzero from its row and in-row position.
+        entry_row = np.repeat(np.arange(rows), row_nnz)
+        entry_slot = np.arange(csr.nnz) - np.repeat(csr.indptr[:-1], row_nnz)
+        dest = (
+            slice_sets[entry_row // slice_size].astype(np.int64)
+            + entry_slot * slice_size
+            + entry_row % slice_size
+        )
+        col_idxs[dest] = csr.indices
+        values[dest] = csr.data
         return cls(
             exec_,
             Dim(*csr.shape),
@@ -163,50 +166,48 @@ class Sellp(SparseBase):
         rows = self._size.rows
         y = np.zeros((rows, x.shape[1]), dtype=compute)
         ss = self._slice_size
-        for s in range(self._slice_lengths.size):
-            lo = s * ss
-            hi = min(lo + ss, rows)
-            count = hi - lo
-            length = int(self._slice_lengths[s])
-            base = int(self._slice_sets[s])
-            if length == 0 or count == 0:
+        lengths = np.asarray(self._slice_lengths)
+        if lengths.size == 0:
+            return y.astype(self._value_dtype, copy=False)
+        vals_all = self._values.astype(compute, copy=False)
+        # Slices sharing a padded length run as one batched gather +
+        # contraction; padding slots hold value 0 / column 0 and sum to
+        # nothing, and trailing padding *rows* are masked off the scatter.
+        for length in np.unique(lengths):
+            length = int(length)
+            if length == 0:
                 continue
-            block = slice(base, base + length * ss)
-            vals = self._values[block].reshape(length, ss)[:, :count]
-            cols = self._col_idxs[block].reshape(length, ss)[:, :count]
-            acc = np.einsum(
-                "kr,krj->rj", vals.astype(compute, copy=False), x[cols, :]
+            sel = np.flatnonzero(lengths == length)
+            starts = self._slice_sets[sel].astype(np.int64)
+            offsets = (
+                starts[:, None, None]
+                + np.arange(length)[None, :, None] * ss
+                + np.arange(ss)[None, None, :]
             )
-            y[lo:hi, :] = acc
+            cols = self._col_idxs[offsets]
+            acc = np.einsum("gkr,gkrj->grj", vals_all[offsets], x[cols, :])
+            row_idx = (sel[:, None] * ss + np.arange(ss)[None, :]).reshape(-1)
+            valid = row_idx < rows
+            y[row_idx[valid]] = acc.reshape(-1, x.shape[1])[valid]
         return y.astype(self._value_dtype, copy=False)
 
     def _to_scipy(self) -> sp.csr_matrix:
-        rows_list, cols_list, vals_list = [], [], []
         ss = self._slice_size
         nrows = self._size.rows
-        for s in range(self._slice_lengths.size):
-            lo = s * ss
-            hi = min(lo + ss, nrows)
-            count = hi - lo
-            length = int(self._slice_lengths[s])
-            base = int(self._slice_sets[s])
-            if length == 0 or count == 0:
-                continue
-            block = slice(base, base + length * ss)
-            vals = self._values[block].reshape(length, ss)[:, :count]
-            cols = self._col_idxs[block].reshape(length, ss)[:, :count]
-            mask = vals != 0
-            k_idx, r_idx = np.nonzero(mask)
-            rows_list.append(lo + r_idx)
-            cols_list.append(cols[mask])
-            vals_list.append(vals[mask])
-        if not rows_list:
+        total = int(self._values.size)
+        if total == 0 or nrows == 0:
             return sp.csr_matrix(self.shape, dtype=self._value_dtype)
+        # Invert the sliced layout for every slot at once: position p
+        # belongs to slice s (searchsorted handles empty slices), and
+        # within the slice the column-major offset decomposes into
+        # (entry k, local row).
+        pos = np.arange(total)
+        s = np.searchsorted(self._slice_sets, pos, side="right") - 1
+        offset = pos - self._slice_sets[s]
+        row = s * ss + offset % ss
+        mask = (self._values != 0) & (row < nrows)
         return sp.csr_matrix(
-            (
-                np.concatenate(vals_list),
-                (np.concatenate(rows_list), np.concatenate(cols_list)),
-            ),
+            (self._values[mask], (row[mask], self._col_idxs[mask])),
             shape=self.shape,
         )
 

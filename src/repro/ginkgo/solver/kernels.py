@@ -72,11 +72,11 @@ def gmres_multidot(basis_block, w: Dense, count: int):
     """Fused multi-dot: coefficients of ``w`` against ``count`` basis vectors.
 
     One batched reduction kernel (plus its finalisation pass), as in
-    Ginkgo's ``gmres::multi_dot``.
+    Ginkgo's ``gmres::multi_dot``.  Evaluated as an einsum contraction so
+    the per-system reduction order matches the batched lockstep kernels
+    bit-for-bit (BLAS gemv blocks its accumulation differently).
     """
-    import numpy as np
-
-    coeffs = basis_block[:, :count].T @ w._data[:, 0]
+    coeffs = np.einsum("ij,i->j", basis_block[:, :count], w._data[:, 0])
     w.executor.run(
         blas1_cost(
             "gmres_multidot",
@@ -90,7 +90,7 @@ def gmres_multidot(basis_block, w: Dense, count: int):
 
 def gmres_update(basis_block, w: Dense, coeffs, count: int) -> None:
     """Fused rank-``count`` update ``w -= V[:, :count] @ coeffs``."""
-    w._data[:, 0] -= basis_block[:, :count] @ coeffs
+    w._data[:, 0] -= np.einsum("ij,j->i", basis_block[:, :count], coeffs)
     record_fused(
         w.executor, "gmres_update", w.size.rows * count, w.value_bytes, 2
     )

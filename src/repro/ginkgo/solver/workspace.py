@@ -49,6 +49,8 @@ class Workspace:
         self._arrays: dict[str, np.ndarray] = {}
         #: name -> ((owner buffer id, column index), column wrapper Dense).
         self._columns: dict[str, tuple[tuple, Dense]] = {}
+        #: name -> pooled executor-resident N-D buffer (batched state).
+        self._tensors: dict[str, np.ndarray] = {}
 
     @property
     def executor(self):
@@ -129,6 +131,45 @@ class Workspace:
         )
         return wrapper
 
+    def tensor(self, name: str, shape, dtype, zero: bool = False) -> np.ndarray:
+        """A pooled executor-resident N-D buffer (batched solver state).
+
+        The batched solvers keep their per-system state stacked in
+        ``(num_systems, rows, cols)`` buffers, which ``Dense`` cannot
+        represent; this slot type pools raw executor allocations with the
+        same hit/miss and zeroing semantics as :meth:`dense`.
+        """
+        shape = tuple(int(s) for s in np.atleast_1d(shape))
+        buf = self._tensors.get(name)
+        hit = (
+            buf is not None
+            and buf.shape == shape
+            and buf.dtype == np.dtype(dtype)
+        )
+        if hit:
+            if zero:
+                buf.fill(0)
+        else:
+            if buf is not None:
+                self._exec.free(buf)
+            buf = self._exec.alloc(shape, dtype)
+            self._tensors[name] = buf
+        cachestats.record(
+            "workspace", hit, clock=self._exec.clock,
+            buffer=name, nbytes=buf.nbytes,
+        )
+        return buf
+
+    def tensor_like(self, name: str, src: np.ndarray) -> np.ndarray:
+        """A pooled copy of the executor-resident array ``src``.
+
+        Charges the same transfer a fresh clone would (the allocation is
+        free in the performance model), mirroring :meth:`dense_like`.
+        """
+        buf = self.tensor(name, src.shape, src.dtype)
+        self._exec.copy_into(self._exec, src, buf)
+        return buf
+
     # ------------------------------------------------------------------
     # host-side bookkeeping arrays
     # ------------------------------------------------------------------
@@ -164,18 +205,23 @@ class Workspace:
         """Release every pooled buffer back to the executor."""
         for buf in self._dense.values():
             self._exec.free(buf._data)
+        for buf in self._tensors.values():
+            self._exec.free(buf)
         self._dense.clear()
         self._arrays.clear()
         self._columns.clear()
+        self._tensors.clear()
 
     @property
     def num_buffers(self) -> int:
-        return len(self._dense) + len(self._arrays)
+        return len(self._dense) + len(self._arrays) + len(self._tensors)
 
     @property
     def bytes_held(self) -> int:
         """Executor bytes currently pinned by the pool."""
-        return sum(buf._data.nbytes for buf in self._dense.values())
+        return sum(
+            buf._data.nbytes for buf in self._dense.values()
+        ) + sum(buf.nbytes for buf in self._tensors.values())
 
     def __repr__(self) -> str:
         return (

@@ -175,14 +175,21 @@ class SimClock:
         bandwidth = self.spec.effective_bandwidth(self.num_threads)
         bandwidth *= self.library.efficiency(self.spec.kind, cost.dtype_name)
         peak = self.spec.peak_flops_for(cost.dtype_name)
+        region_factor = 1.0
         if self.spec.kind == "cpu" and self.library.parallel_cpu:
             threads = self.num_threads or self.spec.cores
-            from repro.perfmodel.threads import parallel_efficiency
+            from repro.perfmodel.threads import (
+                omp_region_factor,
+                parallel_efficiency,
+            )
 
             peak *= threads / self.spec.cores
             peak *= parallel_efficiency(
                 threads, self.library.cpu_serial_fraction
             )
+            # Each kernel launch opens a parallel region; waking and
+            # joining the thread team costs more for larger teams.
+            region_factor = omp_region_factor(threads)
         elif self.spec.kind == "cpu":
             # Single-threaded library: one core's share of the socket.
             peak /= self.spec.cores
@@ -190,7 +197,7 @@ class SimClock:
                 self.spec.kind, cost.dtype_name
             )
         launches = cost.launches * self.library.launch_multiplier
-        fixed = launches * self.spec.launch_latency
+        fixed = launches * self.spec.launch_latency * region_factor
         fixed += self.library.host_overhead_per_op
         streaming = cost.bytes / bandwidth if bandwidth > 0 else 0.0
         compute = cost.flops / peak if peak > 0 else 0.0
@@ -228,6 +235,85 @@ class SimClock:
                     "launches": cost.launches,
                 },
             )
+        return duration
+
+    def record_partitioned(self, cost: KernelCost, parts: list) -> float:
+        """Record one kernel whose physical execution ran on a thread pool.
+
+        The simulated timeline is the *same* as one :meth:`record` call —
+        identical duration, counters, and noise-stream position, so host
+        threading never perturbs modeled timings — but tracers see the
+        kernel split into one sub-event per partition, wrapped in
+        per-thread spans, so ``pg.profile()`` attributes work per thread.
+
+        Args:
+            cost: Aggregate cost of the whole partitioned kernel.
+            parts: One dict per partition.  An optional ``"weight"`` key
+                sets the partition's share of the duration (default:
+                equal shares); remaining keys land in the trace metadata.
+
+        Returns:
+            The total simulated duration.
+        """
+        if len(parts) <= 1 or not self._traced:
+            return self.record(cost)
+        duration = self.kernel_time(cost) * self.noise.sample()
+        start = self.now
+        if self._log_events:
+            self.events.append(
+                KernelEvent(
+                    name=cost.name,
+                    start=start,
+                    duration=duration,
+                    flops=cost.flops,
+                    bytes=cost.bytes,
+                    launches=cost.launches,
+                )
+            )
+        self.kernel_count += cost.launches
+        self.bytes_moved += cost.bytes
+        self.flops_done += cost.flops
+        weights = [float(part.get("weight", 1.0)) for part in parts]
+        total_weight = sum(weights) or float(len(parts))
+        self._notify(
+            "on_span_push",
+            f"{cost.name}[omp]",
+            "kernel",
+            {"partitions": len(parts)},
+        )
+        remaining = duration
+        for index, (part, weight) in enumerate(zip(parts, weights)):
+            if index == len(parts) - 1:
+                share = remaining  # exact remainder: shares tile `duration`
+            else:
+                share = duration * (weight / total_weight)
+            remaining -= share
+            fraction = weight / total_weight
+            meta = {k: v for k, v in part.items() if k != "weight"}
+            meta.update(
+                {
+                    "thread": index,
+                    "flops": cost.flops * fraction,
+                    "bytes": cost.bytes * fraction,
+                    # All launches accounted on thread 0 so aggregated
+                    # counters match the unpartitioned recording.
+                    "launches": cost.launches if index == 0 else 0,
+                }
+            )
+            self._notify(
+                "on_span_push", f"{cost.name}[t{index}]", "thread",
+                {"thread": index},
+            )
+            self._notify(
+                "on_clock_event", "kernel", f"{cost.name}[t{index}]",
+                self.now, share, meta,
+            )
+            self.now += share
+            self._notify("on_span_pop", {})
+        # Shares tile `duration` exactly, but sum in a different order
+        # than one addition; pin the aggregate advance bitwise.
+        self.now = start + duration
+        self._notify("on_span_pop", {})
         return duration
 
     def advance(

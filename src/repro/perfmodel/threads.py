@@ -47,6 +47,28 @@ def thread_scaling(
     return min(frac, 1.0)
 
 
+#: Default fork/join cost growth per doubling of the team size.
+OMP_REGION_ALPHA = 0.25
+
+
+def omp_region_factor(threads: int, alpha: float = OMP_REGION_ALPHA) -> float:
+    """Multiplier on per-launch latency for entering an OpenMP region.
+
+    Waking an OpenMP thread team and passing the join barrier costs more
+    the larger the team is — roughly logarithmically (tree barrier), the
+    shape reported by the EPCC OpenMP microbenchmarks.  Serial execution
+    (``threads <= 1``) opens no region and pays nothing extra.
+
+    Returns:
+        A factor >= 1 applied to the kernel's fixed launch cost.
+    """
+    if threads is None or threads <= 1:
+        return 1.0
+    from math import log2
+
+    return 1.0 + alpha * log2(threads)
+
+
 def parallel_efficiency(threads: int, serial_fraction: float) -> float:
     """Amdahl efficiency for compute-bound (non-bandwidth) kernel parts.
 
