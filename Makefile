@@ -21,9 +21,13 @@ profile-smoke:
 # >= 1.25x with byte-identical residual histories and same-seed traces.
 # Batch acceptance: one batched solve of 64 small systems must beat 64
 # sequential scalar solves by >= 3x with byte-identical histories.
+# Distributed acceptance: 4-rank CG histories byte-identical to the
+# single-rank solve, fused rank regions >= 2x over sequential-rank
+# dispatch.
 perf-smoke:
 	$(PYTHON) benchmarks/bench_hot_path.py --smoke
 	$(PYTHON) benchmarks/bench_batch.py --smoke
+	$(PYTHON) benchmarks/bench_distributed.py --smoke
 
 test: verify
 

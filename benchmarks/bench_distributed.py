@@ -1,0 +1,290 @@
+"""Distributed CG benchmark: bit-identity + fused-region speedup gate.
+
+Two invariants gate the ``pg.distributed`` subsystem:
+
+* **Bit-identity** — the 4-rank distributed CG on ``OmpExecutor`` must
+  reproduce the single-rank residual history (and the scalar ``pg.solver``
+  CG history) byte for byte.  Reductions are evaluated in global element
+  order and the rank-local SpMV applies full-width CSR row slices, so the
+  distribution is a pure execution detail, never a numerical one.
+
+* **Fused-region speedup** — each solver operation dispatches the rank
+  loop as ONE modeled kernel (a partitioned region on the thread pool, or
+  a single collapsed whole-arena kernel when ranks share one worker).
+  The baseline is ``sequential_ranks`` execution: every rank dispatches
+  its kernels independently — one clock record per rank per operation,
+  per-rank partial reductions combined in rank order — the overhead
+  profile of K rank processes time-sharing the machine.  The fused path
+  must be at least ``MIN_SPEEDUP`` faster in wall clock.
+
+Standalone::
+
+    python benchmarks/bench_distributed.py            # full run
+    python benchmarks/bench_distributed.py --smoke    # CI gate (fast)
+
+Writes ``BENCH_distributed.json`` next to the repo root.
+"""
+
+import argparse
+import gc
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+import repro as pg
+from repro.bindings import dispatch, reset_models
+from repro.ginkgo import cachestats
+from repro.ginkgo.log import ConvergenceLogger
+from repro.ginkgo.matrix import Csr, Dense
+from repro.ginkgo.solver import Cg
+from repro.ginkgo.stop import Iteration, ResidualNorm
+
+#: Acceptance threshold: fused rank regions vs sequential-rank dispatch.
+MIN_SPEEDUP = 2.0
+
+NUM_RANKS = 4
+
+
+def _best(values):
+    """Minimum over repeats: the least-noise wall-clock estimator on a
+    machine where any single run can be inflated by scheduler jitter."""
+    return min(values)
+
+
+def _median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def _fresh_state():
+    pg.clear_device_cache()
+    reset_models()
+    dispatch.clear()
+    cachestats.reset()
+
+
+def make_system(n, band=10, seed=1234):
+    """A banded SPD diagonally dominant system, ~2*band+1 nnz per row."""
+    offsets = list(range(-band, 0)) + list(range(1, band + 1))
+    mat = sp.diags(
+        [-1.0 * np.ones(n - abs(o)) for o in offsets], offsets
+    ).tocsr()
+    mat.setdiag(2.0 * band + 1.5)
+    rng = np.random.default_rng(seed)
+    return mat.tocsr(), rng.standard_normal(n)
+
+
+def run_scalar(mat, rhs, max_iters, tol):
+    """Single-rank reference: the scalar CG the histories must match."""
+    dev = pg.device("reference", fresh=True)
+    solver = Cg(
+        dev,
+        criteria=Iteration(max_iters) | ResidualNorm(tol, baseline="rhs_norm"),
+    ).generate(Csr.from_scipy(dev, mat))
+    logger = ConvergenceLogger()
+    solver.add_logger(logger)
+    n = mat.shape[0]
+    b = Dense.create(dev, rhs.reshape(-1, 1))
+    x = Dense.create(dev, np.zeros((n, 1)))
+    solver.apply(b, x)
+    if not solver.converged:
+        raise RuntimeError("scalar reference solve did not converge")
+    return np.asarray(logger.residual_norms, dtype=np.float64)
+
+
+def run_distributed(
+    mat, rhs, max_iters, tol, num_ranks, num_threads, sequential=False
+):
+    """One distributed CG solve; returns (elapsed, history, device)."""
+    dev = pg.device("omp", fresh=True, num_threads=num_threads)
+    part = pg.distributed.partition(mat.shape[0], num_ranks)
+    dist = pg.distributed.matrix(dev, part, mat)
+    b = pg.distributed.vector(dev, part, rhs, comm=dist.comm)
+    x = pg.distributed.zeros_like(b)
+    handle = pg.distributed.cg(
+        dev, dist, max_iters=max_iters, reduction_factor=tol
+    )
+    t0 = time.perf_counter()
+    if sequential:
+        with pg.distributed.sequential_ranks():
+            logger, _ = handle.apply(b, x)
+    else:
+        logger, _ = handle.apply(b, x)
+    elapsed = time.perf_counter() - t0
+    if not handle.converged:
+        raise RuntimeError("distributed benchmark solve did not converge")
+    return elapsed, np.asarray(logger.residual_norms, dtype=np.float64), dev
+
+
+def run(
+    n=2000,
+    repeats=5,
+    max_iters=500,
+    tol=1e-9,
+    out_path="BENCH_distributed.json",
+):
+    """Run the gates and write the JSON report."""
+    failures = []
+    mat, rhs = make_system(n)
+    workers = min(NUM_RANKS, os.cpu_count() or 1)
+
+    # Bit-identity chain: scalar == 1-rank distributed == 4-rank
+    # distributed, byte for byte.
+    _fresh_state()
+    scalar_hist = run_scalar(mat, rhs, max_iters, tol)
+
+    _fresh_state()
+    _, single_hist, _ = run_distributed(
+        mat, rhs, max_iters, tol, num_ranks=1, num_threads=workers
+    )
+    if single_hist.tobytes() != scalar_hist.tobytes():
+        failures.append(
+            "single-rank distributed history differs from scalar CG"
+        )
+
+    # Timed comparison.  Fused and sequential-rank solves are interleaved
+    # in pairs so both sides of every ratio see the same machine load;
+    # the gate is the median per-pair ratio, which is immune to the
+    # multi-second load swings that skew separately-timed blocks.
+    _fresh_state()
+    run_distributed(  # untimed warmup: caches, pool spin-up, allocator
+        mat, rhs, max_iters, tol, NUM_RANKS, num_threads=workers
+    )
+    run_distributed(
+        mat, rhs, max_iters, tol, NUM_RANKS,
+        num_threads=workers, sequential=True,
+    )
+    fused_times = []
+    seq_times = []
+    ratios = []
+    fused_hist = None
+    seq_hist = None
+    # Keep collector pauses out of the timed windows: collect at pair
+    # boundaries, collector off while the clock runs.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            gc.collect()
+            elapsed, hist, _ = run_distributed(
+                mat, rhs, max_iters, tol, NUM_RANKS, num_threads=workers
+            )
+            fused_times.append(elapsed)
+            if fused_hist is None:
+                fused_hist = hist
+            elif hist.tobytes() != fused_hist.tobytes():
+                failures.append("fused histories drift across repeats")
+            seq_elapsed, seq_hist, _ = run_distributed(
+                mat, rhs, max_iters, tol, NUM_RANKS,
+                num_threads=workers, sequential=True,
+            )
+            seq_times.append(seq_elapsed)
+            ratios.append(
+                seq_elapsed / elapsed if elapsed > 0 else float("inf")
+            )
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    if fused_hist.tobytes() != scalar_hist.tobytes():
+        failures.append(
+            f"{NUM_RANKS}-rank distributed history differs from the "
+            "single-rank history"
+        )
+
+    # Thread-pool engagement: with one worker per rank the rank regions
+    # run on the pool, and the history must not move a bit.
+    _fresh_state()
+    _, pooled_hist, pooled_dev = run_distributed(
+        mat, rhs, max_iters, tol, NUM_RANKS, num_threads=NUM_RANKS
+    )
+    if pooled_hist.tobytes() != scalar_hist.tobytes():
+        failures.append("thread-pooled distributed history differs")
+    if pooled_dev.pool_regions == 0:
+        failures.append("distributed solve never engaged the thread pool")
+
+    # Rank-ordered partial reductions round differently — that is the
+    # point of the baseline — so compare loosely, not bytewise.
+    m = min(seq_hist.size, scalar_hist.size)
+    if not np.allclose(seq_hist[:m], scalar_hist[:m], rtol=1e-6):
+        failures.append("sequential-rank baseline diverged numerically")
+
+    fused_best = _best(fused_times)
+    seq_best = _best(seq_times)
+    speedup = _median(ratios)
+    if speedup < MIN_SPEEDUP:
+        failures.append(
+            f"fused speedup {speedup:.2f}x below the {MIN_SPEEDUP:.2f}x gate"
+        )
+
+    report = {
+        "benchmark": "distributed_cg_fused_vs_sequential_ranks",
+        "system_size": n,
+        "nnz": int(mat.nnz),
+        "num_ranks": NUM_RANKS,
+        "num_threads": workers,
+        "repeats": repeats,
+        "iterations": int(fused_hist.size - 1),
+        "fused_best_s": fused_best,
+        "sequential_ranks_best_s": seq_best,
+        "fused_times_s": fused_times,
+        "sequential_ranks_times_s": seq_times,
+        "pair_ratios": ratios,
+        "speedup": speedup,
+        "min_speedup_gate": MIN_SPEEDUP,
+        "history_matches_scalar": fused_hist.tobytes()
+        == scalar_hist.tobytes(),
+        "history_matches_single_rank": fused_hist.tobytes()
+        == single_hist.tobytes(),
+        "pool_regions": pooled_dev.pool_regions,
+        "failures": failures,
+    }
+    Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
+
+    print(
+        f"distributed CG n={n} ranks={NUM_RANKS}: "
+        f"fused {fused_best * 1e3:7.2f} ms | "
+        f"sequential-rank {seq_best * 1e3:7.2f} ms | "
+        f"median pair speedup {speedup:5.2f}x (gate {MIN_SPEEDUP:.2f}x)"
+    )
+    print(
+        f"residual history: {fused_hist.size - 1} iterations, "
+        f"scalar/single-rank/pooled byte-identical="
+        f"{not any('histor' in f for f in failures)}"
+    )
+    print(f"wrote {out_path}")
+    return report
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="fast CI gate: fewer repeats, assert the acceptance criteria",
+    )
+    parser.add_argument("--n", type=int, default=None, help="system size")
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--out", default="BENCH_distributed.json")
+    args = parser.parse_args()
+    report = run(
+        n=args.n or 2000,
+        repeats=args.repeats or (5 if args.smoke else 7),
+        out_path=args.out,
+    )
+    if report["failures"]:
+        for failure in report["failures"]:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("perf-smoke OK" if args.smoke else "distributed bench OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,6 +51,7 @@ from repro.core import (
     config_solver,
     config_to_json,
     device,
+    distributed,
     from_numpy,
     from_scipy,
     index_dtype,
@@ -97,6 +98,7 @@ __all__ = [
     "config_solver",
     "config_to_json",
     "device",
+    "distributed",
     "from_numpy",
     "from_scipy",
     "index_dtype",

@@ -24,6 +24,12 @@ from repro.ginkgo.batch import (
     BatchLowerTrs,
     BatchUpperTrs,
 )
+from repro.ginkgo.distributed import (
+    DistributedCg,
+    DistributedGmres,
+)
+from repro.ginkgo.distributed import Matrix as DistributedMatrix
+from repro.ginkgo.distributed import Vector as DistributedVector
 from repro.ginkgo.executor import (
     CudaExecutor,
     HipExecutor,
@@ -69,6 +75,13 @@ _BATCH_SOLVER_FACTORIES = {
     "batch_cg": BatchCg,
     "batch_bicgstab": BatchBicgstab,
     "batch_gmres": BatchGmres,
+}
+
+#: Distributed solver factories (``gko::experimental::distributed``):
+#: generated against a distributed Matrix, not a scalar format.
+_DISTRIBUTED_SOLVER_FACTORIES = {
+    "distributed_cg": DistributedCg,
+    "distributed_gmres": DistributedGmres,
 }
 
 _SOLVER_FACTORIES = {
@@ -193,6 +206,41 @@ def _make_batch_csr(value_dtype, index_dtype):
     return batch_csr
 
 
+def _make_distributed_matrix(value_dtype, index_dtype):
+    def factory(exec_, partition, data, **kwargs):
+        return DistributedMatrix(
+            exec_,
+            partition,
+            data,
+            value_dtype=value_dtype,
+            index_dtype=index_dtype,
+            **kwargs,
+        )
+
+    factory.__doc__ = (
+        f"Distribute a SciPy matrix over a Partition "
+        f"({np.dtype(value_dtype).name} values, "
+        f"{np.dtype(index_dtype).name} indices)."
+    )
+    return factory
+
+
+def _make_distributed_vector(value_dtype):
+    def factory(exec_, partition, data=None, **kwargs):
+        if data is None:
+            return DistributedVector.zeros(
+                exec_, partition, dtype=value_dtype, **kwargs
+            )
+        data = np.asarray(data, dtype=value_dtype)
+        return DistributedVector(exec_, partition, data, **kwargs)
+
+    factory.__doc__ = (
+        f"Create a distributed Vector with "
+        f"{np.dtype(value_dtype).name} values (zeros when no data given)."
+    )
+    return factory
+
+
 def _make_batch_jacobi():
     def factory(exec_, max_block_size: int = 1):
         return BatchJacobi(max_block_size=max_block_size)
@@ -230,6 +278,13 @@ def _build_registry() -> dict:
             registry[f"{solver_name}_factory_{vt_name}"] = _bound(
                 _make_solver_factory(solver_cls), 3
             )
+        for solver_name, solver_cls in _DISTRIBUTED_SOLVER_FACTORIES.items():
+            registry[f"{solver_name}_factory_{vt_name}"] = _bound(
+                _make_solver_factory(solver_cls), 3
+            )
+        registry[f"distributed_vector_{vt_name}"] = _bound(
+            _make_distributed_vector(vt), 3
+        )
         registry[f"batch_jacobi_factory_{vt_name}"] = _bound(
             _make_batch_jacobi(), 2
         )
@@ -277,6 +332,9 @@ def _build_registry() -> dict:
                 )
             registry[f"batch_csr_{vt_name}_{it_name}"] = _bound(
                 _make_batch_csr(vt, it), 3
+            )
+            registry[f"distributed_matrix_{vt_name}_{it_name}"] = _bound(
+                _make_distributed_matrix(vt, it), 3
             )
     for name, func in registry.items():
         if getattr(func, "_is_binding", False):

@@ -8,6 +8,7 @@ primitives, and NumPy/SciPy interoperability.
 """
 
 from repro.core import batch_api as batch
+from repro.core import distributed_api as distributed
 from repro.core import preconditioner_api as preconditioner
 from repro.core import solver_api as solver
 from repro.core.batch_api import BatchSolverHandle
@@ -62,6 +63,7 @@ __all__ = [
     "config_solver",
     "config_to_json",
     "device",
+    "distributed",
     "from_numpy",
     "from_scipy",
     "index_dtype",

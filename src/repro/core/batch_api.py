@@ -84,6 +84,26 @@ class BatchSolverHandle:
         """Per-system stopping record of the last ``apply``."""
         return self._solver.status
 
+    @property
+    def num_iterations(self) -> np.ndarray:
+        """Per-system iteration counts of the last ``apply`` (length K)."""
+        return self._solver.status.num_iterations
+
+    @property
+    def converged(self) -> np.ndarray:
+        """Per-system convergence flags of the last ``apply`` (length K)."""
+        return self._solver.status.converged
+
+    @property
+    def all_converged(self) -> bool:
+        """Whether every system converged in the last ``apply``."""
+        return self._solver.status.all_converged
+
+    @property
+    def final_residual_norm(self) -> np.ndarray:
+        """Per-system final residual norms of the last ``apply``."""
+        return self._solver.status.final_residual_norm
+
     def apply(self, b, x):
         """Solve ``A[k] x[k] = b[k]`` for all systems from the guesses in ``x``."""
         self._solver.apply(_unwrap(b), _unwrap(x))

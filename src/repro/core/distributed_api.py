@@ -1,0 +1,201 @@
+"""The ``pg.distributed`` namespace: simulated multi-rank solves.
+
+Mirrors ``pg.solver`` for row-distributed operators: build a
+:class:`~repro.ginkgo.distributed.partition.Partition`, distribute the
+global matrix and vectors over it, and solve with distributed CG or
+GMRES.  Rank-local kernels run thread-parallel on the OpenMP device;
+every collective charges the simulated clock through the matrix's
+communicator; and the residual history is bitwise identical to the same
+solve on a single rank (see DESIGN.md).
+
+    part = pg.distributed.partition(n, num_ranks=4)
+    A = pg.distributed.matrix(dev, part, scipy_csr)
+    b = pg.distributed.vector(dev, part, rhs, comm=A.comm)
+    x = pg.distributed.zeros_like(b)
+    solver = pg.distributed.cg(dev, A, reduction_factor=1e-10)
+    logger, x = solver.apply(b, x)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import bindings
+from repro.core.types import value_dtype
+from repro.ginkgo.distributed import Partition, sequential_ranks
+from repro.ginkgo.distributed import Vector as _Vector
+from repro.ginkgo.exceptions import GinkgoError
+from repro.ginkgo.log import ConvergenceLogger
+from repro.ginkgo.stop import Iteration, ResidualNorm
+
+__all__ = [
+    "DistributedSolverHandle",
+    "Partition",
+    "cg",
+    "gmres",
+    "matrix",
+    "partition",
+    "sequential_ranks",
+    "vector",
+    "zeros_like",
+]
+
+
+def partition(global_size, num_ranks, weights=None) -> Partition:
+    """Build a row partition over ``num_ranks`` simulated ranks.
+
+    With ``weights`` (per-row work, e.g. nonzeros per row), ranges are
+    cut at equal cumulative weight; otherwise rows split evenly.
+    """
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (int(global_size),):
+            raise GinkgoError(
+                f"weights must have length {int(global_size)}, got shape "
+                f"{weights.shape}"
+            )
+        return Partition.build_from_weights(weights, num_ranks)
+    return Partition.build_uniform(global_size, num_ranks)
+
+
+def _as_partition(part, global_size) -> Partition:
+    if isinstance(part, Partition):
+        return part
+    return Partition.build_uniform(global_size, int(part))
+
+
+def matrix(device, part, scipy_matrix, value_dtype=None, index_dtype=np.int32):
+    """Distribute a global SciPy matrix over ``part`` ranks.
+
+    ``part`` is a :class:`Partition` or a rank count (uniform split).
+    """
+    binding = bindings.resolve(
+        "distributed_matrix",
+        value_dtype or np.float64,
+        index_dtype,
+        exec_=device,
+    )
+    part = _as_partition(part, scipy_matrix.shape[0])
+    return binding(device, part, scipy_matrix)
+
+
+def vector(device, part, data=None, value_dtype=np.float64, comm=None):
+    """Create a distributed vector on ``part`` (zeros when no data).
+
+    Pass ``comm=A.comm`` to charge its reductions on the same
+    communicator as the matrix it will be used with.
+    """
+    binding = bindings.resolve(
+        "distributed_vector", value_dtype, exec_=device
+    )
+    return binding(device, part, data, comm=comm)
+
+
+def zeros_like(operand: _Vector) -> _Vector:
+    """A zero distributed vector with ``operand``'s partition and dtype."""
+    if not isinstance(operand, _Vector):
+        raise GinkgoError(
+            f"expected a distributed Vector, got {type(operand).__name__}"
+        )
+    return _Vector.zeros_like(operand)
+
+
+class DistributedSolverHandle:
+    """A generated distributed solver with pyGinkgo's apply contract.
+
+    ``apply(b, x)`` runs the solve in place on ``x`` (the initial guess)
+    and returns ``(logger, x)`` like the scalar handles; iteration stats
+    are exposed afterwards as :attr:`num_iterations`,
+    :attr:`converged`, and :attr:`final_residual_norm`.
+    """
+
+    def __init__(self, solver) -> None:
+        self._solver = solver
+        self._logger = ConvergenceLogger()
+        solver.add_logger(self._logger)
+
+    @property
+    def solver(self):
+        """The underlying engine solver LinOp."""
+        return self._solver
+
+    @property
+    def size(self):
+        return self._solver.size
+
+    @property
+    def comm(self):
+        """The communicator charged for this solver's reductions."""
+        return self._solver.comm
+
+    @property
+    def num_iterations(self) -> int:
+        """Iterations run by the most recent ``apply`` (0 before any)."""
+        return self._solver.num_iterations
+
+    @property
+    def converged(self) -> bool:
+        """Whether the most recent ``apply`` met its residual criterion."""
+        return self._solver.converged
+
+    @property
+    def final_residual_norm(self) -> float:
+        """Residual norm at the end of the most recent ``apply``."""
+        return self._solver.final_residual_norm
+
+    def apply(self, b, x):
+        """Solve ``A x = b`` starting from the initial guess in ``x``."""
+        for name, operand in (("b", b), ("x", x)):
+            if not isinstance(operand, _Vector):
+                raise GinkgoError(
+                    f"expected a distributed Vector for {name}, got "
+                    f"{type(operand).__name__}"
+                )
+        self._solver.apply(b, x)
+        return self._logger, x
+
+    def __repr__(self) -> str:
+        return f"DistributedSolverHandle({type(self._solver).__name__})"
+
+
+def _build_criteria(max_iters, reduction_factor, criteria):
+    if criteria is not None:
+        return criteria
+    built = Iteration(max_iters)
+    if reduction_factor is not None:
+        built = built | ResidualNorm(reduction_factor, baseline="rhs_norm")
+    return built
+
+
+def _make_solver(
+    name,
+    device,
+    mtx,
+    max_iters=1000,
+    reduction_factor=1e-6,
+    criteria=None,
+    **params,
+) -> DistributedSolverHandle:
+    factory_binding = bindings.resolve(
+        f"{name}_factory",
+        value_dtype(getattr(mtx, "dtype", np.float64)),
+        exec_=device,
+    )
+    factory = factory_binding(
+        device,
+        criteria=_build_criteria(max_iters, reduction_factor, criteria),
+        **params,
+    )
+    return DistributedSolverHandle(factory.generate(mtx))
+
+
+def cg(device, mtx, **kwargs) -> DistributedSolverHandle:
+    """Distributed Conjugate Gradient solver (SPD systems)."""
+    return _make_solver("distributed_cg", device, mtx, **kwargs)
+
+
+def gmres(device, mtx, krylov_dim=30, **kwargs) -> DistributedSolverHandle:
+    """Distributed restarted GMRES solver (single right-hand side)."""
+    return _make_solver(
+        "distributed_gmres", device, mtx, krylov_dim=krylov_dim, **kwargs
+    )

@@ -51,6 +51,21 @@ class SolverHandle:
     def size(self):
         return self._solver.size
 
+    @property
+    def num_iterations(self) -> int:
+        """Iterations run by the most recent ``apply`` (0 before any)."""
+        return self._solver.num_iterations
+
+    @property
+    def converged(self) -> bool:
+        """Whether the most recent ``apply`` met its residual criterion."""
+        return self._solver.converged
+
+    @property
+    def final_residual_norm(self) -> float:
+        """Residual norm at the end of the most recent ``apply``."""
+        return self._solver.final_residual_norm
+
     def apply(self, b, x):
         """Solve ``A x = b`` starting from the initial guess in ``x``."""
         self._solver.apply(_unwrap(b), _unwrap(x))

@@ -174,7 +174,6 @@ class BatchCsr:
         values,
         strategy: str = "load_balance",
     ) -> None:
-        size = Dim.of(size)
         row_ptrs = np.asarray(row_ptrs)
         col_idxs = np.asarray(col_idxs)
         values = np.asarray(values)
@@ -182,6 +181,25 @@ class BatchCsr:
             raise BadDimension(
                 f"batch values must be (num_systems, nnz), got {values.shape}"
             )
+        # Accept the stacked batch size (num_systems, rows, cols) as well
+        # as the per-system (rows, cols); the batch dimension must agree
+        # with the values block.
+        if isinstance(size, (tuple, list)) and len(size) == 3:
+            num_systems, *per_system = (int(v) for v in size)
+            if num_systems != values.shape[0]:
+                raise BadDimension(
+                    f"batch size names {num_systems} systems but values "
+                    f"stack {values.shape[0]}"
+                )
+            size = per_system
+        try:
+            size = Dim.of(size)
+        except BadDimension as exc:
+            raise BadDimension(
+                f"{exc}; BatchCsr takes the per-system size (rows, cols) "
+                f"or the stacked (num_systems, rows, cols), with values "
+                f"shaped (num_systems, nnz)"
+            ) from None
         if row_ptrs.size != size.rows + 1:
             raise BadDimension(
                 f"row_ptrs has {row_ptrs.size} entries for {size.rows} rows"

@@ -60,6 +60,27 @@ class BatchStatus:
             "residual_norms": list(self.residual_norms[k]),
         }
 
+    # A BatchStatus is a sequence of per-system records: len() is the
+    # batch size, status[k] / iteration yield the system(k) dicts.
+    def __len__(self) -> int:
+        return self.num_systems
+
+    def __getitem__(self, k):
+        if isinstance(k, slice):
+            return [self.system(i) for i in range(self.num_systems)[k]]
+        k = int(k)
+        if k < 0:
+            k += self.num_systems
+        if not 0 <= k < self.num_systems:
+            raise IndexError(
+                f"system index {k} out of range for {self.num_systems} "
+                f"systems"
+            )
+        return self.system(k)
+
+    def __iter__(self):
+        return (self.system(k) for k in range(self.num_systems))
+
     def __repr__(self) -> str:
         return (
             f"BatchStatus({self.num_converged}/{self.num_systems} converged, "

@@ -1,0 +1,129 @@
+"""Simulated communicator charging exchanges on the executor clock.
+
+Plays the role MPI plays under ``gko::experimental::distributed``: every
+collective or halo exchange the distributed objects perform goes through
+a :class:`Communicator`, which
+
+* advances the executor's simulated clock by the modeled network time
+  (:mod:`repro.perfmodel.comm`) under the ``comm`` trace category,
+* wraps each exchange in a profiler span so ``pg.profile()`` attributes
+  communication separately from kernels, and
+* counts exchanges and bytes for tests and benchmark reports.
+
+Numerics never flow through here — the simulated ranks share one address
+space, so reductions are evaluated once in global element order (which is
+what pins distributed residual histories bit-identical to single-rank
+solves; see DESIGN.md) and only the *cost* of the exchange is charged.
+With a single rank every operation is free: no communication happens.
+"""
+
+from __future__ import annotations
+
+from repro.ginkgo.exceptions import GinkgoError
+from repro.perfmodel.comm import (
+    DEFAULT_NETWORK,
+    NetworkSpec,
+    allreduce_time,
+    halo_exchange_time,
+)
+
+
+class Communicator:
+    """Charges simulated communication for ``num_ranks`` ranks.
+
+    Args:
+        exec_: Executor whose clock receives the comm charges.
+        num_ranks: Number of simulated ranks.
+        network: Interconnect model (defaults to the intra-node fabric).
+    """
+
+    def __init__(
+        self, exec_, num_ranks: int, network: NetworkSpec = DEFAULT_NETWORK
+    ) -> None:
+        if num_ranks < 1:
+            raise GinkgoError(f"num_ranks must be >= 1, got {num_ranks}")
+        self._exec = exec_
+        self.num_ranks = int(num_ranks)
+        self.network = network
+        #: Number of all_reduce collectives charged.
+        self.num_all_reduces = 0
+        #: Payload bytes moved by all_reduce collectives.
+        self.bytes_all_reduced = 0
+        #: Number of halo exchanges charged.
+        self.num_halo_exchanges = 0
+        #: Payload bytes moved by halo exchanges.
+        self.bytes_halo_exchanged = 0
+
+    @property
+    def executor(self):
+        return self._exec
+
+    def all_reduce(self, nbytes: int, label: str = "all_reduce") -> float:
+        """Charge one all-reduce of an ``nbytes`` payload; returns its time.
+
+        Free (and uncounted) with a single rank, like a real MPI
+        all-reduce over a self-communicator.
+        """
+        if self.num_ranks == 1:
+            return 0.0
+        seconds = allreduce_time(nbytes, self.num_ranks, self.network)
+        clock = self._exec.clock
+        clock.push_span(label, "comm_op", ranks=self.num_ranks)
+        try:
+            clock.advance(
+                seconds,
+                category="comm",
+                label=label,
+                bytes=int(nbytes),
+                ranks=self.num_ranks,
+            )
+        finally:
+            clock.pop_span()
+        self.num_all_reduces += 1
+        self.bytes_all_reduced += int(nbytes)
+        return seconds
+
+    def halo_exchange(
+        self,
+        nbytes: int,
+        num_messages: int,
+        label: str = "halo_exchange",
+    ) -> float:
+        """Charge one halo exchange of ``num_messages`` messages.
+
+        Free (and uncounted) with a single rank or no messages.
+        """
+        if self.num_ranks == 1 or num_messages == 0:
+            return 0.0
+        seconds = halo_exchange_time(nbytes, num_messages, self.network)
+        clock = self._exec.clock
+        clock.push_span(label, "comm_op", ranks=self.num_ranks)
+        try:
+            clock.advance(
+                seconds,
+                category="comm",
+                label=label,
+                bytes=int(nbytes),
+                messages=int(num_messages),
+                ranks=self.num_ranks,
+            )
+        finally:
+            clock.pop_span()
+        self.num_halo_exchanges += 1
+        self.bytes_halo_exchanged += int(nbytes)
+        return seconds
+
+    def reset_counters(self) -> None:
+        """Zero the exchange/byte counters (charged time is not undone)."""
+        self.num_all_reduces = 0
+        self.bytes_all_reduced = 0
+        self.num_halo_exchanges = 0
+        self.bytes_halo_exchanged = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"Communicator(ranks={self.num_ranks}, "
+            f"network={self.network.name}, "
+            f"all_reduces={self.num_all_reduces}, "
+            f"halo_exchanges={self.num_halo_exchanges})"
+        )

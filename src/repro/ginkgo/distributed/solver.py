@@ -1,0 +1,316 @@
+"""Distributed Krylov solvers (CG and GMRES) over simulated ranks.
+
+Each solver mirrors its scalar counterpart *operation for operation*:
+
+* rank-local work (SpMV, fused vector updates, copies) runs through the
+  distributed :class:`~repro.ginkgo.distributed.matrix.Matrix` and
+  rank-partitioned elementwise kernels — thread-parallel on
+  ``OmpExecutor``, elementwise identical to the scalar kernels;
+* every global reduction (dots, norms, the GMRES multi-dot) evaluates in
+  global element order — the same einsum contraction the scalar path
+  uses — while the communicator charges the all-reduce;
+* the iteration *sequence* (order of applies, dots, fused steps, monitor
+  checks) is copied from ``CgSolver._iterate`` and
+  ``GmresSolver._solve_column`` line for line.
+
+Consequence: a distributed solve produces a residual history bitwise
+identical to the scalar solver on the undistributed system, for any rank
+count — the property the distributed benchmark gates on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ginkgo.distributed.matrix import Matrix
+from repro.ginkgo.distributed.vector import Vector
+from repro.ginkgo.exceptions import GinkgoError
+from repro.ginkgo.solver.base import IterativeSolver, SolverFactory
+from repro.ginkgo.solver.cg import _safe_divide
+from repro.ginkgo.solver.gmres import DEFAULT_KRYLOV_DIM
+from repro.ginkgo.solver.kernels import (
+    _bc,
+    gmres_multidot,
+    gmres_update,
+    record_fused,
+)
+from repro.perfmodel import KernelCost
+
+#: Payload bytes of one scalar reduction result (always float64).
+_REDUCE_BYTES = np.dtype(np.float64).itemsize
+
+
+def dist_cg_step_1(p: Vector, z: Vector, beta) -> None:
+    """Fused ``p = z + beta * p``, rank-parallel; matches ``cg_step_1``."""
+    b = _bc(beta, p.dtype)
+    pd, zd = p._data, z._data
+
+    def op(lo, hi):
+        pd[lo:hi] *= b
+        pd[lo:hi] += zd[lo:hi]
+
+    p._rankwise_elementwise("cg_step_1", op, 3)
+
+
+def dist_cg_step_2(x: Vector, r: Vector, p: Vector, q: Vector, alpha) -> None:
+    """Fused ``x += alpha p ; r -= alpha q``; matches ``cg_step_2``."""
+    a = _bc(alpha, x.dtype)
+    xd, rd, pd, qd = x._data, r._data, p._data, q._data
+
+    def op(lo, hi):
+        xd[lo:hi] += a * pd[lo:hi]
+        rd[lo:hi] -= a * qd[lo:hi]
+
+    x._rankwise_elementwise("cg_step_2", op, 6)
+    r.mark_modified()
+
+
+class DistributedIterativeSolver(IterativeSolver):
+    """Base of the distributed solvers: pooled Vectors, shared comm."""
+
+    def __init__(self, factory: SolverFactory, matrix) -> None:
+        if not isinstance(matrix, Matrix):
+            raise GinkgoError(
+                f"{type(self).__name__} requires a distributed Matrix, "
+                f"got {type(matrix).__name__}"
+            )
+        if factory.preconditioner is not None:
+            raise GinkgoError(
+                "distributed solvers currently support only "
+                "preconditioner=None (the implicit Identity); distributed "
+                "preconditioners are not implemented"
+            )
+        super().__init__(factory, matrix)
+        self._vpool: dict[str, Vector] = {}
+
+    @property
+    def partition(self):
+        return self._matrix.partition
+
+    @property
+    def comm(self):
+        return self._matrix.comm
+
+    def _vector(self, name: str, like: Vector, copy: bool = False) -> Vector:
+        """Pooled distributed Vector shaped like ``like``.
+
+        All pooled vectors charge their reductions on the matrix's
+        communicator so a solve's comm counters aggregate in one place.
+        """
+        vec = self._vpool.get(name)
+        if (
+            vec is None
+            or vec.size != like.size
+            or vec.dtype != like.dtype
+            or vec.partition != like.partition
+        ):
+            vec = Vector.zeros(
+                self._exec,
+                like.partition,
+                cols=like.size.cols,
+                dtype=like.dtype,
+                comm=self._matrix.comm,
+            )
+            self._vpool[name] = vec
+        if copy:
+            vec.copy_values_from(like)
+        return vec
+
+    def _check_distributed_operands(self, b, x) -> None:
+        for name, vec in (("b", b), ("x", x)):
+            if not isinstance(vec, Vector):
+                raise GinkgoError(
+                    f"{type(self).__name__} operates on distributed "
+                    f"Vectors; operand {name} is {type(vec).__name__}"
+                )
+            if vec.partition != self._matrix.partition:
+                raise GinkgoError(
+                    f"operand {name} uses a different partition than the "
+                    f"system matrix"
+                )
+
+    def _apply_impl(self, b: Vector, x: Vector) -> None:
+        self._check_distributed_operands(b, x)
+        super()._apply_impl(b, x)
+
+    def _initial_residual_buffer(self, b: Vector) -> Vector:
+        return self._vector("base.r0", b, copy=True)
+
+    def _apply_advanced_impl(self, alpha, b, beta, x) -> None:
+        tmp = self._vector("base.advanced_tmp", x, copy=True)
+        self._apply_impl(b, tmp)
+        x.scale(beta)
+        x.add_scaled(alpha, tmp)
+
+
+class DistributedCgSolver(DistributedIterativeSolver):
+    """Distributed CG; iteration sequence copied from ``CgSolver``."""
+
+    def _iterate(self, A, M, b, x, r, monitor) -> None:
+        z = self._vector("cg.z", r)
+        M.apply(r, z)
+        p = self._vector("cg.p", z, copy=True)
+        q = self._vector("cg.q", r)
+        rz = r.compute_dot(z)
+
+        iteration = 0
+        while True:
+            iteration += 1
+            A.apply(p, q)
+            pq = p.compute_dot(q)
+            alpha = _safe_divide(rz, pq)
+            dist_cg_step_2(x, r, p, q, alpha)
+            res_norm = r.compute_norm2()
+            if monitor(iteration, res_norm):
+                return
+            M.apply(r, z)
+            rz_new = r.compute_dot(z)
+            beta = _safe_divide(rz_new, rz)
+            dist_cg_step_1(p, z, beta)
+            rz = rz_new
+
+
+class DistributedGmresSolver(DistributedIterativeSolver):
+    """Distributed restarted GMRES (single right-hand side).
+
+    The Krylov basis and Hessenberg matrix are replicated host-side (as
+    in the scalar solver's workspace arrays); basis updates run through
+    the same fused kernels, and the three per-iteration reductions (the
+    restart norm, the multi-dot, and the candidate norm) each charge one
+    all-reduce.
+    """
+
+    def _iterate(self, A, M, b, x, r0, monitor) -> None:
+        krylov_dim = int(
+            self._factory.params.get("krylov_dim", DEFAULT_KRYLOV_DIM)
+        )
+        if krylov_dim < 1:
+            raise GinkgoError(f"krylov_dim must be >= 1, got {krylov_dim}")
+        if b.size.cols != 1:
+            raise GinkgoError(
+                "distributed GMRES supports a single right-hand side, "
+                f"got {b.size.cols} columns"
+            )
+        exec_ = self._exec
+        comm = self._matrix.comm
+        ws = self._workspace
+        n = b.size.rows
+        m = krylov_dim
+        total_iteration = 0
+        w = self._vector("gmres.w", b)
+        r = self._vector("gmres.r", b)
+
+        while True:
+            # Preconditioned residual r = M^{-1}(b - A x).
+            w.copy_values_from(b)
+            A.apply_advanced(-1.0, x, 1.0, w)
+            M.apply(w, r)
+            beta = float(r.compute_norm2()[0])
+            if beta == 0.0:
+                monitor(total_iteration, 0.0)
+                return
+            basis = ws.array("gmres.basis", (n, m + 1))
+            basis[:, 0] = r._data[:, 0] / beta
+            record_fused(exec_, "gmres_init", n, b.value_bytes, 2)
+            hessenberg = ws.array("gmres.hessenberg", (m + 1, m))
+            givens_cos = ws.array("gmres.givens_cos", m)
+            givens_sin = ws.array("gmres.givens_sin", m)
+            g = ws.array("gmres.g", m + 1)
+            g[0] = beta
+
+            inner = 0
+            stopped = False
+            for j in range(m):
+                # w = M^{-1} A v_j
+                w._data[:, 0] = basis[:, j]
+                A.apply(w, r)
+                M.apply(r, w)
+                # Fused multi-dot: locally a single einsum contraction in
+                # global element order, globally one all-reduce of the
+                # j+1 coefficients.
+                coeffs = gmres_multidot(basis, w, j + 1)
+                comm.all_reduce(
+                    (j + 1) * _REDUCE_BYTES, label="all_reduce_multidot"
+                )
+                hessenberg[: j + 1, j] = coeffs
+                gmres_update(basis, w, coeffs, j + 1)
+                h_next = float(w.compute_norm2()[0])
+                hessenberg[j + 1, j] = h_next
+                if h_next != 0.0:
+                    basis[:, j + 1] = w._data[:, 0] / h_next
+                    record_fused(exec_, "gmres_scale", n, b.value_bytes, 2)
+                for i in range(j):
+                    hi, hi1 = hessenberg[i, j], hessenberg[i + 1, j]
+                    hessenberg[i, j] = (
+                        givens_cos[i] * hi + givens_sin[i] * hi1
+                    )
+                    hessenberg[i + 1, j] = (
+                        -givens_sin[i] * hi + givens_cos[i] * hi1
+                    )
+                denom = np.hypot(hessenberg[j, j], hessenberg[j + 1, j])
+                if denom == 0.0:
+                    givens_cos[j], givens_sin[j] = 1.0, 0.0
+                else:
+                    givens_cos[j] = hessenberg[j, j] / denom
+                    givens_sin[j] = hessenberg[j + 1, j] / denom
+                hessenberg[j, j] = denom
+                hessenberg[j + 1, j] = 0.0
+                g[j + 1] = -givens_sin[j] * g[j]
+                g[j] = givens_cos[j] * g[j]
+                # The Givens updates run redundantly on every rank (they
+                # are O(m) host work), so no communication is charged.
+                exec_.run(
+                    KernelCost(
+                        "givens_update", 6.0 * m, 24.0 * m, launches=3
+                    )
+                )
+
+                residual_norm = abs(g[j + 1])
+                inner = j + 1
+                total_iteration += 1
+                exec_.run(
+                    KernelCost("residual_check", 0.0, 64.0, launches=4)
+                )
+                stopped = monitor(total_iteration, residual_norm)
+                if stopped or h_next == 0.0:
+                    break
+
+            y = ws.array("gmres.y", inner)
+            for i in range(inner - 1, -1, -1):
+                y[i] = (
+                    g[i] - hessenberg[i, i + 1 : inner] @ y[i + 1 : inner]
+                ) / hessenberg[i, i]
+            exec_.run(
+                KernelCost(
+                    "hessenberg_trsv",
+                    flops=float(inner * inner),
+                    bytes=8.0 * inner * inner,
+                    launches=max(inner, 1),
+                )
+            )
+            x._data[:, 0] += basis[:, :inner] @ y
+            x.mark_modified()
+            record_fused(
+                exec_, "gmres_x_update", n * inner, b.value_bytes, 2
+            )
+            if stopped:
+                return
+            # Otherwise: restart.
+
+
+class DistributedCg(SolverFactory):
+    """Distributed CG factory: ``DistributedCg(exec, criteria=...)``."""
+
+    solver_class = DistributedCgSolver
+    parameter_names = ()
+
+
+class DistributedGmres(SolverFactory):
+    """Distributed GMRES factory.
+
+    Parameters:
+        krylov_dim: Restart length (default 30, as in the scalar solver).
+    """
+
+    solver_class = DistributedGmresSolver
+    parameter_names = ("krylov_dim",)

@@ -229,6 +229,42 @@ def write_mtx(path_or_file, matrix, symmetry: str = "general", comment: str = ""
             _write(handle)
 
 
-def read_mtx_string(text: str) -> sp.coo_matrix:
-    """Read MatrixMarket content from a string."""
-    return _read_stream(io.StringIO(text))
+def read_mtx_string(
+    text: str,
+    exec_=None,
+    format: str = "csr",
+    value_dtype=np.float64,
+    index_dtype=np.int32,
+):
+    """Read MatrixMarket content from a string.
+
+    Without an executor this returns the raw ``scipy.sparse.coo_matrix``
+    (the historical behaviour).  With ``exec_`` the matrix is placed on
+    that executor as an engine LinOp:
+
+    Args:
+        text: MatrixMarket content (any supported field/symmetry,
+            including ``pattern`` and ``integer``).
+        exec_: Optional executor to place the matrix on.
+        format: Target format when ``exec_`` is given: ``"csr"`` or
+            ``"coo"``.
+        value_dtype: Value type of the created LinOp.
+        index_dtype: Index type of the created LinOp.
+    """
+    coo = _read_stream(io.StringIO(text))
+    if exec_ is None:
+        return coo
+    # Imported lazily: the matrix formats import this module for their
+    # read bindings.
+    from repro.ginkgo.matrix import Coo, Csr
+
+    formats = {"csr": Csr, "coo": Coo}
+    key = str(format).lower()
+    if key not in formats:
+        raise MtxError(
+            f"unsupported target format {format!r}; supported: "
+            f"{sorted(formats)}"
+        )
+    return formats[key].from_scipy(
+        exec_, coo, value_dtype=value_dtype, index_dtype=index_dtype
+    )

@@ -172,7 +172,7 @@ class IterativeSolver(LinOp):
             start_time=self._exec.clock.now,
         )
         # Initial residual r0 = b - A x0 (pooled; charges like b.clone()).
-        r = self._workspace.dense_like("base.r0", b)
+        r = self._initial_residual_buffer(b)
         self._matrix.apply_advanced(-1.0, x, 1.0, r)
         context.initial_resnorm = r.compute_norm2()
         criterion = self._factory.criteria.generate(context)
@@ -237,6 +237,14 @@ class IterativeSolver(LinOp):
         if monitor(0, context.initial_resnorm):
             return
         self._iterate(self._matrix, self._preconditioner, b, x, r, monitor)
+
+    def _initial_residual_buffer(self, b):
+        """Pooled buffer initialised to a copy of ``b``.
+
+        Hook for subclasses whose vectors are not plain ``Dense`` (the
+        distributed solvers return a pooled distributed Vector here).
+        """
+        return self._workspace.dense_like("base.r0", b)
 
     def _apply_advanced_impl(self, alpha, b, beta, x) -> None:
         tmp = self._workspace.dense_like("base.advanced_tmp", x)

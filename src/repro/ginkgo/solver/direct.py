@@ -26,6 +26,12 @@ class DirectSolver(LinOp):
             )
         super().__init__(matrix.executor, matrix.size)
         self._matrix = matrix
+        # Direct solves are one-shot, but the handle API exposes the same
+        # post-apply stats as the iterative solvers.
+        self.num_iterations = 0
+        self.converged = False
+        self.breakdown = False
+        self.final_residual_norm = float("nan")
         csc = matrix._scipy_view().tocsc().astype(np.float64)
         self._lu = splu(csc)
         fill_nnz = self._lu.L.nnz + self._lu.U.nnz
@@ -65,6 +71,7 @@ class DirectSolver(LinOp):
 
     def _apply_impl(self, b: Dense, x: Dense) -> None:
         np.copyto(x._data, self._solve(b._data).astype(x.dtype, copy=False))
+        self.converged = True
 
     def _apply_advanced_impl(self, alpha, b: Dense, beta, x: Dense) -> None:
         a = _scalar_value(alpha)

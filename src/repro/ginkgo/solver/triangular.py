@@ -31,6 +31,12 @@ class _TrsSolver(LinOp):
             )
         super().__init__(matrix.executor, matrix.size)
         self._matrix = matrix
+        # Substitution is one-shot, but the handle API exposes the same
+        # post-apply stats as the iterative solvers.
+        self.num_iterations = 0
+        self.converged = False
+        self.breakdown = False
+        self.final_residual_norm = float("nan")
         self._unit_diagonal = bool(factory.params.get("unit_diagonal", False))
         tri = sp.csr_matrix(matrix._scipy_view(), dtype=np.float64)
         if self._unit_diagonal:
@@ -66,6 +72,7 @@ class _TrsSolver(LinOp):
         )
         np.copyto(x._data, result.astype(x.dtype, copy=False))
         self._record()
+        self.converged = True
 
     def _apply_advanced_impl(self, alpha, b: Dense, beta, x: Dense) -> None:
         a = _scalar_value(alpha)

@@ -26,6 +26,15 @@ binding overhead amortises to <10% above 1e7 nonzeros, ...) are covered by
 """
 
 from repro.perfmodel.clock import KernelEvent, SimClock
+from repro.perfmodel.comm import (
+    DEFAULT_NETWORK,
+    INFINIBAND_HDR,
+    INTRA_NODE,
+    NetworkSpec,
+    allreduce_time,
+    halo_exchange_time,
+    p2p_time,
+)
 from repro.perfmodel.kernels import (
     KernelCost,
     blas1_cost,
@@ -58,25 +67,32 @@ __all__ = [
     "AMD_MI100",
     "AttributionTable",
     "BindingOverheadModel",
+    "DEFAULT_NETWORK",
     "DEVICE_SPECS",
     "DeviceSpec",
     "GENERIC_HOST",
+    "INFINIBAND_HDR",
     "INTEL_XEON_8368",
+    "INTRA_NODE",
     "KernelCost",
     "KernelEvent",
     "LIBRARY_PROFILES",
     "LibraryProfile",
     "NVIDIA_A100",
+    "NetworkSpec",
     "NoiseModel",
     "SimClock",
     "Span",
     "Trace",
+    "allreduce_time",
     "blas1_cost",
     "conversion_cost",
     "dot_cost",
     "factorization_cost",
     "get_device_spec",
     "get_library_profile",
+    "halo_exchange_time",
+    "p2p_time",
     "spmv_cost",
     "thread_scaling",
     "trsv_cost",

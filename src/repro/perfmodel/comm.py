@@ -1,0 +1,102 @@
+"""Simulated network model for the distributed subsystem.
+
+Ginkgo's ``gko::experimental::distributed`` module runs on MPI; this
+reproduction simulates the communication layer the same way it simulates
+device kernels: numerics are computed for real (in one address space),
+while every exchange charges a modeled latency/bandwidth cost on the
+executor's :class:`~repro.perfmodel.clock.SimClock` under the ``comm``
+category.
+
+The model is the classic alpha-beta (Hockney) one:
+
+    time(message) = alpha + nbytes / beta
+
+with an intra-node interconnect as the default (the environment has no
+real network, just as it has no real A100).  Collectives follow the
+standard tree/butterfly schedules:
+
+* ``all_reduce`` — ``ceil(log2 K)`` rounds of a (latency + payload) step,
+  the recursive-doubling schedule MPI implementations use for the small
+  payloads Krylov dot products produce;
+* halo exchanges — per-neighbour point-to-point messages whose payloads
+  overlap, so the cost is one latency per message plus the aggregate
+  payload over the link bandwidth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Latency/bandwidth description of the simulated interconnect.
+
+    Attributes:
+        name: Human-readable interconnect name.
+        latency: Per-message one-way latency in seconds (alpha).
+        bandwidth: Link bandwidth in bytes/second (beta).
+    """
+
+    name: str
+    latency: float
+    bandwidth: float
+
+    def message_time(self, nbytes: float) -> float:
+        """Alpha-beta time of one point-to-point message."""
+        return self.latency + float(nbytes) / self.bandwidth
+
+
+#: Shared-memory transport between ranks on one node (the default: the
+#: simulated ranks are thread-parallel partitions of one address space).
+INTRA_NODE = NetworkSpec(name="intra_node", latency=0.4e-6, bandwidth=40e9)
+
+#: 100 Gb/s-class fabric between nodes (for what-if experiments).
+INFINIBAND_HDR = NetworkSpec(name="infiniband_hdr", latency=1.2e-6, bandwidth=12.5e9)
+
+#: Network used when callers do not pass one explicitly.
+DEFAULT_NETWORK = INTRA_NODE
+
+
+def p2p_time(nbytes: float, network: NetworkSpec = DEFAULT_NETWORK) -> float:
+    """Time of one point-to-point message of ``nbytes``."""
+    if nbytes < 0:
+        raise ValueError(f"message size must be non-negative, got {nbytes}")
+    return network.message_time(nbytes)
+
+
+def allreduce_time(
+    nbytes: float, num_ranks: int, network: NetworkSpec = DEFAULT_NETWORK
+) -> float:
+    """Time of one all-reduce of an ``nbytes`` payload over ``num_ranks``.
+
+    Recursive doubling: ``ceil(log2 K)`` rounds, each moving the full
+    (small) payload.  Zero for a single rank — no communication happens.
+    """
+    if nbytes < 0:
+        raise ValueError(f"payload size must be non-negative, got {nbytes}")
+    if num_ranks < 1:
+        raise ValueError(f"num_ranks must be >= 1, got {num_ranks}")
+    if num_ranks == 1:
+        return 0.0
+    rounds = math.ceil(math.log2(num_ranks))
+    return rounds * network.message_time(nbytes)
+
+
+def halo_exchange_time(
+    nbytes: float, num_messages: int, network: NetworkSpec = DEFAULT_NETWORK
+) -> float:
+    """Time of one halo exchange: ``num_messages`` concurrent messages.
+
+    Neighbour exchanges overlap on the fabric, so the model charges one
+    latency per message (they are issued back to back from the host) plus
+    the aggregate payload once through the link bandwidth.
+    """
+    if nbytes < 0:
+        raise ValueError(f"payload size must be non-negative, got {nbytes}")
+    if num_messages < 0:
+        raise ValueError(f"num_messages must be >= 0, got {num_messages}")
+    if num_messages == 0:
+        return 0.0
+    return num_messages * network.latency + float(nbytes) / network.bandwidth

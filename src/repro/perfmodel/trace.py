@@ -24,17 +24,19 @@ import json
 from dataclasses import dataclass, field
 
 #: Leaf categories counted as attributable time.
-LEAF_CATEGORIES = ("kernel", "binding", "stall", "transfer", "host")
+LEAF_CATEGORIES = ("kernel", "binding", "stall", "transfer", "host", "comm")
 
 #: Fine-grained category -> coarse attribution bucket.  Anything that is
 #: neither kernel work nor a binding crossing counts as stall time
-#: (synchronisation, transfers, backoff, miscellaneous host overhead).
+#: (synchronisation, transfers, communication, backoff, miscellaneous
+#: host overhead).
 BUCKET_OF = {
     "kernel": "kernel",
     "binding": "binding",
     "stall": "stall",
     "transfer": "stall",
     "host": "stall",
+    "comm": "stall",
 }
 
 

@@ -416,3 +416,94 @@ class TestBindings:
             resid = mats[k] @ x.data[k] - bs[k]
             assert np.linalg.norm(resid) <= 1e-9 * np.linalg.norm(bs[k]) * 1.01
             assert loggers[k].residual_norms == solver.status.residual_norms[k]
+
+
+class TestBatchStatusSequence:
+    """BatchStatus behaves as a sequence of per-system records."""
+
+    def _solved_status(self, ref, rng, K=5):
+        mats, bs = make_batch(rng, K=K)
+        mat = BatchCsr.from_scipy_list(ref, mats)
+        solver = BatchCg(ref, criteria=crit()).generate(mat)
+        b = BatchDense.from_dense_list(ref, bs)
+        x = BatchDense.zeros(ref, K, (mats[0].shape[0], 1), np.float64)
+        solver.apply(b, x)
+        return solver.status
+
+    def test_len_and_indexing(self, ref, rng):
+        status = self._solved_status(ref, rng, K=5)
+        assert len(status) == 5
+        assert status[0] == status.system(0)
+        assert status[-1] == status.system(4)
+        assert status[1]["converged"]
+        assert status[1]["num_iterations"] > 0
+
+    def test_iteration_and_slicing(self, ref, rng):
+        status = self._solved_status(ref, rng, K=5)
+        records = list(status)
+        assert len(records) == 5
+        assert records == [status.system(k) for k in range(5)]
+        assert status[1:3] == [status.system(1), status.system(2)]
+        assert status[::-1][0] == status.system(4)
+
+    def test_out_of_range(self, ref, rng):
+        status = self._solved_status(ref, rng, K=3)
+        with pytest.raises(IndexError):
+            status[3]
+        with pytest.raises(IndexError):
+            status[-4]
+
+
+class TestBatchCsrStackedSize:
+    """BatchCsr accepts the stacked (K, rows, cols) size tuple."""
+
+    def _pattern(self, rng, n=12, K=4):
+        base = sp.random(
+            n, n, density=0.3, random_state=rng, format="csr"
+        ) + sp.eye(n)
+        base = base.tocsr()
+        base.sort_indices()
+        values = np.stack([base.data * (k + 1.0) for k in range(K)])
+        return base, values
+
+    def test_stacked_size_equals_per_system_size(self, ref, rng):
+        base, values = self._pattern(rng)
+        a = BatchCsr(ref, (12, 12), base.indptr, base.indices, values)
+        b = BatchCsr(ref, (4, 12, 12), base.indptr, base.indices, values)
+        assert a.size == b.size
+        assert a.num_systems == b.num_systems == 4
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_stacked_size_mismatched_batch_dim(self, ref, rng):
+        base, values = self._pattern(rng)  # 4 systems
+        with pytest.raises(BadDimension, match="names 3 systems"):
+            BatchCsr(ref, (3, 12, 12), base.indptr, base.indices, values)
+
+    def test_malformed_size_mentions_both_conventions(self, ref, rng):
+        base, values = self._pattern(rng)
+        with pytest.raises(BadDimension, match="stacked"):
+            BatchCsr(
+                ref, (12, 12, 12, 12), base.indptr, base.indices, values
+            )
+
+
+class TestBatchHandleStats:
+    """pg.batch solver handles expose post-apply solve statistics."""
+
+    def test_handle_stats_after_apply(self, rng):
+        import repro as pg
+
+        dev = pg.device("reference", noisy=False)
+        mats, bs = make_batch(rng, K=4)
+        A = pg.batch.matrices(dev, mats)
+        b = pg.batch.vectors(dev, bs)
+        x = pg.batch.zeros_like(b)
+        solver = pg.batch.cg(dev, A, max_iters=200, reduction_factor=1e-9)
+        solver.apply(b, x)
+        assert solver.all_converged
+        assert solver.converged.all()
+        assert (solver.num_iterations > 0).all()
+        assert (solver.final_residual_norm < 1e-6).all()
+        np.testing.assert_array_equal(
+            solver.num_iterations, solver.status.num_iterations
+        )

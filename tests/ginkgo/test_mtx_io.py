@@ -246,3 +246,77 @@ class TestWrite:
         lines = buf.getvalue().splitlines()
         assert lines[1] == "% line one"
         assert lines[2] == "% line two"
+
+
+class TestExecutorAwareRead:
+    """read_mtx_string places the matrix on an executor when given one."""
+
+    TEXT = (
+        "%%MatrixMarket matrix coordinate real general\n"
+        "3 3 4\n"
+        "1 1 2.0\n"
+        "2 2 3.0\n"
+        "3 3 4.0\n"
+        "3 1 -1.0\n"
+    )
+
+    def test_returns_raw_coo_without_executor(self):
+        coo = read_mtx_string(self.TEXT)
+        assert sp.issparse(coo)
+        assert coo.format == "coo"
+
+    def test_returns_csr_linop_on_executor(self, ref):
+        mat = read_mtx_string(self.TEXT, exec_=ref)
+        assert isinstance(mat, Csr)
+        assert mat.executor is ref
+        assert mat.size.rows == 3
+        expected = read_mtx_string(self.TEXT).toarray()
+        np.testing.assert_array_equal(mat.to_scipy().toarray(), expected)
+
+    def test_returns_coo_linop_and_dtypes(self, ref):
+        from repro.ginkgo.matrix import Coo
+
+        mat = read_mtx_string(
+            self.TEXT,
+            exec_=ref,
+            format="coo",
+            value_dtype=np.float32,
+            index_dtype=np.int64,
+        )
+        assert isinstance(mat, Coo)
+        assert mat.dtype == np.float32
+        assert mat.index_dtype == np.int64
+
+    def test_pattern_symmetric_header(self, ref):
+        text = (
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "3 3 3\n"
+            "1 1\n"
+            "2 1\n"
+            "3 2\n"
+        )
+        mat = read_mtx_string(text, exec_=ref)
+        assert isinstance(mat, Csr)
+        dense = mat.to_scipy().toarray()
+        expected = np.array(
+            [[1.0, 1.0, 0.0], [1.0, 0.0, 1.0], [0.0, 1.0, 0.0]]
+        )
+        np.testing.assert_array_equal(dense, expected)
+
+    def test_integer_field_header(self, ref):
+        text = (
+            "%%MatrixMarket matrix coordinate integer general\n"
+            "2 2 3\n"
+            "1 1 5\n"
+            "2 2 -7\n"
+            "2 1 3\n"
+        )
+        mat = read_mtx_string(text, exec_=ref)
+        dense = mat.to_scipy().toarray()
+        np.testing.assert_array_equal(
+            dense, np.array([[5.0, 0.0], [3.0, -7.0]])
+        )
+
+    def test_unknown_target_format(self, ref):
+        with pytest.raises(MtxError, match="unsupported target format"):
+            read_mtx_string(self.TEXT, exec_=ref, format="ell")

@@ -1,0 +1,204 @@
+"""Degenerate stopping cases: zero RHS, exact initial guess, odd layouts.
+
+A zero right-hand side makes the relative-residual baseline zero; the
+criterion clamps it to 1.0 so the check is well defined and the solver
+stops at iteration 0 instead of dividing by zero.  An exact initial guess
+gives a zero initial residual with a nonzero baseline — also iteration 0.
+Every solver (scalar and batched) must handle both without breakdown.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.ginkgo.batch import (
+    BatchBicgstab,
+    BatchCg,
+    BatchCsr,
+    BatchDense,
+    BatchGmres,
+)
+from repro.ginkgo.log import ConvergenceLogger
+from repro.ginkgo.matrix import Csr, Dense
+from repro.ginkgo.solver import (
+    Bicg,
+    Bicgstab,
+    CbGmres,
+    Cg,
+    Cgs,
+    Fcg,
+    Gmres,
+    Idr,
+    Ir,
+    Minres,
+)
+from repro.ginkgo.stop import Iteration, ResidualNorm
+
+SCALAR_SOLVERS = {
+    "cg": Cg,
+    "fcg": Fcg,
+    "cgs": Cgs,
+    "bicg": Bicg,
+    "bicgstab": Bicgstab,
+    "gmres": Gmres,
+    "cb_gmres": CbGmres,
+    "idr": Idr,
+    "minres": Minres,
+    "ir": Ir,
+}
+
+BATCH_SOLVERS = {
+    "batch_cg": BatchCg,
+    "batch_bicgstab": BatchBicgstab,
+    "batch_gmres": BatchGmres,
+}
+
+
+def crit():
+    return Iteration(100) | ResidualNorm(1e-9, baseline="rhs_norm")
+
+
+def spd(n=24):
+    return sp.diags(
+        [-np.ones(n - 1), 4.0 * np.ones(n), -np.ones(n - 1)], [-1, 0, 1]
+    ).tocsr()
+
+
+@pytest.mark.parametrize("name", sorted(SCALAR_SOLVERS), ids=str)
+class TestScalarStopping:
+    def test_zero_rhs_stops_at_iteration_zero(self, ref, name):
+        mat = Csr.from_scipy(ref, spd())
+        solver = SCALAR_SOLVERS[name](ref, criteria=crit()).generate(mat)
+        b = Dense(ref, np.zeros((24, 1)))
+        x = Dense(ref, np.zeros((24, 1)))
+        solver.apply(b, x)
+        assert solver.converged
+        assert not solver.breakdown
+        assert solver.num_iterations == 0
+        assert solver.final_residual_norm == 0.0
+        assert (x._data == 0.0).all()
+
+    def test_exact_initial_guess_stops_at_iteration_zero(self, ref, rng, name):
+        mat = spd()
+        exact = rng.standard_normal((24, 1))
+        b = mat @ exact
+        solver = SCALAR_SOLVERS[name](
+            ref, criteria=crit()
+        ).generate(Csr.from_scipy(ref, mat))
+        x = Dense(ref, exact.copy())
+        logger = ConvergenceLogger()
+        solver.add_logger(logger)
+        solver.apply(Dense(ref, b), x)
+        assert solver.converged
+        assert solver.num_iterations == 0
+        # Iteration 0 is the only logged residual, and the guess survives
+        # untouched.
+        assert len(logger.residual_norms) == 1
+        np.testing.assert_array_equal(x._data, exact)
+
+
+@pytest.mark.parametrize("name", sorted(BATCH_SOLVERS), ids=str)
+class TestBatchStopping:
+    def test_zero_rhs_converges_every_system(self, ref, name):
+        n, K = 16, 4
+        mat = BatchCsr.from_scipy_list(ref, [spd(n) for _ in range(K)])
+        solver = BATCH_SOLVERS[name](ref, criteria=crit()).generate(mat)
+        b = BatchDense.zeros(ref, K, (n, 1), np.float64)
+        x = BatchDense.zeros(ref, K, (n, 1), np.float64)
+        solver.apply(b, x)
+        status = solver.status
+        assert status.all_converged
+        assert (status.num_iterations == 0).all()
+        assert (x._data == 0.0).all()
+
+    def test_exact_initial_guess_converges_every_system(self, ref, rng, name):
+        n, K = 16, 4
+        mats = [spd(n) for _ in range(K)]
+        mat = BatchCsr.from_scipy_list(ref, mats)
+        exact = [rng.standard_normal((n, 1)) for _ in range(K)]
+        b = BatchDense.from_dense_list(
+            ref, [m @ e for m, e in zip(mats, exact)]
+        )
+        solver = BATCH_SOLVERS[name](ref, criteria=crit()).generate(mat)
+        x = BatchDense.from_dense_list(ref, exact)
+        solver.apply(b, x)
+        status = solver.status
+        assert status.all_converged
+        assert (status.num_iterations == 0).all()
+        np.testing.assert_array_equal(x._data, np.stack(exact))
+
+    def test_mixed_trivial_and_real_systems(self, ref, rng, name):
+        # System 0 has a zero RHS, the rest need real work; the masked
+        # stopping logic must retire system 0 at iteration 0 only.
+        n, K = 16, 3
+        mats = [spd(n) for _ in range(K)]
+        mat = BatchCsr.from_scipy_list(ref, mats)
+        rhs = [np.zeros((n, 1))] + [
+            rng.standard_normal((n, 1)) for _ in range(K - 1)
+        ]
+        solver = BATCH_SOLVERS[name](ref, criteria=crit()).generate(mat)
+        x = BatchDense.zeros(ref, K, (n, 1), np.float64)
+        solver.apply(BatchDense.from_dense_list(ref, rhs), x)
+        status = solver.status
+        assert status.all_converged
+        assert status.num_iterations[0] == 0
+        assert (status.num_iterations[1:] > 0).all()
+
+
+class TestArrayLayouts:
+    """Fortran-order and non-contiguous inputs must behave like C-order."""
+
+    def test_fortran_order_dense_matches_c_order(self, ref, rng):
+        arr = rng.standard_normal((20, 3))
+        c = Dense(ref, arr)
+        f = Dense(ref, np.asfortranarray(arr))
+        assert f._data.flags["C_CONTIGUOUS"]
+        assert f._data.tobytes() == c._data.tobytes()
+
+    def test_noncontiguous_dense_matches_contiguous(self, ref, rng):
+        arr = rng.standard_normal((40, 6))
+        sliced = arr[::2, ::2]
+        assert not sliced.flags["C_CONTIGUOUS"]
+        d = Dense(ref, sliced)
+        assert d._data.flags["C_CONTIGUOUS"]
+        assert d._data.tobytes() == np.ascontiguousarray(sliced).tobytes()
+
+    def test_solve_with_fortran_order_rhs(self, ref, rng):
+        mat = spd()
+        exact = rng.standard_normal((24, 1))
+        b = mat @ exact
+
+        def solve(rhs_arr, guess_arr):
+            solver = Cg(ref, criteria=crit()).generate(
+                Csr.from_scipy(ref, mat)
+            )
+            x = Dense(ref, guess_arr)
+            solver.apply(Dense(ref, rhs_arr), x)
+            return solver, x._data.copy()
+
+        s_c, x_c = solve(b, np.zeros((24, 1)))
+        s_f, x_f = solve(
+            np.asfortranarray(b), np.asfortranarray(np.zeros((24, 1)))
+        )
+        assert s_f.num_iterations == s_c.num_iterations
+        assert x_f.tobytes() == x_c.tobytes()
+
+    def test_solve_with_strided_rhs(self, ref, rng):
+        mat = spd()
+        wide = rng.standard_normal((24, 4))
+        strided = wide[:, ::3]  # (24, 2) with a column stride
+        assert not strided.flags["C_CONTIGUOUS"]
+
+        solver = Cg(ref, criteria=crit()).generate(Csr.from_scipy(ref, mat))
+        x = Dense(ref, np.zeros((24, 2)))
+        solver.apply(Dense(ref, strided), x)
+        assert solver.converged
+
+        reference = Cg(ref, criteria=crit()).generate(
+            Csr.from_scipy(ref, mat)
+        )
+        xr = Dense(ref, np.zeros((24, 2)))
+        reference.apply(Dense(ref, np.ascontiguousarray(strided)), xr)
+        assert x._data.tobytes() == xr._data.tobytes()
