@@ -3,10 +3,11 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: verify unit profile-smoke perf-smoke test bench bench-report
+.PHONY: verify unit profile-smoke perf-smoke chaos-smoke test bench bench-report
 
-# Tier-1 gate: the full test suite plus the profiler and perf smoke checks.
-verify: unit profile-smoke perf-smoke
+# Tier-1 gate: the full test suite plus the profiler, perf, and chaos
+# smoke checks.
+verify: unit profile-smoke perf-smoke chaos-smoke
 
 # The full unit/integration/property suite, fail-fast.
 unit:
@@ -28,6 +29,14 @@ perf-smoke:
 	$(PYTHON) benchmarks/bench_hot_path.py --smoke
 	$(PYTHON) benchmarks/bench_batch.py --smoke
 	$(PYTHON) benchmarks/bench_distributed.py --smoke
+
+# Chaos acceptance: the seeded fault-schedule suite, then the recovery
+# sweep — every injectable site across scalar/batch/distributed solves
+# must recover bit-identically or report a truthful degraded outcome,
+# with recovered distributed solves within 2x fault-free simulated time.
+chaos-smoke:
+	$(PYTHON) -m pytest -x -q tests/ginkgo/test_chaos.py
+	$(PYTHON) benchmarks/bench_chaos.py --smoke
 
 test: verify
 

@@ -30,9 +30,12 @@ from repro.core.rayleigh_ritz import (
     rayleigh_ritz_eigensolver,
 )
 from repro.core.resilient import (
+    BatchResilienceReport,
+    CircuitBreaker,
     FallbackChain,
     ResilienceReport,
     RetryPolicy,
+    resilient_batch_solve,
     resilient_solve,
 )
 from repro.core.solve import (
@@ -46,7 +49,9 @@ from repro.core.tensor import Tensor, array, as_tensor
 from repro.core.types import TABLE1, index_dtype, value_dtype
 
 __all__ = [
+    "BatchResilienceReport",
     "BatchSolverHandle",
+    "CircuitBreaker",
     "FallbackChain",
     "ResilienceReport",
     "RetryPolicy",
@@ -76,6 +81,7 @@ __all__ = [
     "rayleigh_ritz",
     "rayleigh_ritz_eigensolver",
     "read",
+    "resilient_batch_solve",
     "resilient_solve",
     "shares_memory",
     "solve",

@@ -30,6 +30,7 @@ from repro.core.solver_api import _unwrap
 from repro.core.tensor import Tensor
 from repro.ginkgo.exceptions import (
     AllocationError,
+    CommunicationError,
     CudaError,
     GinkgoError,
     ResilienceExhausted,
@@ -38,9 +39,17 @@ from repro.ginkgo.exceptions import (
 from repro.ginkgo.executor import PCIE_BANDWIDTH, PCIE_LATENCY, Executor
 from repro.ginkgo.log import CheckpointLogger, ConvergenceLogger, Logger
 from repro.ginkgo.matrix.dense import Dense
+from repro.ginkgo.stop import Deadline
 
 #: Exceptions the retry layer treats as transient by default.
-TRANSIENT_ERRORS = (CudaError, AllocationError, SolverBreakdown)
+#: CommunicationError covers distributed failures (dropped exchanges,
+#: rank failures) that escape the solvers' own checkpoint/replay budget.
+TRANSIENT_ERRORS = (
+    CudaError,
+    AllocationError,
+    SolverBreakdown,
+    CommunicationError,
+)
 
 
 @dataclass(frozen=True)
@@ -80,6 +89,74 @@ class RetryPolicy:
         return self.base_delay * self.backoff_factor**retry_index
 
 
+class CircuitBreaker:
+    """Per-device circuit breaker over repeated executor failures.
+
+    Tracks consecutive failures per device name.  Once a device fails
+    ``failure_threshold`` times in a row its circuit *opens*: resilient
+    solves skip it (no staging, no retries) until ``cooldown`` simulated
+    seconds have passed on that device's clock, after which one probe
+    attempt is admitted (half-open) — a success closes the circuit, a
+    failure re-opens it immediately.  Shared across solves by passing
+    one instance to :class:`FallbackChain`; this is the admission-control
+    primitive the solver-as-a-service layer builds on.
+    """
+
+    def __init__(
+        self, failure_threshold: int = 3, cooldown: float = 1.0
+    ) -> None:
+        if failure_threshold < 1:
+            raise GinkgoError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown < 0:
+            raise GinkgoError(f"cooldown must be >= 0, got {cooldown}")
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown = float(cooldown)
+        self._failures: dict[str, int] = {}
+        self._opened_at: dict[str, float] = {}
+
+    def is_open(self, exec_: Executor) -> bool:
+        """Whether ``exec_``'s circuit currently rejects attempts.
+
+        An expired cooldown flips the circuit to half-open: this call
+        returns False once, admitting a single probe, and the failure
+        count is primed so one more failure re-opens it.
+        """
+        opened = self._opened_at.get(exec_.name)
+        if opened is None:
+            return False
+        if exec_.clock.now - opened >= self.cooldown:
+            del self._opened_at[exec_.name]
+            self._failures[exec_.name] = self.failure_threshold - 1
+            return False
+        return True
+
+    def record_failure(self, exec_: Executor) -> bool:
+        """Count one failure; returns True when this opens the circuit."""
+        count = self._failures.get(exec_.name, 0) + 1
+        self._failures[exec_.name] = count
+        if count >= self.failure_threshold:
+            self._opened_at[exec_.name] = exec_.clock.now
+            return True
+        return False
+
+    def record_success(self, exec_: Executor) -> None:
+        """A completed solve closes the circuit and resets the count."""
+        self._failures[exec_.name] = 0
+        self._opened_at.pop(exec_.name, None)
+
+    def state(self, name: str) -> str:
+        """``"open"``/``"closed"`` for the given device name."""
+        return "open" if name in self._opened_at else "closed"
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(threshold={self.failure_threshold}, "
+            f"cooldown={self.cooldown}, open={sorted(self._opened_at)})"
+        )
+
+
 class FallbackChain:
     """Ordered executors to degrade onto when one keeps failing.
 
@@ -88,14 +165,19 @@ class FallbackChain:
     executor's device name are skipped, so the default chain
     ``("cuda", "omp", "reference")`` does the right thing from any
     starting executor.
+
+    An optional :class:`CircuitBreaker` (``breaker=...``) makes
+    resilient solves skip devices whose circuit is open — share one
+    breaker across chains/solves to pool failure history.
     """
 
     DEFAULT = ("cuda", "omp", "reference")
 
-    def __init__(self, *devices) -> None:
+    def __init__(self, *devices, breaker: CircuitBreaker | None = None) -> None:
         if len(devices) == 1 and isinstance(devices[0], (list, tuple)):
             devices = tuple(devices[0])
         self.devices = devices or self.DEFAULT
+        self.breaker = breaker
 
     def resolve(self, primary: Executor) -> list[Executor]:
         """Executors to try after ``primary``, in order, deduplicated."""
@@ -135,6 +217,11 @@ class ResilienceReport:
     attempts: int = 1
     executor_name: str = ""
     logger: ConvergenceLogger | None = None
+    #: The solve hit its deadline before converging.
+    timed_out: bool = False
+    #: The returned solution is a best-effort partial result (deadline
+    #: expiry), not a converged one.
+    partial: bool = False
 
     @property
     def faults_injected(self) -> int:
@@ -217,6 +304,21 @@ def _feed_metrics(metrics, report: "ResilienceReport") -> None:
     metrics.histogram("iterations_per_solve").observe(report.num_iterations)
 
 
+def _find_deadline_factory(handle):
+    """Locate the mutable :class:`Deadline` factory in a solver's criteria.
+
+    The config route builds criteria factories once per solver; the
+    deadline instant is only known per attempt, so ``resilient_solve``
+    registers a placeholder and re-aims its ``at`` here before each
+    apply (criteria bind factory state freshly on every apply).
+    """
+    criteria = handle.solver._factory.criteria
+    for factory in getattr(criteria, "factories", (criteria,)):
+        if isinstance(factory, Deadline):
+            return factory
+    return None
+
+
 def resilient_solve(
     device,
     mtx,
@@ -230,6 +332,7 @@ def resilient_solve(
     fallback: FallbackChain | None = None,
     checkpoint_every: int = 0,
     divergence_limit: float | None = None,
+    deadline: float | None = None,
     metrics=None,
     **solver_params,
 ):
@@ -263,6 +366,13 @@ def resilient_solve(
         divergence_limit: Abandon an attempt early when the residual
             exceeds this multiple of the initial residual (adds a
             ``stop::Divergence`` criterion).
+        deadline: Total simulated-seconds budget for the whole resilient
+            solve — staging, retries, backoff, and fallbacks included.
+            When the budget runs out the solve stops (via a
+            ``stop::Deadline`` criterion inside an attempt, or before
+            the next attempt starts) and returns the best-effort partial
+            solution with ``report.timed_out`` and ``report.partial``
+            set, instead of raising.  ``None`` (default) disables it.
         metrics: Optional :class:`~repro.ginkgo.log.MetricsRegistry`;
             receives ``solves``/``attempts``/``retries``/``fallbacks``/
             ``faults_injected`` counters and an ``iterations_per_solve``
@@ -309,14 +419,62 @@ def resilient_solve(
         config["criteria"].append(
             {"type": "stop::Divergence", "limit": float(divergence_limit)}
         )
+    if deadline is not None:
+        if deadline <= 0:
+            raise GinkgoError(
+                f"deadline must be > 0 simulated seconds, got {deadline}"
+            )
+        # Placeholder instant; _find_deadline_factory re-aims `at` per
+        # executor once the absolute deadline on its clock is known.
+        config["criteria"].append({"type": "stop::Deadline", "at": 0.0})
 
     events: list = []
     history: list = []
     attempts = 0
     checkpoint: tuple[int, np.ndarray] | None = None
+    # Budget already consumed on earlier executors' clocks; each executor
+    # has its own clock, so the deadline is tracked as elapsed simulated
+    # seconds, not as one absolute instant.
+    spent = 0.0
+
+    def _partial_return(exec_, x_cur, logger, iterations, residual):
+        """Best-effort result when the deadline expires mid-flight."""
+        _emit(
+            exec_,
+            events,
+            "deadline_exceeded",
+            {"executor": exec_.name, "iterations": iterations},
+        )
+        report = ResilienceReport(
+            converged=False,
+            breakdown=bool(logger.breakdown) if logger else False,
+            num_iterations=iterations,
+            final_residual_norm=residual,
+            residual_norms=list(logger.residual_norms) if logger else [],
+            events=events,
+            attempts=attempts,
+            executor_name=exec_.name,
+            logger=logger,
+            timed_out=True,
+            partial=True,
+        )
+        _feed_metrics(metrics, report)
+        return report, (Tensor(x_cur) if wrap_result else x_cur)
 
     chain = [primary] + fallback.resolve(primary)
     for position, exec_ in enumerate(chain):
+        if fallback.breaker is not None and fallback.breaker.is_open(exec_):
+            _emit(
+                exec_,
+                events,
+                "circuit_skipped",
+                {"executor": exec_.name},
+            )
+            continue
+        exec_enter = exec_.clock.now
+        deadline_at = (
+            None if deadline is None else exec_enter + (deadline - spent)
+        )
         # Stage the operands on this executor.
         try:
             if exec_ is primary:
@@ -338,12 +496,35 @@ def resilient_solve(
                 "staging_failed",
                 {"executor": exec_.name, "error": type(err).__name__},
             )
+            spent += exec_.clock.now - exec_enter
             continue
 
         trail = _FaultTrail(events)
         exec_.add_logger(trail)
+        # The handle is built once per executor and reused across retries
+        # (PR-3 workspace pools make rebuilds wasteful); a retry clears
+        # the pooled workspace instead, so a fault-poisoned scratch
+        # buffer cannot leak into the rerun.
+        handle = None
+        dl_factory = None
         try:
             for attempt in range(retry.max_retries + 1):
+                if (
+                    deadline_at is not None
+                    and exec_.clock.now >= deadline_at
+                ):
+                    iterations = checkpoint[0] if checkpoint else 0
+                    if checkpoint is not None:
+                        _restore_solution(exec_, x_cur, checkpoint[1])
+                        _emit(
+                            exec_,
+                            events,
+                            "checkpoint_restored",
+                            {"iteration": iterations},
+                        )
+                    return _partial_return(
+                        exec_, x_cur, None, iterations, float("nan")
+                    )
                 attempts += 1
                 _emit(
                     exec_,
@@ -356,10 +537,26 @@ def resilient_solve(
                     if checkpoint_every
                     else None
                 )
+                checkpointer_added = False
+                logger = None
                 try:
-                    handle = config_solver(exec_, mtx_cur, config)
+                    if handle is None:
+                        handle = config_solver(exec_, mtx_cur, config)
+                        if deadline_at is not None:
+                            dl_factory = _find_deadline_factory(handle)
+                    else:
+                        handle.solver.clear_workspace()
+                        _emit(
+                            exec_,
+                            events,
+                            "workspace_cleared",
+                            {"executor": exec_.name},
+                        )
                     if checkpointer is not None:
                         handle.solver.add_logger(checkpointer)
+                        checkpointer_added = True
+                    if dl_factory is not None:
+                        dl_factory.at = deadline_at
                     logger, _ = handle.apply(b_cur, x_cur)
                 except retry.retry_on as err:
                     history.append((exec_.name, err))
@@ -387,6 +584,17 @@ def resilient_solve(
                             checkpointer.iteration,
                             checkpointer.solution,
                         )
+                    if (
+                        fallback.breaker is not None
+                        and fallback.breaker.record_failure(exec_)
+                    ):
+                        _emit(
+                            exec_,
+                            events,
+                            "circuit_opened",
+                            {"executor": exec_.name},
+                        )
+                        break
                     if attempt == retry.max_retries:
                         break
                     delay = retry.delay(attempt)
@@ -417,7 +625,24 @@ def resilient_solve(
                         },
                     )
                     continue
+                finally:
+                    if checkpointer_added:
+                        handle.solver.remove_logger(checkpointer)
+                if getattr(handle.solver, "timed_out", False):
+                    # The Deadline criterion stopped the apply: the
+                    # iterate in x_cur is the truthful partial result.
+                    if fallback.breaker is not None:
+                        fallback.breaker.record_success(exec_)
+                    return _partial_return(
+                        exec_,
+                        x_cur,
+                        logger,
+                        logger.num_iterations,
+                        logger.final_residual_norm,
+                    )
                 # Success: the apply ran to a verdict without faulting.
+                if fallback.breaker is not None:
+                    fallback.breaker.record_success(exec_)
                 _emit(
                     exec_,
                     events,
@@ -445,6 +670,7 @@ def resilient_solve(
                 return report, result
         finally:
             exec_.remove_logger(trail)
+        spent += exec_.clock.now - exec_enter
         if position + 1 < len(chain):
             _emit(
                 exec_,
@@ -461,3 +687,258 @@ def resilient_solve(
         metrics.counter("solves_exhausted").inc()
         metrics.counter("attempts").inc(attempts)
     raise ResilienceExhausted(attempts, history)
+
+
+@dataclass
+class BatchResilienceReport:
+    """What a resilient batched solve did, per system and overall.
+
+    ``converged``/``num_iterations``/``final_residual_norm`` are length-K
+    arrays reflecting the *final* outcome — a quarantined system that a
+    scalar retry recovered reports its retry's verdict, not the faulted
+    batch attempt's.
+    """
+
+    num_systems: int
+    converged: np.ndarray
+    num_iterations: np.ndarray
+    final_residual_norm: np.ndarray
+    #: Systems isolated out of the batch (breakdown or poisoned iterate).
+    quarantined: list = field(default_factory=list)
+    #: Quarantined systems whose per-system retry converged.
+    recovered: list = field(default_factory=list)
+    events: list = field(default_factory=list)
+    attempts: int = 1
+    executor_name: str = ""
+
+    @property
+    def all_converged(self) -> bool:
+        return bool(np.all(self.converged))
+
+    @property
+    def faults_injected(self) -> int:
+        return sum(1 for name, _ in self.events if name == "fault_injected")
+
+    def count(self, event: str) -> int:
+        """Number of trail events with the given name."""
+        return sum(1 for name, _ in self.events if name == event)
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchResilienceReport(K={self.num_systems}, "
+            f"converged={int(np.sum(self.converged))}, "
+            f"quarantined={self.quarantined}, recovered={self.recovered}, "
+            f"attempts={self.attempts})"
+        )
+
+
+def resilient_batch_solve(
+    device,
+    mtx,
+    b,
+    x=None,
+    solver: str = "cg",
+    preconditioner=None,
+    max_iters: int = 1000,
+    reduction_factor: float | None = 1e-6,
+    retry: RetryPolicy | None = None,
+    metrics=None,
+    **solver_params,
+):
+    """Fault-tolerant batched solve with per-system quarantine.
+
+    Runs the batched solver once; transient failures of the *whole*
+    batch (device errors, allocation faults) are retried with backoff
+    from pristine snapshots.  Systems the batch run could not finish
+    cleanly — a breakdown flag (the batch monitors compact faulted
+    systems out of the active set) or a non-finite iterate — are
+    *quarantined* and re-solved one at a time through
+    :func:`resilient_solve` on copies of their pristine operands, and
+    the recovered solutions are scattered back into the stacked result.
+
+    Args:
+        device: Executor or device name (may be a
+            :class:`~repro.ginkgo.fault.FaultyExecutor`).
+        mtx: :class:`~repro.ginkgo.batch.matrix.BatchCsr` system matrices.
+        b: Stacked right-hand sides (:class:`BatchDense`).
+        x: Stacked initial guesses; zeros when omitted.
+        solver: ``"cg"``, ``"bicgstab"``, or ``"gmres"``.
+        preconditioner: Batched preconditioner passed through to the
+            batch factory (the per-system retry runs unpreconditioned).
+        max_iters / reduction_factor: Per-system stopping controls.
+        retry: :class:`RetryPolicy` for whole-batch transient failures.
+        metrics: Optional metrics registry; receives ``batch_solves``,
+            ``batch_systems``, ``batch_quarantined``, ``batch_recovered``
+            counters.
+        **solver_params: Extra batch-solver parameters.
+
+    Returns:
+        ``(report, x)`` — the :class:`BatchResilienceReport` and the
+        stacked solution (solved in place when ``x`` was given).
+
+    Raises:
+        ResilienceExhausted: Every whole-batch retry failed.
+    """
+    # Lazy import: batch_api pulls the binding layer, which imports this
+    # module's consumers.
+    from repro.core import batch_api
+
+    retry = retry or RetryPolicy()
+    exec_ = (
+        device
+        if isinstance(device, Executor)
+        else _device_factory(device or "reference")
+    )
+    makers = {
+        "cg": batch_api.cg,
+        "bicgstab": batch_api.bicgstab,
+        "gmres": batch_api.gmres,
+    }
+    if solver not in makers:
+        raise GinkgoError(
+            f"unknown batch solver {solver!r}; expected one of "
+            f"{sorted(makers)}"
+        )
+    if x is None:
+        x = batch_api.zeros_like(b)
+    b_host = np.array(b._data, copy=True)
+    x_host = np.array(x._data, copy=True)
+
+    events: list = []
+    history: list = []
+    attempts = 0
+    trail = _FaultTrail(events)
+    exec_.add_logger(trail)
+    handle = None
+    try:
+        for attempt in range(retry.max_retries + 1):
+            attempts += 1
+            _emit(
+                exec_,
+                events,
+                "batch_attempt_started",
+                {"executor": exec_.name, "attempt": attempts},
+            )
+            try:
+                if handle is None:
+                    handle = makers[solver](
+                        exec_,
+                        mtx,
+                        preconditioner=preconditioner,
+                        max_iters=max_iters,
+                        reduction_factor=reduction_factor,
+                        **solver_params,
+                    )
+                handle.apply(b, x)
+            except retry.retry_on as err:
+                history.append((exec_.name, err))
+                _emit(
+                    exec_,
+                    events,
+                    "attempt_failed",
+                    {
+                        "executor": exec_.name,
+                        "attempt": attempts,
+                        "error": type(err).__name__,
+                    },
+                )
+                if attempt == retry.max_retries:
+                    if metrics is not None:
+                        metrics.counter("batch_solves").inc()
+                        metrics.counter("solves_exhausted").inc()
+                    raise ResilienceExhausted(attempts, history)
+                delay = retry.delay(attempt)
+                exec_.clock.advance(
+                    delay, category="stall", label="retry_backoff"
+                )
+                np.copyto(x._data, x_host)
+                _emit(
+                    exec_,
+                    events,
+                    "retry",
+                    {
+                        "executor": exec_.name,
+                        "attempt": attempts + 1,
+                        "delay": delay,
+                    },
+                )
+                continue
+            break
+    finally:
+        exec_.remove_logger(trail)
+
+    status = handle.status
+    converged = np.array(status.converged, copy=True)
+    num_iterations = np.array(status.num_iterations, copy=True)
+    final_residual_norm = np.array(status.final_residual_norm, copy=True)
+
+    # Quarantine: breakdown (injected corruption compacts the system out
+    # of the batch) or a non-finite iterate that slipped through.
+    quarantined = sorted(
+        set(np.flatnonzero(status.breakdown).tolist())
+        | {
+            k
+            for k in range(b.num_systems)
+            if not np.all(np.isfinite(x._data[k]))
+        }
+    )
+    recovered: list = []
+    for k in quarantined:
+        _emit(
+            exec_,
+            events,
+            "system_quarantined",
+            {"system": int(k), "breakdown": bool(status.breakdown[k])},
+        )
+        try:
+            sys_report, x_sys = resilient_solve(
+                exec_,
+                mtx.item(k),
+                Dense.create(exec_, b_host[k]),
+                x=Dense.create(exec_, x_host[k]),
+                solver=solver,
+                max_iters=max_iters,
+                reduction_factor=reduction_factor,
+                retry=retry,
+                fallback=FallbackChain(exec_),
+            )
+        except ResilienceExhausted:
+            _emit(
+                exec_, events, "system_unrecovered", {"system": int(k)}
+            )
+            continue
+        np.copyto(x._data[k], x_sys._data)
+        converged[k] = sys_report.converged
+        num_iterations[k] = sys_report.num_iterations
+        final_residual_norm[k] = sys_report.final_residual_norm
+        if sys_report.converged:
+            recovered.append(int(k))
+            _emit(
+                exec_,
+                events,
+                "system_recovered",
+                {
+                    "system": int(k),
+                    "iterations": sys_report.num_iterations,
+                    "attempts": sys_report.attempts,
+                },
+            )
+
+    report = BatchResilienceReport(
+        num_systems=b.num_systems,
+        converged=converged,
+        num_iterations=num_iterations,
+        final_residual_norm=final_residual_norm,
+        quarantined=[int(k) for k in quarantined],
+        recovered=recovered,
+        events=events,
+        attempts=attempts,
+        executor_name=exec_.name,
+    )
+    if metrics is not None:
+        metrics.counter("batch_solves").inc()
+        metrics.counter("batch_systems").inc(b.num_systems)
+        metrics.counter("batch_quarantined").inc(len(quarantined))
+        metrics.counter("batch_recovered").inc(len(recovered))
+        metrics.counter("faults_injected").inc(report.faults_injected)
+    return report, x

@@ -30,7 +30,7 @@ from repro.ginkgo.batch.matrix import BatchCsr, BatchDense
 from repro.ginkgo.batch.preconditioner import BatchIdentity
 from repro.ginkgo.batch.stop import BatchCriteria, BatchStatus
 from repro.ginkgo.exceptions import BadDimension, GinkgoError, SolverBreakdown
-from repro.ginkgo.executor import OmpExecutor
+from repro.ginkgo.fault import injector_of
 from repro.ginkgo.lin_op import LinOpFactory
 from repro.ginkgo.solver.base import _normalise_criteria
 from repro.ginkgo.solver.cg import _safe_divide
@@ -82,9 +82,11 @@ class _ActiveSystems:
         if count == 0:
             return
         exec_ = self._exec
+        # Duck-typed so wrappers (FaultyExecutor around an OmpExecutor)
+        # still take the thread-partitioned path.
         if (
-            isinstance(exec_, OmpExecutor)
-            and exec_.num_threads > 1
+            (getattr(exec_, "num_threads", None) or 1) > 1
+            and hasattr(exec_, "partition")
             and count >= exec_.num_threads
         ):
             ranges = exec_.partition(np.ones(count))
@@ -122,6 +124,28 @@ class _ActiveSystems:
             _, _, sub = self._ops[0]
             out[:] = sub @ xs
             exec_.run(cost)
+        # Per-system fault site: corruption lands in exactly one active
+        # system's output block, which the monitor then quarantines via
+        # the existing breakdown compaction — the rest of the batch is
+        # unaffected.
+        injector = injector_of(exec_)
+        if injector is not None:
+            fault = injector.decide("batch", detail=f"batch_spmv:{count}")
+            if fault is not None:
+                system = injector.choose(count)
+                poisoned = injector.corrupt(dst[system])
+                exec_._log(
+                    "fault_injected",
+                    site=fault.site,
+                    kind=fault.kind,
+                    index=fault.index,
+                    call=fault.call,
+                    detail=fault.detail,
+                    system=system,
+                )
+                exec_._log(
+                    "data_corrupted", index=fault.index, flat_index=poisoned
+                )
 
 
 class BatchSolverFactory(LinOpFactory):

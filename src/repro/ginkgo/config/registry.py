@@ -25,7 +25,13 @@ from repro.ginkgo.solver import (
     Minres,
     UpperTrs,
 )
-from repro.ginkgo.stop import Divergence, Iteration, ResidualNorm, Time
+from repro.ginkgo.stop import (
+    Deadline,
+    Divergence,
+    Iteration,
+    ResidualNorm,
+    Time,
+)
 
 #: Solver type name -> (factory class, accepted parameter names).
 SOLVER_REGISTRY = {
@@ -68,6 +74,7 @@ STOP_REGISTRY = {
     "stop::ResidualNorm": (ResidualNorm, ("reduction_factor", "baseline")),
     "stop::Time": (Time, ("time_limit",)),
     "stop::Divergence": (Divergence, ("limit",)),
+    "stop::Deadline": (Deadline, ("at",)),
 }
 
 #: Short aliases accepted in configs for user convenience.

@@ -15,11 +15,26 @@ space, so reductions are evaluated once in global element order (which is
 what pins distributed residual histories bit-identical to single-rank
 solves; see DESIGN.md) and only the *cost* of the exchange is charged.
 With a single rank every operation is free: no communication happens.
+
+The communicator is also the distributed fault boundary.  When the
+executor is a :class:`~repro.ginkgo.fault.FaultyExecutor`, every
+collective consults its injector at the ``rank``, ``allreduce`` and
+``halo`` sites (see :mod:`repro.ginkgo.fault`): rank failures raise
+:class:`RankFailure`, dropped halos raise :class:`CommunicationError`,
+corruption poisons the reduced payload in place, and stragglers / late
+messages charge extra simulated time under the ``fault`` trace category.
 """
 
 from __future__ import annotations
 
-from repro.ginkgo.exceptions import GinkgoError
+import numpy as np
+
+from repro.ginkgo.exceptions import (
+    CommunicationError,
+    GinkgoError,
+    RankFailure,
+)
+from repro.ginkgo.fault import injector_of
 from repro.perfmodel.comm import (
     DEFAULT_NETWORK,
     NetworkSpec,
@@ -53,19 +68,68 @@ class Communicator:
         self.num_halo_exchanges = 0
         #: Payload bytes moved by halo exchanges.
         self.bytes_halo_exchanged = 0
+        #: Number of ranks dropped by :meth:`shrink` since construction.
+        self.num_shrinks = 0
 
     @property
     def executor(self):
         return self._exec
 
-    def all_reduce(self, nbytes: int, label: str = "all_reduce") -> float:
+    # ------------------------------------------------------------------
+    # fault boundary
+    # ------------------------------------------------------------------
+    def _announce(self, fault, **extra) -> None:
+        self._exec._log(
+            "fault_injected",
+            site=fault.site,
+            kind=fault.kind,
+            index=fault.index,
+            call=fault.call,
+            detail=fault.detail,
+            **extra,
+        )
+
+    def _check_rank_failure(self, label: str) -> None:
+        """Consult the ``rank`` fault site; raise RankFailure on a hit.
+
+        Models ULFM semantics: a dead rank is *detected* at the next
+        collective, which raises for every survivor.
+        """
+        injector = injector_of(self._exec)
+        if injector is None:
+            return
+        fault = injector.decide("rank", detail=label)
+        if fault is not None:
+            victim = injector.choose(self.num_ranks)
+            self._announce(fault, rank=victim)
+            raise RankFailure(victim, op=label)
+
+    def _extra_delay(self, seconds: float, label: str) -> None:
+        """Charge injected extra time under the ``fault`` trace category."""
+        self._exec.clock.advance(
+            seconds, category="fault", label=label, ranks=self.num_ranks
+        )
+
+    def all_reduce(
+        self, nbytes: int, label: str = "all_reduce", payload=None
+    ) -> float:
         """Charge one all-reduce of an ``nbytes`` payload; returns its time.
 
         Free (and uncounted) with a single rank, like a real MPI
-        all-reduce over a self-communicator.
+        all-reduce over a self-communicator.  When ``payload`` (the
+        reduced ndarray) is passed and the executor injects faults, an
+        ``allreduce`` corruption fault poisons it in place — exactly how
+        a flipped bit on the wire lands in every rank's result.
         """
         if self.num_ranks == 1:
             return 0.0
+        self._check_rank_failure(label)
+        injector = injector_of(self._exec)
+        fault = (
+            injector.decide("allreduce", detail=label)
+            if injector is not None
+            else None
+        )
         seconds = allreduce_time(nbytes, self.num_ranks, self.network)
         clock = self._exec.clock
         clock.push_span(label, "comm_op", ranks=self.num_ranks)
@@ -81,6 +145,19 @@ class Communicator:
             clock.pop_span()
         self.num_all_reduces += 1
         self.bytes_all_reduced += int(nbytes)
+        if fault is not None:
+            if fault.kind == "straggler":
+                self._announce(fault)
+                self._extra_delay(injector.stall_seconds, "straggler_delay")
+            else:  # corruption
+                self._announce(fault)
+                if payload is not None:
+                    poisoned = injector.corrupt(np.asarray(payload))
+                    self._exec._log(
+                        "data_corrupted",
+                        index=fault.index,
+                        flat_index=poisoned,
+                    )
         return seconds
 
     def halo_exchange(
@@ -91,10 +168,27 @@ class Communicator:
     ) -> float:
         """Charge one halo exchange of ``num_messages`` messages.
 
-        Free (and uncounted) with a single rank or no messages.
+        Free (and uncounted) with a single rank or no messages.  Under
+        fault injection the ``halo`` site can drop the exchange (raises
+        :class:`CommunicationError` — the replay recovery retransmits),
+        duplicate it (the exchange is charged twice), or deliver it late
+        (extra simulated delay under the ``fault`` category).
         """
         if self.num_ranks == 1 or num_messages == 0:
             return 0.0
+        self._check_rank_failure(label)
+        injector = injector_of(self._exec)
+        fault = (
+            injector.decide("halo", detail=label)
+            if injector is not None
+            else None
+        )
+        if fault is not None and fault.kind == "drop":
+            self._announce(fault)
+            raise CommunicationError(
+                f"halo exchange {label!r} dropped "
+                f"({num_messages} messages, {int(nbytes)} bytes)"
+            )
         seconds = halo_exchange_time(nbytes, num_messages, self.network)
         clock = self._exec.clock
         clock.push_span(label, "comm_op", ranks=self.num_ranks)
@@ -111,7 +205,33 @@ class Communicator:
             clock.pop_span()
         self.num_halo_exchanges += 1
         self.bytes_halo_exchanged += int(nbytes)
+        if fault is not None:
+            self._announce(fault)
+            if fault.kind == "duplicate":
+                # The retransmitted copy pays the full exchange again.
+                self._extra_delay(seconds, "halo_duplicate")
+                self.num_halo_exchanges += 1
+                self.bytes_halo_exchanged += int(nbytes)
+            else:  # late
+                self._extra_delay(injector.stall_seconds, "halo_late")
         return seconds
+
+    def shrink(self, failed_rank: int) -> int:
+        """Drop one failed rank; returns the surviving rank count.
+
+        Mirrors ULFM's ``MPIX_Comm_shrink``: collectives charged after
+        this run over one fewer rank.  The caller is responsible for
+        repartitioning the operands (see ``Partition.shrink``).
+        """
+        if not 0 <= failed_rank < self.num_ranks:
+            raise GinkgoError(
+                f"rank {failed_rank} out of range for {self.num_ranks} ranks"
+            )
+        if self.num_ranks == 1:
+            raise GinkgoError("cannot shrink a single-rank communicator")
+        self.num_ranks -= 1
+        self.num_shrinks += 1
+        return self.num_ranks
 
     def reset_counters(self) -> None:
         """Zero the exchange/byte counters (charged time is not undone)."""

@@ -41,6 +41,7 @@ from repro.ginkgo.matrix.base import (
     scipy_safe,
 )
 from repro.perfmodel import KernelCost, spmv_cost
+from repro.perfmodel.comm import halo_exchange_time
 
 
 class RowGatherer:
@@ -308,6 +309,77 @@ class Matrix(LinOp):
         return sp.vstack(self._row_blocks, format="csr").astype(
             self._value_dtype
         )
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def repartition(
+        self, new_partition: Partition, lost_rows: tuple | None = None
+    ) -> "Matrix":
+        """Redistribute the operator rows under ``new_partition`` in place.
+
+        The shrink-and-repartition step of rank-failure recovery: row
+        blocks, ghost-column lists and the row gatherer are rebuilt for
+        the survivors.  Matrix values never change (the operator is
+        immutable), so the result stays bitwise identical to the
+        original — only ownership and the communication structure move.
+
+        Args:
+            new_partition: Partition over the surviving ranks; must
+                cover the same global size.
+            lost_rows: Optional ``(lo, hi)`` row range that lived on the
+                failed rank.  When given, the re-replication of those
+                rows to their heir is charged as simulated time under
+                the ``fault`` trace category.
+        """
+        if not isinstance(new_partition, Partition):
+            raise GinkgoError(
+                f"expected a Partition, got {type(new_partition).__name__}"
+            )
+        if new_partition.global_size != self._partition.global_size:
+            raise BadDimension(
+                f"new partition covers {new_partition.global_size} rows "
+                f"but the matrix has {self._partition.global_size}"
+            )
+        # Row slicing preserves storage order, so re-stacking and
+        # re-slicing keeps every row's entries bitwise intact.
+        mat = sp.vstack(self._row_blocks, format="csr")
+        self._partition = new_partition
+        self._row_blocks = []
+        self._rank_nnz = []
+        self._ghost_cols = []
+        self._local_blocks = None
+        self._non_local_blocks = None
+        self._stacked = None
+        for lo, hi in new_partition.ranges:
+            block = mat[lo:hi, :]
+            self._row_blocks.append(block)
+            self._rank_nnz.append(int(block.nnz))
+            coo = block.tocoo()
+            outside = (coo.col < lo) | (coo.col >= hi)
+            self._ghost_cols.append(
+                np.unique(coo.col[outside]).astype(np.int64)
+            )
+        self._gatherer = RowGatherer(
+            self._exec, new_partition, self._ghost_cols
+        )
+        if lost_rows is not None:
+            lo, hi = lost_rows
+            nnz_lost = int(mat[lo:hi, :].nnz)
+            nbytes = nnz_lost * (self.value_bytes + self.index_bytes) + (
+                hi - lo
+            ) * self.index_bytes
+            seconds = halo_exchange_time(
+                nbytes, max(1, new_partition.num_ranks), self._comm.network
+            )
+            self._exec.clock.advance(
+                seconds,
+                category="fault",
+                label="repartition_regather",
+                bytes=int(nbytes),
+                ranks=new_partition.num_ranks,
+            )
+        return self
 
     # ------------------------------------------------------------------
     # SpMV

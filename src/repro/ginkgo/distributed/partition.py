@@ -148,6 +148,28 @@ class Partition:
             return int(owners)
         return owners.astype(np.int64)
 
+    def shrink(self, failed_rank: int) -> "Partition":
+        """The partition over the survivors of ``failed_rank``'s failure.
+
+        The failed rank's rows are merged into its predecessor (or, for
+        rank 0, its successor) so the result still tiles
+        ``[0, global_size)`` contiguously with one fewer rank.  This is
+        the shrink-and-repartition step of rank-failure recovery; the
+        global size never changes, only ownership.
+        """
+        if not 0 <= failed_rank < self.num_ranks:
+            raise IndexError(
+                f"rank {failed_rank} out of range for {self.num_ranks} ranks"
+            )
+        if self.num_ranks == 1:
+            raise GinkgoError("cannot shrink a single-rank partition")
+        ranges = list(self._ranges)
+        lo, hi = ranges.pop(failed_rank)
+        heir = failed_rank - 1 if failed_rank > 0 else 0
+        heir_lo, heir_hi = ranges[heir]
+        ranges[heir] = (min(heir_lo, lo), max(heir_hi, hi))
+        return Partition(self._global_size, ranges)
+
     def __eq__(self, other) -> bool:
         return (
             isinstance(other, Partition)

@@ -16,6 +16,28 @@ Each solver mirrors its scalar counterpart *operation for operation*:
 Consequence: a distributed solve produces a residual history bitwise
 identical to the scalar solver on the undistributed system, for any rank
 count — the property the distributed benchmark gates on.
+
+Fault tolerance
+---------------
+When the executor injects faults (:class:`~repro.ginkgo.fault.FaultyExecutor`),
+the solvers arm a checkpoint/replay recovery driver (:class:`_Recovery`):
+
+* CG checkpoints ``(x, r, p, rz)`` every ``checkpoint_every`` iterations;
+  GMRES checkpoints ``x`` at each restart-cycle start (the cycle replays
+  deterministically from ``x``, so the cycle start *is* an exact
+  checkpoint).
+* A dropped halo / corrupted all-reduce restores the checkpoint and
+  replays; a :class:`RankFailure` first shrinks the partition over the
+  survivors (``Partition.shrink`` + ``Communicator.shrink`` +
+  ``Matrix.repartition``), poisons the lost rows, restores them from the
+  checkpoint, then replays.
+* Replayed iterations reproduce the original arithmetic exactly, and a
+  replay-aware monitor wrapper suppresses duplicate logging, so the
+  residual history stays bit-identical to a fault-free run — even across
+  a shrink, because fused-mode reductions evaluate in global element
+  order regardless of the rank count.  Only the ``sequential_ranks``
+  baseline (rank-order partial sums) relaxes reduction order after a
+  repartition.
 """
 
 from __future__ import annotations
@@ -24,7 +46,12 @@ import numpy as np
 
 from repro.ginkgo.distributed.matrix import Matrix
 from repro.ginkgo.distributed.vector import Vector
-from repro.ginkgo.exceptions import GinkgoError
+from repro.ginkgo.exceptions import (
+    CommunicationError,
+    GinkgoError,
+    RankFailure,
+)
+from repro.ginkgo.fault import injector_of
 from repro.ginkgo.solver.base import IterativeSolver, SolverFactory
 from repro.ginkgo.solver.cg import _safe_divide
 from repro.ginkgo.solver.gmres import DEFAULT_KRYLOV_DIM
@@ -38,6 +65,208 @@ from repro.perfmodel import KernelCost
 
 #: Payload bytes of one scalar reduction result (always float64).
 _REDUCE_BYTES = np.dtype(np.float64).itemsize
+
+
+class _StateCorrupted(GinkgoError):
+    """Internal: a reduction result was poisoned by injected corruption."""
+
+
+#: Failures the checkpoint/replay driver can absorb.  RankFailure is a
+#: CommunicationError subclass; device-side CudaErrors are *not* here —
+#: they stay the retry/fallback layer's job.
+RECOVERABLE = (CommunicationError, _StateCorrupted)
+
+
+class _Recovery:
+    """Checkpoint/replay driver for one distributed solve.
+
+    Armed only when the solver's executor carries a
+    :class:`~repro.ginkgo.fault.FaultInjector` and ``checkpoint_every``
+    is positive; fault-free solves pay nothing.  Checkpoints are host
+    copies of the tracked arenas (the ranks share one address space, so
+    one copy models every rank checkpointing its block); save/restore
+    time is charged as streaming kernels with injection paused — the
+    checkpoint path itself is assumed reliable.
+    """
+
+    @staticmethod
+    def arm(solver: "DistributedIterativeSolver", b: Vector, x: Vector):
+        injector = injector_of(solver._exec)
+        if injector is None:
+            return None
+        every = int(solver._factory.params.get("checkpoint_every", 1) or 0)
+        if every < 1:
+            return None
+        budget = int(solver._factory.params.get("max_recoveries", 8))
+        return _Recovery(solver, injector, b, x, every, budget)
+
+    def __init__(self, solver, injector, b, x, every, budget) -> None:
+        self._solver = solver
+        self._exec = solver._exec
+        self._injector = injector
+        self._b = b
+        self._x = x
+        self._every = every
+        self.budget = budget
+        self._tracked: dict[str, Vector] = {"x": x}
+        self._snap_vectors: dict[str, np.ndarray] = {}
+        self._snap_scalars: dict = {}
+        self._last_saved: int | None = None
+        # The right-hand side is never checkpointed per iteration: it is
+        # immutable, so one snapshot restores a failed rank's rows.
+        self._b_snapshot = b._data.copy()
+        self._seen_faults = len(injector.injected)
+        self._decisions: dict[int, bool] = {}
+        self.events: list[dict] = []
+        solver.num_checkpoints = 0
+        solver.num_recoveries = 0
+        solver.recovery_events = self.events
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def track(self, **vectors: Vector) -> None:
+        """Register solver vectors whose arenas checkpoints must cover."""
+        self._tracked.update(vectors)
+
+    def due(self, iteration: int) -> bool:
+        return (
+            iteration != self._last_saved
+            and (iteration - 1) % self._every == 0
+        )
+
+    def due_cycle(self, iteration: int) -> bool:
+        """Cycle-granularity variant (GMRES): every new cycle start."""
+        return iteration != self._last_saved
+
+    def checkpoint(self, iteration: int, **scalars) -> None:
+        """Snapshot the tracked arenas + iteration-local scalars."""
+        self._snap_vectors = {
+            name: vec._data.copy() for name, vec in self._tracked.items()
+        }
+        self._snap_scalars = {
+            "iteration": iteration,
+            **{
+                key: value.copy() if isinstance(value, np.ndarray) else value
+                for key, value in scalars.items()
+            },
+        }
+        self._last_saved = iteration
+        nbytes = sum(s.nbytes for s in self._snap_vectors.values())
+        with self._injector.paused():
+            self._exec.run(
+                KernelCost(
+                    "checkpoint_save", 0.0, 2.0 * nbytes, launches=1
+                )
+            )
+        self._solver.num_checkpoints += 1
+
+    # ------------------------------------------------------------------
+    # detection
+    # ------------------------------------------------------------------
+    def verify(self, value) -> None:
+        """Raise when a fresh all-reduce corruption poisoned ``value``.
+
+        Only NaN-mode corruption is detectable this way; a finite bit
+        flip passes through silently, exactly like real silent data
+        corruption (see the fault-tolerance contract in DESIGN.md).
+        """
+        new = self._injector.injected[self._seen_faults:]
+        if not new:
+            return
+        self._seen_faults = len(self._injector.injected)
+        poisoned = any(
+            f.site == "allreduce" and f.kind == "corruption" for f in new
+        )
+        if poisoned and not np.all(
+            np.isfinite(np.asarray(value, dtype=np.float64))
+        ):
+            raise _StateCorrupted("all-reduce payload corrupted")
+
+    def wrap_monitor(self, monitor):
+        """Memoize monitor decisions so replays never double-log."""
+
+        def replay_aware(iteration, residual_norm):
+            if iteration in self._decisions:
+                return self._decisions[iteration]
+            stop = monitor(iteration, residual_norm)
+            self._decisions[iteration] = stop
+            return stop
+
+        return replay_aware
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def recover(self, exc: Exception) -> dict:
+        """Absorb ``exc``: shrink if a rank died, restore, return scalars.
+
+        Raises ``exc`` again once the recovery budget is exhausted (the
+        retry/fallback layer then owns the failure).
+        """
+        if self.budget < 1 or not self._snap_vectors:
+            raise exc
+        self.budget -= 1
+        solver = self._solver
+        solver.num_recoveries += 1
+        event = (
+            "rank_recovered"
+            if isinstance(exc, RankFailure)
+            else "replay_recovered"
+        )
+        with self._injector.paused():
+            if isinstance(exc, RankFailure):
+                self._shrink(exc.rank)
+            self._restore()
+        detail = {
+            "event": event,
+            "error": type(exc).__name__,
+            "iteration": self._snap_scalars.get("iteration"),
+            "ranks": solver.comm.num_ranks,
+        }
+        self.events.append(detail)
+        self._exec._log(
+            event,
+            error=detail["error"],
+            iteration=detail["iteration"],
+            ranks=detail["ranks"],
+            recoveries=solver.num_recoveries,
+        )
+        return dict(self._snap_scalars)
+
+    def _shrink(self, failed_rank: int) -> None:
+        solver = self._solver
+        partition = solver.partition
+        lost = partition.range_of(failed_rank)
+        survivors = partition.shrink(failed_rank)
+        solver.comm.shrink(failed_rank)
+        solver._matrix.repartition(survivors, lost_rows=lost)
+        lo, hi = lost
+        seen: set[int] = set()
+        for vec in (self._b, self._x, *self._tracked.values(),
+                    *solver._vpool.values()):
+            if id(vec) in seen:
+                continue
+            seen.add(id(vec))
+            vec.repartition(survivors)
+            # The failed rank's block is gone: poison it so any read
+            # before restore/overwrite surfaces as a breakdown instead
+            # of silently using stale values.
+            if hi > lo and np.issubdtype(vec._data.dtype, np.floating):
+                vec._data[lo:hi] = np.nan
+        np.copyto(self._b._data[lo:hi], self._b_snapshot[lo:hi])
+
+    def _restore(self) -> None:
+        nbytes = 0
+        for name, snap in self._snap_vectors.items():
+            vec = self._tracked[name]
+            np.copyto(vec._data, snap)
+            vec.mark_modified()
+            nbytes += snap.nbytes
+        self._exec.run(
+            KernelCost("checkpoint_restore", 0.0, 2.0 * nbytes, launches=1)
+        )
+        self._seen_faults = len(self._injector.injected)
 
 
 def dist_cg_step_1(p: Vector, z: Vector, beta) -> None:
@@ -144,30 +373,57 @@ class DistributedIterativeSolver(IterativeSolver):
 
 
 class DistributedCgSolver(DistributedIterativeSolver):
-    """Distributed CG; iteration sequence copied from ``CgSolver``."""
+    """Distributed CG; iteration sequence copied from ``CgSolver``.
+
+    Under fault injection the loop checkpoints ``(x, r, p, rz)`` every
+    ``checkpoint_every`` iterations and absorbs recoverable failures by
+    restoring the checkpoint and replaying — see :class:`_Recovery`.
+    """
 
     def _iterate(self, A, M, b, x, r, monitor) -> None:
+        recovery = _Recovery.arm(self, b, x)
         z = self._vector("cg.z", r)
         M.apply(r, z)
         p = self._vector("cg.p", z, copy=True)
         q = self._vector("cg.q", r)
         rz = r.compute_dot(z)
+        if recovery is not None:
+            recovery.track(r=r, p=p)
+            monitor = recovery.wrap_monitor(monitor)
 
         iteration = 0
         while True:
             iteration += 1
-            A.apply(p, q)
-            pq = p.compute_dot(q)
-            alpha = _safe_divide(rz, pq)
-            dist_cg_step_2(x, r, p, q, alpha)
-            res_norm = r.compute_norm2()
-            if monitor(iteration, res_norm):
-                return
-            M.apply(r, z)
-            rz_new = r.compute_dot(z)
-            beta = _safe_divide(rz_new, rz)
-            dist_cg_step_1(p, z, beta)
-            rz = rz_new
+            if recovery is not None and recovery.due(iteration):
+                recovery.checkpoint(iteration, rz=rz)
+            try:
+                A.apply(p, q)
+                pq = p.compute_dot(q)
+                if recovery is not None:
+                    recovery.verify(pq)
+                alpha = _safe_divide(rz, pq)
+                dist_cg_step_2(x, r, p, q, alpha)
+                res_norm = r.compute_norm2()
+                if recovery is not None:
+                    recovery.verify(res_norm)
+                if monitor(iteration, res_norm):
+                    return
+                M.apply(r, z)
+                rz_new = r.compute_dot(z)
+                if recovery is not None:
+                    recovery.verify(rz_new)
+                beta = _safe_divide(rz_new, rz)
+                dist_cg_step_1(p, z, beta)
+                rz = rz_new
+            except RECOVERABLE as exc:
+                if recovery is None:
+                    raise
+                scalars = recovery.recover(exc)
+                # Resume at the checkpointed iteration: the loop header
+                # re-increments, so the replayed iteration recomputes
+                # from bit-exact state.
+                iteration = scalars["iteration"] - 1
+                rz = scalars["rz"]
 
 
 class DistributedGmresSolver(DistributedIterativeSolver):
@@ -199,16 +455,51 @@ class DistributedGmresSolver(DistributedIterativeSolver):
         total_iteration = 0
         w = self._vector("gmres.w", b)
         r = self._vector("gmres.r", b)
+        recovery = _Recovery.arm(self, b, x)
+        if recovery is not None:
+            # The whole cycle replays deterministically from x, so the
+            # cycle start is an exact checkpoint: only x is snapshotted.
+            monitor = recovery.wrap_monitor(monitor)
 
         while True:
+            if recovery is not None and recovery.due_cycle(total_iteration):
+                recovery.checkpoint(total_iteration)
+            try:
+                stopped = self._cycle(
+                    A, M, b, x, monitor, w, r, ws, n, m,
+                    total_iteration, recovery,
+                )
+            except RECOVERABLE as exc:
+                if recovery is None:
+                    raise
+                scalars = recovery.recover(exc)
+                total_iteration = scalars["iteration"]
+                continue
+            if stopped is None:
+                return
+            total_iteration, stopped = stopped
+            if stopped:
+                return
+            # Otherwise: restart.
+
+    def _cycle(
+        self, A, M, b, x, monitor, w, r, ws, n, m, total_iteration, recovery
+    ):
+        """One restart cycle; returns None on a zero residual, else
+        ``(total_iteration, stopped)``."""
+        exec_ = self._exec
+        comm = self._matrix.comm
+        if True:
             # Preconditioned residual r = M^{-1}(b - A x).
             w.copy_values_from(b)
             A.apply_advanced(-1.0, x, 1.0, w)
             M.apply(w, r)
             beta = float(r.compute_norm2()[0])
+            if recovery is not None:
+                recovery.verify(beta)
             if beta == 0.0:
                 monitor(total_iteration, 0.0)
-                return
+                return None
             basis = ws.array("gmres.basis", (n, m + 1))
             basis[:, 0] = r._data[:, 0] / beta
             record_fused(exec_, "gmres_init", n, b.value_bytes, 2)
@@ -230,11 +521,17 @@ class DistributedGmresSolver(DistributedIterativeSolver):
                 # j+1 coefficients.
                 coeffs = gmres_multidot(basis, w, j + 1)
                 comm.all_reduce(
-                    (j + 1) * _REDUCE_BYTES, label="all_reduce_multidot"
+                    (j + 1) * _REDUCE_BYTES,
+                    label="all_reduce_multidot",
+                    payload=coeffs,
                 )
+                if recovery is not None:
+                    recovery.verify(coeffs)
                 hessenberg[: j + 1, j] = coeffs
                 gmres_update(basis, w, coeffs, j + 1)
                 h_next = float(w.compute_norm2()[0])
+                if recovery is not None:
+                    recovery.verify(h_next)
                 hessenberg[j + 1, j] = h_next
                 if h_next != 0.0:
                     basis[:, j + 1] = w._data[:, 0] / h_next
@@ -293,16 +590,21 @@ class DistributedGmresSolver(DistributedIterativeSolver):
             record_fused(
                 exec_, "gmres_x_update", n * inner, b.value_bytes, 2
             )
-            if stopped:
-                return
-            # Otherwise: restart.
+            return total_iteration, stopped
 
 
 class DistributedCg(SolverFactory):
-    """Distributed CG factory: ``DistributedCg(exec, criteria=...)``."""
+    """Distributed CG factory: ``DistributedCg(exec, criteria=...)``.
+
+    Parameters:
+        checkpoint_every: Krylov-state checkpoint period under fault
+            injection (default 1; 0 disables recovery).
+        max_recoveries: Recoverable failures absorbed per solve before
+            the error propagates (default 8).
+    """
 
     solver_class = DistributedCgSolver
-    parameter_names = ()
+    parameter_names = ("checkpoint_every", "max_recoveries")
 
 
 class DistributedGmres(SolverFactory):
@@ -310,7 +612,11 @@ class DistributedGmres(SolverFactory):
 
     Parameters:
         krylov_dim: Restart length (default 30, as in the scalar solver).
+        checkpoint_every: Checkpoint period under fault injection
+            (GMRES checkpoints at restart-cycle starts; 0 disables).
+        max_recoveries: Recoverable failures absorbed per solve before
+            the error propagates (default 8).
     """
 
     solver_class = DistributedGmresSolver
-    parameter_names = ("krylov_dim",)
+    parameter_names = ("krylov_dim", "checkpoint_every", "max_recoveries")

@@ -105,7 +105,7 @@ def run_rankwise(exec_, cost, tasks, parts=None, fused=None):
     runner = getattr(exec_, "run_partitioned", None)
     if (
         runner is not None
-        and getattr(exec_, "num_threads", 1) > 1
+        and (getattr(exec_, "num_threads", None) or 1) > 1
         and len(tasks) > 1
     ):
         return runner(cost, tasks, parts)
@@ -332,6 +332,7 @@ class Vector(LinOp):
         self._comm.all_reduce(
             self._size.cols * np.dtype(np.float64).itemsize,
             label="all_reduce_dot",
+            payload=result,
         )
         return result
 
@@ -341,6 +342,7 @@ class Vector(LinOp):
         self._comm.all_reduce(
             self._size.cols * np.dtype(np.float64).itemsize,
             label="all_reduce_norm",
+            payload=result,
         )
         return result
 
@@ -369,6 +371,33 @@ class Vector(LinOp):
         result = np.einsum(contraction, self._data, other._data)
         self._exec.run(cost)
         return result
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def repartition(self, new_partition: Partition) -> "Vector":
+        """Re-own this vector's rows under ``new_partition`` in place.
+
+        The global arena is the shared address space of the simulated
+        ranks, so no values move: surviving ranks simply take ownership
+        of the failed rank's row block.  Only the partition handle and
+        the cached per-rank local views change.  Values previously owned
+        by a failed rank are whatever the arena last held — recovery is
+        expected to restore them from a checkpoint before use.
+        """
+        if not isinstance(new_partition, Partition):
+            raise GinkgoError(
+                f"expected a Partition, got {type(new_partition).__name__}"
+            )
+        if new_partition.global_size != self._partition.global_size:
+            raise DimensionMismatch(
+                "Vector.repartition",
+                expected=self._partition.global_size,
+                got=new_partition.global_size,
+            )
+        self._partition = new_partition
+        self._locals = {}
+        return self
 
     # ------------------------------------------------------------------
     # validation

@@ -48,6 +48,31 @@ class CudaError(GinkgoError):
     """A device-side failure on a CUDA/HIP executor."""
 
 
+class CommunicationError(GinkgoError):
+    """A simulated communication failure (dropped message, dead link).
+
+    Raised by the distributed :class:`~repro.ginkgo.distributed.comm.Communicator`
+    when fault injection drops an exchange.  Treated as transient by both
+    the distributed solvers' replay recovery and the resilient-solve retry
+    layer (a real MPI stack would retransmit or surface ``MPI_ERR_*``).
+    """
+
+
+class RankFailure(CommunicationError):
+    """A simulated rank died during a collective or halo exchange.
+
+    Carries the failed rank so recovery can shrink the partition over the
+    survivors.  Models the notification a fault-tolerant MPI (ULFM's
+    ``MPI_ERR_PROC_FAILED``) delivers at the next communication.
+    """
+
+    def __init__(self, rank: int, op: str = "") -> None:
+        where = f" during {op}" if op else ""
+        super().__init__(f"rank {rank} failed{where}")
+        self.rank = int(rank)
+        self.op = op
+
+
 class NotSupported(GinkgoError):
     """The requested operation is not implemented for this type."""
 

@@ -27,6 +27,30 @@ deterministically:
                                    bit-flip in the copied buffer)
   ========  =====================  ====================================
 
+Four further sites cover the distributed and batched layers.  They are
+consulted by the distributed
+:class:`~repro.ginkgo.distributed.comm.Communicator` and the batched SpMV
+rather than by the executor itself (the injector is discovered through
+:func:`injector_of` on the operator's executor):
+
+  =============  ==================  =====================================
+  site           boundary            injected fault kinds
+  =============  ==================  =====================================
+  ``halo``       halo exchange       ``drop`` (raises
+                                     :class:`CommunicationError`),
+                                     ``duplicate`` (the exchange is
+                                     charged twice), ``late`` (extra
+                                     simulated delay, ``fault`` category)
+  ``allreduce``  global reduction    ``corruption`` (poisons the reduced
+                                     payload), ``straggler`` (extra
+                                     simulated delay)
+  ``rank``       any collective      ``failure`` (raises
+                                     :class:`RankFailure` for a
+                                     deterministically chosen rank)
+  ``batch``      batched SpMV        ``corruption`` (poisons one active
+                                     system's output block)
+  =============  ==================  =====================================
+
 Every injected fault is appended to :attr:`FaultInjector.injected` and
 emitted as a structured ``fault_injected`` event on the executor's logger
 chain, so tests and benchmarks can assert on exact fault sequences.  Two
@@ -43,18 +67,30 @@ import numpy as np
 from repro.ginkgo.exceptions import AllocationError, CudaError, GinkgoError
 from repro.ginkgo.executor import Executor, _nbytes_of
 
-#: Executor boundaries faults can be injected at.
-FAULT_SITES = ("run", "alloc", "copy")
+#: Boundaries faults can be injected at (executor, communicator, batch).
+FAULT_SITES = ("run", "alloc", "copy", "halo", "allreduce", "rank", "batch")
 
 #: Fault kinds valid at each site.
 SITE_KINDS = {
     "run": ("transient", "stall"),
     "alloc": ("oom",),
     "copy": ("transient", "corruption"),
+    "halo": ("drop", "duplicate", "late"),
+    "allreduce": ("corruption", "straggler"),
+    "rank": ("failure",),
+    "batch": ("corruption",),
 }
 
 #: Default kind when a schedule entry names only a call index.
-DEFAULT_KIND = {"run": "transient", "alloc": "oom", "copy": "transient"}
+DEFAULT_KIND = {
+    "run": "transient",
+    "alloc": "oom",
+    "copy": "transient",
+    "halo": "drop",
+    "allreduce": "corruption",
+    "rank": "failure",
+    "batch": "corruption",
+}
 
 
 @dataclass(frozen=True)
@@ -92,7 +128,18 @@ class FaultInjector:
             ``copy_from``.
         corruption_rate: Probability of silent data corruption per
             ``copy_from``.
-        stall_seconds: Simulated duration of one injected stall.
+        halo_drop_rate: Probability of a dropped halo exchange.
+        halo_duplicate_rate: Probability of a duplicated halo exchange.
+        halo_late_rate: Probability of a late halo exchange.
+        allreduce_corruption_rate: Probability of a corrupted all-reduce
+            payload.
+        straggler_rate: Probability of a straggling rank delaying an
+            all-reduce.
+        rank_failure_rate: Probability of a rank failure per collective.
+        batch_corruption_rate: Probability of corrupting one system's
+            block per batched SpMV.
+        stall_seconds: Simulated duration of one injected stall (also
+            the straggler / late-halo delay).
         corruption_mode: ``"nan"`` pokes a NaN into one entry;
             ``"bitflip"`` flips one bit of one float64 entry.
         max_faults: Stop injecting after this many faults (None: no cap).
@@ -110,6 +157,13 @@ class FaultInjector:
         alloc_rate: float = 0.0,
         copy_rate: float = 0.0,
         corruption_rate: float = 0.0,
+        halo_drop_rate: float = 0.0,
+        halo_duplicate_rate: float = 0.0,
+        halo_late_rate: float = 0.0,
+        allreduce_corruption_rate: float = 0.0,
+        straggler_rate: float = 0.0,
+        rank_failure_rate: float = 0.0,
+        batch_corruption_rate: float = 0.0,
         stall_seconds: float = 1e-3,
         corruption_mode: str = "nan",
         max_faults: int | None = None,
@@ -121,6 +175,13 @@ class FaultInjector:
             ("alloc", "oom"): alloc_rate,
             ("copy", "transient"): copy_rate,
             ("copy", "corruption"): corruption_rate,
+            ("halo", "drop"): halo_drop_rate,
+            ("halo", "duplicate"): halo_duplicate_rate,
+            ("halo", "late"): halo_late_rate,
+            ("allreduce", "corruption"): allreduce_corruption_rate,
+            ("allreduce", "straggler"): straggler_rate,
+            ("rank", "failure"): rank_failure_rate,
+            ("batch", "corruption"): batch_corruption_rate,
         }
         for (site, kind), rate in rates.items():
             if not 0.0 <= rate <= 1.0:
@@ -242,6 +303,17 @@ class FaultInjector:
             bits ^= np.uint64(1) << np.uint64(int(self._rng.integers(63)))
         return flat_index
 
+    def choose(self, count: int) -> int:
+        """Deterministically pick a victim index in ``[0, count)``.
+
+        Used to select the failed rank or the corrupted batch system;
+        draws from the same seeded stream as the rate decisions, so equal
+        seeds pick equal victims.
+        """
+        if count < 1:
+            raise GinkgoError(f"cannot choose from {count} candidates")
+        return int(self._rng.integers(count))
+
     # ------------------------------------------------------------------
     # arming
     # ------------------------------------------------------------------
@@ -287,6 +359,16 @@ class FaultInjector:
             f"FaultInjector(seed={self.seed}, rates={active}, "
             f"scheduled={len(self._schedule)}, injected={self.fault_count})"
         )
+
+
+def injector_of(exec_) -> FaultInjector | None:
+    """The :class:`FaultInjector` behind ``exec_``, or None.
+
+    Lets communicator- and batch-level code consult the injector of a
+    wrapping :class:`FaultyExecutor` without knowing about the wrapper.
+    """
+    injector = getattr(exec_, "injector", None)
+    return injector if isinstance(injector, FaultInjector) else None
 
 
 class FaultyExecutor(Executor):
@@ -435,6 +517,33 @@ class FaultyExecutor(Executor):
                     f"on {self.name}"
                 )
         return self._inner.run(cost)
+
+    def run_partitioned(self, cost, tasks, parts=None):
+        """Faulted partitioned dispatch (batch/distributed rank kernels).
+
+        Without this override ``getattr(exec_, "run_partitioned")`` would
+        resolve through ``__getattr__`` to the inner executor's bound
+        method, silently bypassing the ``run`` fault site for every
+        partitioned batch or distributed kernel.
+        """
+        fault = self._injector.decide("run", detail=cost.name)
+        if fault is not None:
+            self._announce(fault)
+            if fault.kind == "stall":
+                self.clock.advance(self._injector.stall_seconds)
+            else:
+                raise CudaError(
+                    f"simulated transient fault in kernel {cost.name!r} "
+                    f"on {self.name}"
+                )
+        runner = getattr(self._inner, "run_partitioned", None)
+        if runner is None:
+            # Inner executor has no thread pool: collapse to the serial
+            # path (same numerics, one aggregate kernel charge).
+            results = [task() for task in tasks]
+            self._inner.run(cost)
+            return results
+        return runner(cost, tasks, parts)
 
     # Non-faulted boundaries delegate explicitly (they are defined on the
     # base class, so __getattr__ would not reroute them).

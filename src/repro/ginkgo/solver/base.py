@@ -121,6 +121,7 @@ class IterativeSolver(LinOp):
         self.num_iterations = 0
         self.converged = False
         self.breakdown = False
+        self.timed_out = False
         self.final_residual_norm = float("nan")
 
     @staticmethod
@@ -166,6 +167,7 @@ class IterativeSolver(LinOp):
     # ------------------------------------------------------------------
     def _apply_impl(self, b: Dense, x: Dense) -> None:
         self.breakdown = False
+        self.timed_out = False
         context = CriterionContext(
             rhs_norm=b.compute_norm2(),
             clock=self._exec.clock,
@@ -224,6 +226,7 @@ class IterativeSolver(LinOp):
             if stop:
                 self.num_iterations = iteration
                 self.converged = criterion.converged
+                self.timed_out = bool(getattr(criterion, "timed_out", False))
                 self.final_residual_norm = float(np.max(residual_norm))
                 if criterion.converged:
                     self._log(

@@ -11,6 +11,7 @@ from repro.ginkgo.stop.criterion import (
     Combined,
     Criterion,
     CriterionContext,
+    Deadline,
     Divergence,
     Iteration,
     ResidualNorm,
@@ -21,6 +22,7 @@ __all__ = [
     "Combined",
     "Criterion",
     "CriterionContext",
+    "Deadline",
     "Divergence",
     "Iteration",
     "ResidualNorm",

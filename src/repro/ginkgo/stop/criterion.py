@@ -199,6 +199,46 @@ class Time(CriterionFactory):
         return f"Time(time_limit={self.time_limit})"
 
 
+class Deadline(CriterionFactory):
+    """Stop — without converging — at an absolute simulated-clock time.
+
+    Unlike :class:`Time` (a per-solve relative budget), a deadline is an
+    absolute point on the executor clock, so it keeps shrinking across
+    retries and fallbacks of one resilient solve: every attempt races
+    the same deadline.  The bound criterion records :attr:`timed_out`
+    when it fires, which ``resilient_solve`` surfaces as
+    ``ResilienceReport.timed_out`` together with the best partial
+    solution instead of burning further attempts.
+    """
+
+    def __init__(self, at: float) -> None:
+        if not np.isfinite(at):
+            raise GinkgoError(f"deadline must be finite, got {at}")
+        self.at = float(at)
+
+    def generate(self, context: CriterionContext) -> Criterion:
+        factory = self
+        clock = context.clock
+
+        class _Bound(Criterion):
+            def __init__(self) -> None:
+                super().__init__()
+                self.timed_out = False
+
+            def check(self, iteration: int, residual_norm) -> bool:
+                if clock is None:
+                    return False
+                if clock.now >= factory.at:
+                    self.timed_out = True
+                    return True
+                return False
+
+        return _Bound()
+
+    def __repr__(self) -> str:
+        return f"Deadline(at={self.at})"
+
+
 class Combined(CriterionFactory):
     """OR-combination: stop when any sub-criterion is satisfied."""
 
@@ -218,6 +258,8 @@ class Combined(CriterionFactory):
                         stop = True
                         if criterion.converged:
                             self.converged = True
+                        if getattr(criterion, "timed_out", False):
+                            self.timed_out = True
                 return stop
 
         return _Bound()

@@ -23,13 +23,23 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
-#: Leaf categories counted as attributable time.
-LEAF_CATEGORIES = ("kernel", "binding", "stall", "transfer", "host", "comm")
+#: Leaf categories counted as attributable time.  ``fault`` covers time
+#: injected or spent because of simulated failures: straggler / late-halo
+#: delays, checkpoint regather after a shrink, recovery replays.
+LEAF_CATEGORIES = (
+    "kernel",
+    "binding",
+    "stall",
+    "transfer",
+    "host",
+    "comm",
+    "fault",
+)
 
 #: Fine-grained category -> coarse attribution bucket.  Anything that is
 #: neither kernel work nor a binding crossing counts as stall time
-#: (synchronisation, transfers, communication, backoff, miscellaneous
-#: host overhead).
+#: (synchronisation, transfers, communication, backoff, fault recovery,
+#: miscellaneous host overhead).
 BUCKET_OF = {
     "kernel": "kernel",
     "binding": "binding",
@@ -37,6 +47,7 @@ BUCKET_OF = {
     "transfer": "stall",
     "host": "stall",
     "comm": "stall",
+    "fault": "stall",
 }
 
 
