@@ -25,10 +25,14 @@ profile-smoke:
 # Distributed acceptance: 4-rank CG histories byte-identical to the
 # single-rank solve, fused rank regions >= 2x over sequential-rank
 # dispatch.
+# Fusion acceptance: pg.deferred() must beat the eager operator path by
+# >= 1.5x on the simulated clock with byte-identical residual histories
+# and same-seed traces, without regressing wall-clock.
 perf-smoke:
 	$(PYTHON) benchmarks/bench_hot_path.py --smoke
 	$(PYTHON) benchmarks/bench_batch.py --smoke
 	$(PYTHON) benchmarks/bench_distributed.py --smoke
+	$(PYTHON) benchmarks/bench_fusion.py --smoke
 
 # Chaos acceptance: the seeded fault-schedule suite, then the recovery
 # sweep — every injectable site across scalar/batch/distributed solves

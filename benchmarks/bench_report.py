@@ -20,14 +20,34 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
-def collect(root: Path) -> list:
-    """Load every BENCH_*.json under ``root`` (sorted by name)."""
+def collect(root: Path, skipped: list | None = None) -> list:
+    """Load every BENCH_*.json under ``root`` (sorted by name).
+
+    A missing, empty, truncated, or otherwise malformed file is skipped
+    with a warning on stderr (and recorded in ``skipped`` when given)
+    rather than poisoning the whole report — one bad writer must not
+    take down the CI summary for every other benchmark.
+    """
     reports = []
     for path in sorted(root.glob("BENCH_*.json")):
         try:
             data = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError) as err:
-            data = {"benchmark": path.stem, "failures": [f"unreadable: {err}"]}
+            print(
+                f"warning: skipping {path.name}: {err}", file=sys.stderr
+            )
+            if skipped is not None:
+                skipped.append(path.name)
+            continue
+        if not isinstance(data, dict):
+            print(
+                f"warning: skipping {path.name}: expected a JSON object, "
+                f"got {type(data).__name__}",
+                file=sys.stderr,
+            )
+            if skipped is not None:
+                skipped.append(path.name)
+            continue
         data.setdefault("benchmark", path.stem)
         data["_file"] = path.name
         reports.append(data)
@@ -83,11 +103,26 @@ def main() -> int:
         help="also write the combined reports to this JSON file",
     )
     args = parser.parse_args()
-    reports = collect(Path(args.root))
+    skipped: list = []
+    reports = collect(Path(args.root), skipped=skipped)
     if not reports:
-        print("no BENCH_*.json reports found", file=sys.stderr)
+        # Exit nonzero only when *zero* reports parse; skipped files
+        # alongside healthy reports are a warning, not a failure.
+        if skipped:
+            print(
+                f"no parseable BENCH_*.json reports "
+                f"({len(skipped)} skipped)",
+                file=sys.stderr,
+            )
+        else:
+            print("no BENCH_*.json reports found", file=sys.stderr)
         return 1
     print(render(reports))
+    if skipped:
+        print(
+            f"({len(skipped)} unreadable report(s) skipped: "
+            f"{', '.join(skipped)})"
+        )
     if args.json:
         combined = [
             {k: v for k, v in r.items() if k != "_file"} for r in reports

@@ -38,10 +38,14 @@ from repro.core import (
     ResilienceReport,
     RetryPolicy,
     BatchSolverHandle,
+    DeferredTrace,
+    LazyExpr,
     RitzPairs,
     SolverHandle,
     TABLE1,
     Tensor,
+    deferred,
+    lazy,
     arnoldi,
     array,
     as_tensor,
@@ -79,7 +83,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BatchSolverHandle",
+    "DeferredTrace",
     "FallbackChain",
+    "LazyExpr",
     "MetricsRegistry",
     "ProfilerHook",
     "ResilienceReport",
@@ -97,8 +103,10 @@ __all__ = [
     "clear_device_cache",
     "config_solver",
     "config_to_json",
+    "deferred",
     "device",
     "distributed",
+    "lazy",
     "from_numpy",
     "from_scipy",
     "index_dtype",

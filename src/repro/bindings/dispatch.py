@@ -17,6 +17,13 @@ The suffix maps are built locally by inverting the registry's
 Hits and misses are reported under the ``dispatch`` kind of
 :mod:`repro.ginkgo.cachestats`; :func:`clear` resets the cache (the test
 suite does this around every test).
+
+The expression layer resolves through here too: eager operator
+expressions use the ``apply``/``scal``/``axpy`` symbols (one resolve +
+one crossing per operation), while a ``pg.deferred()`` flush resolves
+``fused_region`` once per region — that single lookup standing in for
+every operation the region replaced is exactly the amortisation
+:mod:`repro.ginkgo.lazy` is built around.
 """
 
 from __future__ import annotations

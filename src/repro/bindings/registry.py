@@ -36,6 +36,7 @@ from repro.ginkgo.executor import (
     OmpExecutor,
     ReferenceExecutor,
 )
+from repro.ginkgo.dim import Dim
 from repro.ginkgo.matrix import Coo, Csr, Dense, Ell, Hybrid, Sellp
 from repro.ginkgo.mtx_io import read_mtx
 from repro.ginkgo.preconditioner import Ic, Ilu, Isai, Jacobi
@@ -176,6 +177,60 @@ def _make_read(cls, value_dtype, index_dtype):
     return reader
 
 
+def _make_apply(value_dtype):
+    def apply(exec_, op, operand):
+        out = Dense.empty(
+            exec_,
+            Dim(op.size.rows, operand.size.cols),
+            np.promote_types(getattr(op, "dtype", value_dtype), operand.dtype),
+        )
+        op.apply(operand, out)
+        return out
+
+    apply.__doc__ = (
+        f"Apply a LinOp to a Dense operand, returning a fresh "
+        f"{np.dtype(value_dtype).name} result (``op @ x``)."
+    )
+    return apply
+
+
+def _make_scal(value_dtype):
+    def scal(exec_, alpha, operand):
+        out = operand.clone()
+        out.scale(alpha)
+        return out
+
+    scal.__doc__ = (
+        f"Out-of-place ``alpha * x`` on {np.dtype(value_dtype).name} values."
+    )
+    return scal
+
+
+def _make_axpy(value_dtype):
+    def axpy(exec_, alpha, x, y):
+        out = y.clone()
+        out.add_scaled(alpha, x)
+        return out
+
+    axpy.__doc__ = (
+        f"Out-of-place ``y + alpha * x`` on {np.dtype(value_dtype).name} "
+        f"values."
+    )
+    return axpy
+
+
+def _make_fused_region(value_dtype):
+    def fused_region(exec_, plan):
+        return plan()
+
+    fused_region.__doc__ = (
+        f"Execute one lazily-recorded fused region "
+        f"({np.dtype(value_dtype).name} values): a single crossing covers "
+        f"every operation the flush collapsed into the region."
+    )
+    return fused_region
+
+
 def _make_batch_dense(value_dtype):
     def batch_dense(exec_, items):
         arrays = [np.asarray(item, dtype=value_dtype) for item in items]
@@ -269,6 +324,10 @@ def _build_registry() -> dict:
     for vt_name, vt in VALUE_TYPES.items():
         registry[f"dense_{vt_name}"] = _bound(_make_dense(vt), 2)
         registry[f"dense_empty_{vt_name}"] = _bound(_make_dense_empty(vt), 3)
+        registry[f"apply_{vt_name}"] = _bound(_make_apply(vt), 3)
+        registry[f"scal_{vt_name}"] = _bound(_make_scal(vt), 3)
+        registry[f"axpy_{vt_name}"] = _bound(_make_axpy(vt), 4)
+        registry[f"fused_region_{vt_name}"] = _bound(_make_fused_region(vt), 2)
         registry[f"batch_dense_{vt_name}"] = _bound(_make_batch_dense(vt), 2)
         for solver_name, solver_cls in _SOLVER_FACTORIES.items():
             registry[f"{solver_name}_factory_{vt_name}"] = _bound(

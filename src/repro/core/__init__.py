@@ -47,6 +47,8 @@ from repro.core.solve import (
 from repro.core.solver_api import SolverHandle
 from repro.core.tensor import Tensor, array, as_tensor
 from repro.core.types import TABLE1, index_dtype, value_dtype
+from repro.ginkgo import lazy
+from repro.ginkgo.lazy import DeferredTrace, LazyExpr, deferred
 
 __all__ = [
     "BatchResilienceReport",
@@ -67,8 +69,12 @@ __all__ = [
     "clear_device_cache",
     "config_solver",
     "config_to_json",
+    "DeferredTrace",
+    "LazyExpr",
+    "deferred",
     "device",
     "distributed",
+    "lazy",
     "from_numpy",
     "from_scipy",
     "index_dtype",

@@ -41,10 +41,6 @@ def profile(*targets, name: str = "pyginkgo", metrics=None):
         after (or inside) the block.
     """
     prof = ProfilerHook(name=name, metrics=metrics)
-    if metrics is not None:
-        # Workspace/format/dispatch cache hits and misses inside the
-        # region land as cache_* counters next to the kernel counters.
-        cachestats.register_sink(metrics)
     clocks = []
     for target in targets:
         if isinstance(target, str):
@@ -52,6 +48,15 @@ def profile(*targets, name: str = "pyginkgo", metrics=None):
         clock = _resolve_clock(target)
         if clock not in clocks:
             clocks.append(clock)
+    if metrics is not None:
+        # Workspace/format/dispatch cache hits and misses inside the
+        # region land as cache_* counters next to the kernel counters.
+        # Registered only once target resolution cannot raise any more
+        # (a leaked registration would keep mirroring — and with another
+        # profile region sharing the registry, double-count — forever),
+        # and released in the finally below; registration is refcounted,
+        # so nested regions sharing one registry mirror exactly once.
+        cachestats.register_sink(metrics)
     if clocks:
         for clock in clocks:
             prof.attach(clock)

@@ -114,17 +114,29 @@ class Tensor:
             f"cannot combine Tensor with {type(other).__name__}"
         )
 
-    def __add__(self, other) -> "Tensor":
+    def __add__(self, other):
+        from repro.ginkgo import lazy
+
+        if lazy.is_recording() or isinstance(other, lazy.LazyExpr):
+            return lazy.add_expr(self, other)
         out = self._dense.clone()
         out.add_scaled(1.0, self._coerce(other))
         return Tensor(out)
 
-    def __sub__(self, other) -> "Tensor":
+    def __sub__(self, other):
+        from repro.ginkgo import lazy
+
+        if lazy.is_recording() or isinstance(other, lazy.LazyExpr):
+            return lazy.add_expr(self, other, sign=-1.0)
         out = self._dense.clone()
         out.sub_scaled(1.0, self._coerce(other))
         return Tensor(out)
 
-    def __mul__(self, scalar) -> "Tensor":
+    def __mul__(self, scalar):
+        from repro.ginkgo import lazy
+
+        if lazy.is_recording():
+            return lazy.scale_expr(float(scalar), self)
         out = self._dense.clone()
         out.scale(float(scalar))
         return Tensor(out)

@@ -20,12 +20,24 @@ trace instants so profiler timelines show where reuse struck.
 Counter mirroring is owned exclusively by this module: the profiler hook
 renders the clock marks as instants but never counts them, so a registry
 that is both a sink here and attached to a profiler cannot double-count.
+
+Sink registration is *reference counted* and keyed by registry identity:
+nested ``pg.profile(metrics=...)`` regions sharing one registry register
+it twice, and the inner region's exit must not stop mirroring for the
+outer region (nor may a shared registry ever receive an event twice for
+one lookup).  A lock guards the tables so concurrent profile regions on
+worker threads cannot corrupt them mid-iteration.
 """
 
 from __future__ import annotations
 
+import threading
+
 _COUNTS: dict[str, int] = {}
-_SINKS: list = []
+#: id(registry) -> [registry, refcount]; identity-keyed so one registry
+#: is mirrored exactly once per event no matter how many regions hold it.
+_SINKS: dict[int, list] = {}
+_LOCK = threading.Lock()
 
 
 def record(kind: str, hit: bool, clock=None, **meta) -> None:
@@ -41,41 +53,60 @@ def record(kind: str, hit: bool, clock=None, **meta) -> None:
             byte size, symbol, ...).
     """
     key = f"cache_{kind}_{'hit' if hit else 'miss'}"
-    _COUNTS[key] = _COUNTS.get(key, 0) + 1
-    for sink in _SINKS:
+    with _LOCK:
+        _COUNTS[key] = _COUNTS.get(key, 0) + 1
+        sinks = [entry[0] for entry in _SINKS.values()]
+    for sink in sinks:
         sink.counter(key).inc()
     if clock is not None:
         clock.annotate("cache_hit" if hit else "cache_miss", kind=kind, **meta)
 
 
 def register_sink(registry) -> None:
-    """Mirror future cache counts into ``registry`` (idempotent)."""
-    if registry not in _SINKS:
-        _SINKS.append(registry)
+    """Mirror future cache counts into ``registry`` (reference counted)."""
+    with _LOCK:
+        entry = _SINKS.get(id(registry))
+        if entry is None:
+            _SINKS[id(registry)] = [registry, 1]
+        else:
+            entry[1] += 1
 
 
 def unregister_sink(registry) -> None:
-    """Stop mirroring into ``registry``; unknown registries are ignored."""
-    try:
-        _SINKS.remove(registry)
-    except ValueError:
-        pass
+    """Drop one registration of ``registry``; mirroring stops when the
+    last registration is released.  Unknown registries are ignored."""
+    with _LOCK:
+        entry = _SINKS.get(id(registry))
+        if entry is None:
+            return
+        entry[1] -= 1
+        if entry[1] <= 0:
+            del _SINKS[id(registry)]
+
+
+def sink_count() -> int:
+    """Number of distinct registries currently mirrored (not refcounts)."""
+    with _LOCK:
+        return len(_SINKS)
 
 
 def snapshot() -> dict:
     """Copy of the global count table (``cache_<kind>_<hit|miss>`` keys)."""
-    return dict(_COUNTS)
+    with _LOCK:
+        return dict(_COUNTS)
 
 
 def counts(kind: str) -> tuple:
     """``(hits, misses)`` of one cache family."""
-    return (
-        _COUNTS.get(f"cache_{kind}_hit", 0),
-        _COUNTS.get(f"cache_{kind}_miss", 0),
-    )
+    with _LOCK:
+        return (
+            _COUNTS.get(f"cache_{kind}_hit", 0),
+            _COUNTS.get(f"cache_{kind}_miss", 0),
+        )
 
 
 def reset() -> None:
     """Zero the global table and drop all sinks (test isolation)."""
-    _COUNTS.clear()
-    _SINKS.clear()
+    with _LOCK:
+        _COUNTS.clear()
+        _SINKS.clear()

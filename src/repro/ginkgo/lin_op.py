@@ -189,6 +189,21 @@ class LinOp:
     def _apply_advanced_impl(self, alpha, b, beta, x) -> None:
         raise NotImplementedError
 
+    def __matmul__(self, operand):
+        """``op @ x``: apply through the expression layer.
+
+        Eagerly this crosses the ``apply`` binding and returns a fresh
+        result; inside ``pg.deferred()`` (or when ``operand`` is already
+        lazy) it records a :class:`repro.ginkgo.lazy.LazyExpr` node whose
+        validity is tied to this operator's ``data_version``.
+        """
+        from repro.ginkgo import lazy
+
+        try:
+            return lazy.matmul(self, operand)
+        except TypeError:
+            return NotImplemented
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self._size.rows}x{self._size.cols}>"
 

@@ -100,6 +100,34 @@ class SparseBase(LinOp):
         elements = self._size.num_elements
         return self.nnz / elements if elements else 0.0
 
+    @staticmethod
+    def _readonly(arr: np.ndarray) -> np.ndarray:
+        """Zero-copy read-only view of a stored array.
+
+        The public array properties return these so that in-place writes
+        cannot bypass :meth:`mark_modified` and poison the
+        generation-counter caches (SciPy views, cached transposes,
+        recorded lazy nodes).
+        """
+        view = arr.view()
+        view.flags.writeable = False
+        return view
+
+    def writable_values(self) -> np.ndarray:
+        """Raw writable values array — the caller owns invalidation.
+
+        Every in-place write through the returned array must be followed
+        by :meth:`mark_modified`, otherwise version-checked caches serve
+        stale results.
+        """
+        values = getattr(self, "_values", None)
+        if values is None:
+            raise GinkgoError(
+                f"{type(self).__name__} does not expose a single raw "
+                f"values array"
+            )
+        return values
+
     # ------------------------------------------------------------------
     # SpMV
     # ------------------------------------------------------------------

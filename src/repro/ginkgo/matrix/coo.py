@@ -83,15 +83,18 @@ class Coo(SparseBase):
 
     @property
     def row_idxs(self) -> np.ndarray:
-        return self._row_idxs
+        """Read-only view; mutate via :meth:`writable_values` + mark_modified."""
+        return self._readonly(self._row_idxs)
 
     @property
     def col_idxs(self) -> np.ndarray:
-        return self._col_idxs
+        """Read-only view; mutate via :meth:`writable_values` + mark_modified."""
+        return self._readonly(self._col_idxs)
 
     @property
     def values(self) -> np.ndarray:
-        return self._values
+        """Read-only view; mutate via :meth:`writable_values` + mark_modified."""
+        return self._readonly(self._values)
 
     def _to_scipy(self) -> sp.coo_matrix:
         from repro.ginkgo.matrix.base import scipy_safe

@@ -134,15 +134,18 @@ class Csr(SparseBase):
 
     @property
     def row_ptrs(self) -> np.ndarray:
-        return self._row_ptrs
+        """Read-only view; mutate via :meth:`writable_values` + mark_modified."""
+        return self._readonly(self._row_ptrs)
 
     @property
     def col_idxs(self) -> np.ndarray:
-        return self._col_idxs
+        """Read-only view; mutate via :meth:`writable_values` + mark_modified."""
+        return self._readonly(self._col_idxs)
 
     @property
     def values(self) -> np.ndarray:
-        return self._values
+        """Read-only view; mutate via :meth:`writable_values` + mark_modified."""
+        return self._readonly(self._values)
 
     def _spmv_cost_kwargs(self) -> dict:
         return {"strategy": self._strategy}

@@ -130,10 +130,33 @@ class Dense(LinOp):
         return self._data[row, col]
 
     def view(self) -> np.ndarray:
-        """Zero-copy NumPy view; only legal on host executors."""
+        """Zero-copy **read-only** NumPy view; only legal on host executors.
+
+        Read-only because writes through an exported view would bypass
+        :meth:`mark_modified`, silently poisoning the generation-counter
+        memo (cached transposes, recorded lazy nodes).  Use
+        :meth:`writable_view` when in-place mutation is intended.
+        """
         if not self._exec.is_host:
             raise ExecutorMismatch(
                 "Dense.view", expected="a host executor", got=self._exec.name
+            )
+        view = self._data.view()
+        view.flags.writeable = False
+        return view
+
+    def writable_view(self) -> np.ndarray:
+        """Zero-copy *writable* view — the caller owns invalidation.
+
+        Every write through the returned array must be followed by a
+        :meth:`mark_modified` call (or wrapped in code that does so);
+        otherwise version-checked caches serve stale results.
+        """
+        if not self._exec.is_host:
+            raise ExecutorMismatch(
+                "Dense.writable_view",
+                expected="a host executor",
+                got=self._exec.name,
             )
         return self._data
 
@@ -148,6 +171,39 @@ class Dense(LinOp):
         if self._exec.is_host:
             return self._data.copy()
         return self._exec.get_master().copy_from(self._exec, self._data)
+
+    # ------------------------------------------------------------------
+    # expression operators (lazy-recordable)
+    # ------------------------------------------------------------------
+    def __mul__(self, alpha):
+        if not isinstance(alpha, (int, float, np.integer, np.floating)):
+            return NotImplemented
+        from repro.ginkgo import lazy
+
+        return lazy.scale_expr(alpha, self)
+
+    __rmul__ = __mul__
+
+    def __neg__(self):
+        from repro.ginkgo import lazy
+
+        return lazy.scale_expr(-1.0, self)
+
+    def __add__(self, other):
+        from repro.ginkgo import lazy
+
+        try:
+            return lazy.add_expr(self, other)
+        except TypeError:
+            return NotImplemented
+
+    def __sub__(self, other):
+        from repro.ginkgo import lazy
+
+        try:
+            return lazy.add_expr(self, other, sign=-1.0)
+        except TypeError:
+            return NotImplemented
 
     # ------------------------------------------------------------------
     # migration and copies

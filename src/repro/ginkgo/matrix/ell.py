@@ -95,11 +95,13 @@ class Ell(SparseBase):
 
     @property
     def col_idxs(self) -> np.ndarray:
-        return self._col_idxs
+        """Read-only view; mutate via :meth:`writable_values` + mark_modified."""
+        return self._readonly(self._col_idxs)
 
     @property
     def values(self) -> np.ndarray:
-        return self._values
+        """Read-only view; mutate via :meth:`writable_values` + mark_modified."""
+        return self._readonly(self._values)
 
     # ------------------------------------------------------------------
     # SpMV: real vectorised ELL kernel

@@ -26,9 +26,11 @@ class CgSolver(IterativeSolver):
     """Generated CG operator (fused step kernels, as in Ginkgo)."""
 
     def _iterate(self, A, M, b, x, r, monitor) -> None:
+        from repro.ginkgo.lazy import fused_step
         from repro.ginkgo.solver.kernels import cg_step_1, cg_step_2
 
         ws = self._workspace
+        exec_ = self._exec
         z = ws.dense("cg.z", r.size, r.dtype)
         M.apply(r, z)
         p = ws.dense_like("cg.p", z)
@@ -41,14 +43,20 @@ class CgSolver(IterativeSolver):
             A.apply(p, q)
             pq = p.compute_dot(q)
             alpha = _safe_divide(rz, pq)
-            cg_step_2(x, r, p, q, alpha)
+            # cg_step_2 is one fused kernel standing in for the two eager
+            # axpys (x += alpha p, r -= alpha q) — mark it as a fused
+            # region so attribution counts the amortisation.
+            with fused_step(exec_, "cg::step_2", ops_replaced=2):
+                cg_step_2(x, r, p, q, alpha)
             res_norm = r.compute_norm2()
             if monitor(iteration, res_norm):
                 return
             M.apply(r, z)
             rz_new = r.compute_dot(z)
             beta = _safe_divide(rz_new, rz)
-            cg_step_1(p, z, beta)
+            # cg_step_1 fuses the scale+add of p = z + beta p.
+            with fused_step(exec_, "cg::step_1", ops_replaced=2):
+                cg_step_1(p, z, beta)
             rz = rz_new
 
 

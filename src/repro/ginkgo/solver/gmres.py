@@ -50,6 +50,7 @@ class GmresSolver(IterativeSolver):
             )
 
     def _solve_column(self, A, M, b, x, krylov_dim, monitor) -> bool:
+        from repro.ginkgo.lazy import fused_step
         from repro.ginkgo.solver.kernels import (
             gmres_multidot,
             gmres_update,
@@ -92,10 +93,15 @@ class GmresSolver(IterativeSolver):
                 w._data[:, 0] = basis[:, j]
                 A.apply(w, r)
                 M.apply(r, w)
-                # Gram-Schmidt via Ginkgo's fused multi-dot + rank update.
-                coeffs = gmres_multidot(basis, w, j + 1)
-                hessenberg[: j + 1, j] = coeffs
-                gmres_update(basis, w, coeffs, j + 1)
+                # Gram-Schmidt via Ginkgo's fused multi-dot + rank update:
+                # each collapses j+1 eager dots / axpys into one kernel, so
+                # mark the pair as a fused region for attribution.
+                with fused_step(
+                    exec_, "gmres::orthogonalize", ops_replaced=2 * (j + 1)
+                ):
+                    coeffs = gmres_multidot(basis, w, j + 1)
+                    hessenberg[: j + 1, j] = coeffs
+                    gmres_update(basis, w, coeffs, j + 1)
                 h_next = float(w.compute_norm2()[0])
                 hessenberg[j + 1, j] = h_next
                 if h_next != 0.0:

@@ -41,6 +41,8 @@ from repro.perfmodel.kernels import (
     conversion_cost,
     dot_cost,
     factorization_cost,
+    fused_axpby_cost,
+    fused_spmv_axpby_cost,
     spmv_cost,
     trsv_cost,
 )
@@ -89,6 +91,8 @@ __all__ = [
     "conversion_cost",
     "dot_cost",
     "factorization_cost",
+    "fused_axpby_cost",
+    "fused_spmv_axpby_cost",
     "get_device_spec",
     "get_library_profile",
     "halo_exchange_time",

@@ -165,6 +165,63 @@ def blas1_cost(
     )
 
 
+def fused_axpby_cost(
+    length: int,
+    value_bytes: int,
+    num_inputs: int,
+    flops_per_element: int,
+) -> KernelCost:
+    """Cost of one fused elementwise chain (axpy/scal/axpby compositions).
+
+    A lazy-evaluation flush collapses a chain of scale/add expression
+    nodes into a single streaming kernel: every distinct input vector is
+    read once, the result is written once, and all intermediate traffic
+    (the clones and temporaries the eager chain would stream through
+    DRAM) disappears.  ``flops_per_element`` counts the multiplies and
+    adds the chain performs per element — the arithmetic is identical to
+    the eager chain; only the memory traffic and launch count shrink.
+    """
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    if num_inputs < 1:
+        raise ValueError("a fused chain reads at least one input vector")
+    dtype_name = {2: "float16", 4: "float32", 8: "float64"}[value_bytes]
+    return KernelCost(
+        name="fused_axpby",
+        flops=float(length) * max(1, flops_per_element),
+        bytes=float(length) * value_bytes * (num_inputs + 1),
+        launches=1,
+        dtype_name=dtype_name,
+    )
+
+
+def fused_spmv_axpby_cost(
+    spmv: KernelCost,
+    length: int,
+    value_bytes: int,
+    extra_inputs: int,
+    flops_per_element: int,
+) -> KernelCost:
+    """Fold an elementwise tail into the SpMV that produces its input.
+
+    Models Ginkgo's fused SpMV+axpy kernels (``apply_advanced`` and the
+    solver step kernels): the product never round-trips through DRAM —
+    the tail consumes it in registers — so relative to ``spmv`` the fused
+    kernel only adds one read per *extra* tail input plus the tail's
+    flops.  Launch count is unchanged; the SpMV's output write already
+    covers the result store.
+    """
+    if length < 0 or extra_inputs < 0:
+        raise ValueError("length and extra_inputs must be non-negative")
+    return KernelCost(
+        name=f"fused_{spmv.name}_axpby",
+        flops=spmv.flops + float(length) * max(0, flops_per_element),
+        bytes=spmv.bytes + float(length) * value_bytes * extra_inputs,
+        launches=spmv.launches,
+        dtype_name=spmv.dtype_name,
+    )
+
+
 def dot_cost(length: int, value_bytes: int, num_rhs: int = 1) -> KernelCost:
     """Cost of a dot product / norm reduction (two launches: map + reduce)."""
     if length < 0:

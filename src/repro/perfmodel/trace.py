@@ -156,6 +156,12 @@ class AttributionTable:
         self.categories: dict = {}
         self.kernels: dict = {}
         self.bindings: dict = {}
+        #: Number of ``fused_region`` structural spans seen (lazy-flush
+        #: regions and solver fused-step regions).
+        self.fused_regions = 0
+        #: Total eager operations those regions replaced, from each
+        #: span's ``ops_replaced`` metadata.
+        self.fused_ops_replaced = 0
 
     # ------------------------------------------------------------------
     # accumulation
@@ -163,6 +169,11 @@ class AttributionTable:
     def add_root(self, span: Span) -> None:
         self.total += span.duration
         for node in span.walk():
+            if node.category == "fused_region":
+                self.fused_regions += 1
+                self.fused_ops_replaced += int(
+                    node.meta.get("ops_replaced", 0)
+                )
             if not node.is_leaf:
                 continue
             bucket = BUCKET_OF.get(node.category, "stall")
@@ -229,6 +240,11 @@ class AttributionTable:
             f"{'(accounted)':<28} {self.accounted * 1e3:>9.4f} ms "
             f"{self.coverage * 100:>5.1f}%"
         )
+        if self.fused_regions:
+            lines.append(
+                f"{'(fused regions)':<28} {self.fused_regions:>9} "
+                f"replacing {self.fused_ops_replaced} ops"
+            )
         if self.kernels:
             lines.append("")
             lines.append(

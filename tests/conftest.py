@@ -8,7 +8,7 @@ import scipy.sparse as sp
 
 from repro.bindings import dispatch
 from repro.bindings.overhead import reset_models
-from repro.ginkgo import cachestats
+from repro.ginkgo import cachestats, lazy
 from repro.ginkgo.executor import (
     CudaExecutor,
     HipExecutor,
@@ -30,10 +30,12 @@ def _reset_binding_state():
     reset_models()
     dispatch.clear()
     cachestats.reset()
+    lazy.reset()
     yield
     reset_models()
     dispatch.clear()
     cachestats.reset()
+    lazy.reset()
     SimClock._global_tracers.clear()
 
 

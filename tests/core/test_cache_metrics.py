@@ -1,6 +1,7 @@
 """Cache hit/miss counters through pg.profile and the resilient path."""
 
 import numpy as np
+import pytest
 
 import repro as pg
 from repro.core.resilient import FallbackChain, RetryPolicy, resilient_solve
@@ -58,6 +59,62 @@ class TestProfileMetrics:
         assert snap["cache_workspace_hit"] == 1
         assert snap["cache_format_miss"] == 1
         assert cachestats.counts("format") == (0, 1)
+
+
+class TestNestedProfileMirroring:
+    """Regression: registering the same registry from nested profile
+    regions must not double-count events, and the inner region's exit
+    must not detach the outer region's still-active sink."""
+
+    def test_same_registry_nested_counts_once(self):
+        metrics = pg.MetricsRegistry()
+        with pg.profile(metrics=metrics):
+            with pg.profile(metrics=metrics):
+                cachestats.record("workspace", True)
+            cachestats.record("workspace", True)  # outer still mirrors
+        assert metrics.counter("cache_workspace_hit").value == 2
+
+    def test_inner_exit_keeps_outer_sink_alive(self):
+        metrics = pg.MetricsRegistry()
+        with pg.profile(metrics=metrics):
+            with pg.profile(metrics=metrics):
+                pass
+            assert cachestats.sink_count() == 1
+            cachestats.record("format", False)
+        assert cachestats.sink_count() == 0
+        assert metrics.counter("cache_format_miss").value == 1
+        cachestats.record("format", False)  # fully detached now
+        assert metrics.counter("cache_format_miss").value == 1
+
+    def test_distinct_registries_each_mirror(self):
+        outer = pg.MetricsRegistry()
+        inner = pg.MetricsRegistry()
+        with pg.profile(metrics=outer):
+            with pg.profile(metrics=inner):
+                cachestats.record("dispatch", True)
+        assert outer.counter("cache_dispatch_hit").value == 1
+        assert inner.counter("cache_dispatch_hit").value == 1
+
+    def test_unregister_is_refcounted_not_destructive(self):
+        metrics = pg.MetricsRegistry()
+        cachestats.register_sink(metrics)
+        cachestats.register_sink(metrics)
+        cachestats.unregister_sink(metrics)
+        cachestats.record("workspace", False)
+        assert metrics.counter("cache_workspace_miss").value == 1
+        cachestats.unregister_sink(metrics)
+        cachestats.record("workspace", False)
+        assert metrics.counter("cache_workspace_miss").value == 1
+        # extra unregisters are harmless no-ops
+        cachestats.unregister_sink(metrics)
+        assert cachestats.sink_count() == 0
+
+    def test_profile_setup_failure_does_not_leak_sink(self):
+        metrics = pg.MetricsRegistry()
+        with pytest.raises(Exception):
+            with pg.profile("no-such-device", metrics=metrics):
+                pass  # pragma: no cover - profile() raises on entry
+        assert cachestats.sink_count() == 0
 
 
 class TestResilientInteraction:

@@ -81,7 +81,11 @@ class TestInvalidation:
         b = Dense(ref, np.ones((2, 1)))
         x = Dense.zeros(ref, (2, 1), np.float64)
         mtx.apply(b, x)
-        mtx.values[:] = [5.0, 7.0]  # raw write needs an explicit mark
+        # the read-only property rejects the raw write...
+        with pytest.raises(ValueError):
+            mtx.values[:] = [5.0, 7.0]
+        # ...the escape hatch allows it, and needs an explicit mark
+        mtx.writable_values()[:] = [5.0, 7.0]
         mtx.mark_modified()
         mtx.apply(b, x)
         np.testing.assert_array_equal(np.asarray(x), [[5.0], [7.0]])
