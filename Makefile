@@ -32,6 +32,7 @@ perf-smoke:
 	$(PYTHON) benchmarks/bench_hot_path.py --smoke
 	$(PYTHON) benchmarks/bench_batch.py --smoke
 	$(PYTHON) benchmarks/bench_distributed.py --smoke
+	$(PYTHON) benchmarks/bench_overlap.py --smoke
 	$(PYTHON) benchmarks/bench_fusion.py --smoke
 
 # Chaos acceptance: the seeded fault-schedule suite, then the recovery

@@ -103,7 +103,11 @@ def run_scalar(mat, rhs, max_iters, tol):
 def run_distributed(
     mat, rhs, max_iters, tol, num_ranks, num_threads, sequential=False
 ):
-    """One distributed CG solve; returns (elapsed, history, device)."""
+    """One distributed CG solve; returns (elapsed, history, device, stats).
+
+    ``stats`` carries the solve's communication profile from the handle:
+    simulated seconds total/comm/hidden and the reduction count.
+    """
     dev = pg.device("omp", fresh=True, num_threads=num_threads)
     part = pg.distributed.partition(mat.shape[0], num_ranks)
     dist = pg.distributed.matrix(dev, part, mat)
@@ -112,6 +116,7 @@ def run_distributed(
     handle = pg.distributed.cg(
         dev, dist, max_iters=max_iters, reduction_factor=tol
     )
+    sim0 = dev.clock.now
     t0 = time.perf_counter()
     if sequential:
         with pg.distributed.sequential_ranks():
@@ -121,7 +126,16 @@ def run_distributed(
     elapsed = time.perf_counter() - t0
     if not handle.converged:
         raise RuntimeError("distributed benchmark solve did not converge")
-    return elapsed, np.asarray(logger.residual_norms, dtype=np.float64), dev
+    simulated = dev.clock.now - sim0
+    stats = {
+        "simulated_s": simulated,
+        "comm_time_s": handle.comm_time,
+        "comm_hidden_time_s": handle.comm_hidden_time,
+        "num_reductions": handle.num_reductions,
+        "comm_fraction": handle.comm_time / simulated if simulated else 0.0,
+    }
+    history = np.asarray(logger.residual_norms, dtype=np.float64)
+    return elapsed, history, dev, stats
 
 
 def run(
@@ -142,7 +156,7 @@ def run(
     scalar_hist = run_scalar(mat, rhs, max_iters, tol)
 
     _fresh_state()
-    _, single_hist, _ = run_distributed(
+    _, single_hist, _, _ = run_distributed(
         mat, rhs, max_iters, tol, num_ranks=1, num_threads=workers
     )
     if single_hist.tobytes() != scalar_hist.tobytes():
@@ -167,6 +181,7 @@ def run(
     ratios = []
     fused_hist = None
     seq_hist = None
+    fused_stats = None
     # Keep collector pauses out of the timed windows: collect at pair
     # boundaries, collector off while the clock runs.
     gc_was_enabled = gc.isenabled()
@@ -174,7 +189,7 @@ def run(
     try:
         for _ in range(repeats):
             gc.collect()
-            elapsed, hist, _ = run_distributed(
+            elapsed, hist, _, fused_stats = run_distributed(
                 mat, rhs, max_iters, tol, NUM_RANKS, num_threads=workers
             )
             fused_times.append(elapsed)
@@ -182,7 +197,7 @@ def run(
                 fused_hist = hist
             elif hist.tobytes() != fused_hist.tobytes():
                 failures.append("fused histories drift across repeats")
-            seq_elapsed, seq_hist, _ = run_distributed(
+            seq_elapsed, seq_hist, _, _ = run_distributed(
                 mat, rhs, max_iters, tol, NUM_RANKS,
                 num_threads=workers, sequential=True,
             )
@@ -202,7 +217,7 @@ def run(
     # Thread-pool engagement: with one worker per rank the rank regions
     # run on the pool, and the history must not move a bit.
     _fresh_state()
-    _, pooled_hist, pooled_dev = run_distributed(
+    _, pooled_hist, pooled_dev, _ = run_distributed(
         mat, rhs, max_iters, tol, NUM_RANKS, num_threads=NUM_RANKS
     )
     if pooled_hist.tobytes() != scalar_hist.tobytes():
@@ -244,6 +259,11 @@ def run(
         "history_matches_single_rank": fused_hist.tobytes()
         == single_hist.tobytes(),
         "pool_regions": pooled_dev.pool_regions,
+        "simulated_s": fused_stats["simulated_s"],
+        "comm_time_s": fused_stats["comm_time_s"],
+        "comm_hidden_time_s": fused_stats["comm_hidden_time_s"],
+        "num_reductions": fused_stats["num_reductions"],
+        "comm_fraction": fused_stats["comm_fraction"],
         "failures": failures,
     }
     Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
@@ -258,6 +278,12 @@ def run(
         f"residual history: {fused_hist.size - 1} iterations, "
         f"scalar/single-rank/pooled byte-identical="
         f"{not any('histor' in f for f in failures)}"
+    )
+    print(
+        f"comm profile: {fused_stats['comm_fraction']:.1%} of "
+        f"{fused_stats['simulated_s'] * 1e3:.2f} ms simulated time "
+        f"({fused_stats['num_reductions']} reductions, "
+        f"{fused_stats['comm_hidden_time_s'] * 1e3:.2f} ms hidden)"
     )
     print(f"wrote {out_path}")
     return report

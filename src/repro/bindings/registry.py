@@ -27,6 +27,8 @@ from repro.ginkgo.batch import (
 from repro.ginkgo.distributed import (
     DistributedCg,
     DistributedGmres,
+    DistributedPipelinedCg,
+    DistributedSStepGmres,
 )
 from repro.ginkgo.distributed import Matrix as DistributedMatrix
 from repro.ginkgo.distributed import Vector as DistributedVector
@@ -83,6 +85,8 @@ _BATCH_SOLVER_FACTORIES = {
 _DISTRIBUTED_SOLVER_FACTORIES = {
     "distributed_cg": DistributedCg,
     "distributed_gmres": DistributedGmres,
+    "distributed_pipelined_cg": DistributedPipelinedCg,
+    "distributed_sstep_gmres": DistributedSStepGmres,
 }
 
 _SOLVER_FACTORIES = {

@@ -35,7 +35,9 @@ __all__ = [
     "gmres",
     "matrix",
     "partition",
+    "pipelined_cg",
     "sequential_ranks",
+    "sstep_gmres",
     "vector",
     "zeros_like",
 ]
@@ -64,10 +66,24 @@ def _as_partition(part, global_size) -> Partition:
     return Partition.build_uniform(global_size, int(part))
 
 
-def matrix(device, part, scipy_matrix, value_dtype=None, index_dtype=np.int32):
+def matrix(
+    device,
+    part,
+    scipy_matrix,
+    value_dtype=None,
+    index_dtype=np.int32,
+    overlap=False,
+    network=None,
+):
     """Distribute a global SciPy matrix over ``part`` ranks.
 
     ``part`` is a :class:`Partition` or a rank count (uniform split).
+    With ``overlap=True`` every SpMV posts its halo exchange
+    non-blocking and hides it behind the rank-local block multiply
+    (relaxes bit identity to a rounding tolerance — see DESIGN.md);
+    ``network`` picks the interconnect model (a
+    :class:`~repro.perfmodel.comm.NetworkSpec`) for the communicator
+    built with the matrix.
     """
     binding = bindings.resolve(
         "distributed_matrix",
@@ -76,7 +92,9 @@ def matrix(device, part, scipy_matrix, value_dtype=None, index_dtype=np.int32):
         exec_=device,
     )
     part = _as_partition(part, scipy_matrix.shape[0])
-    return binding(device, part, scipy_matrix)
+    return binding(
+        device, part, scipy_matrix, overlap=overlap, network=network
+    )
 
 
 def vector(device, part, data=None, value_dtype=np.float64, comm=None):
@@ -106,13 +124,23 @@ class DistributedSolverHandle:
     ``apply(b, x)`` runs the solve in place on ``x`` (the initial guess)
     and returns ``(logger, x)`` like the scalar handles; iteration stats
     are exposed afterwards as :attr:`num_iterations`,
-    :attr:`converged`, and :attr:`final_residual_norm`.
+    :attr:`converged`, and :attr:`final_residual_norm`, and
+    communication stats (deltas over the solve) as :attr:`comm_time`,
+    :attr:`comm_hidden_time`, and :attr:`num_reductions`.
     """
 
     def __init__(self, solver) -> None:
         self._solver = solver
         self._logger = ConvergenceLogger()
         solver.add_logger(self._logger)
+        #: Modeled communication seconds of the last apply (hidden +
+        #: exposed), from the solve's communicator.
+        self.comm_time = 0.0
+        #: Communication seconds the last apply hid behind overlapped
+        #: compute (0.0 for fully blocking solvers).
+        self.comm_hidden_time = 0.0
+        #: Global reductions (all-reduces) the last apply performed.
+        self.num_reductions = 0
 
     @property
     def solver(self):
@@ -151,7 +179,14 @@ class DistributedSolverHandle:
                     f"expected a distributed Vector for {name}, got "
                     f"{type(operand).__name__}"
                 )
+        comm = self._solver.comm
+        seconds0 = comm.comm_seconds
+        hidden0 = comm.comm_hidden_seconds
+        reductions0 = comm.num_all_reduces
         self._solver.apply(b, x)
+        self.comm_time = comm.comm_seconds - seconds0
+        self.comm_hidden_time = comm.comm_hidden_seconds - hidden0
+        self.num_reductions = comm.num_all_reduces - reductions0
         return self._logger, x
 
     def __repr__(self) -> str:
@@ -198,4 +233,28 @@ def gmres(device, mtx, krylov_dim=30, **kwargs) -> DistributedSolverHandle:
     """Distributed restarted GMRES solver (single right-hand side)."""
     return _make_solver(
         "distributed_gmres", device, mtx, krylov_dim=krylov_dim, **kwargs
+    )
+
+
+def pipelined_cg(device, mtx, **kwargs) -> DistributedSolverHandle:
+    """Pipelined CG: one non-blocking all-reduce per iteration.
+
+    The Ghysels–Vanroose formulation overlaps the fused reduction with
+    the next preconditioner apply and SpMV; residual histories match
+    blocking CG to a rounding tolerance rather than bitwise (see
+    DESIGN.md).  Combine with ``matrix(..., overlap=True)`` to also
+    hide the halo exchanges.
+    """
+    return _make_solver("distributed_pipelined_cg", device, mtx, **kwargs)
+
+
+def sstep_gmres(device, mtx, s_step=4, **kwargs) -> DistributedSolverHandle:
+    """s-step (communication-avoiding) GMRES: one reduction per cycle.
+
+    Each ``s_step``-long cycle performs a single Gram-matrix all-reduce
+    instead of two reductions per iteration; residual histories are
+    tolerance-pinned against blocking GMRES (see DESIGN.md).
+    """
+    return _make_solver(
+        "distributed_sstep_gmres", device, mtx, s_step=s_step, **kwargs
     )

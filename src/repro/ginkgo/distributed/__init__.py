@@ -13,7 +13,7 @@ residual histories bitwise identical to the equivalent single-rank solve
 for the enforcement.
 """
 
-from repro.ginkgo.distributed.comm import Communicator
+from repro.ginkgo.distributed.comm import Communicator, InflightExchange
 from repro.ginkgo.distributed.matrix import Matrix, RowGatherer
 from repro.ginkgo.distributed.partition import Partition
 from repro.ginkgo.distributed.solver import (
@@ -22,6 +22,10 @@ from repro.ginkgo.distributed.solver import (
     DistributedGmres,
     DistributedGmresSolver,
     DistributedIterativeSolver,
+    DistributedPipelinedCg,
+    DistributedPipelinedCgSolver,
+    DistributedSStepGmres,
+    DistributedSStepGmresSolver,
 )
 from repro.ginkgo.distributed.vector import (
     Vector,
@@ -36,6 +40,11 @@ __all__ = [
     "DistributedGmres",
     "DistributedGmresSolver",
     "DistributedIterativeSolver",
+    "DistributedPipelinedCg",
+    "DistributedPipelinedCgSolver",
+    "DistributedSStepGmres",
+    "DistributedSStepGmresSolver",
+    "InflightExchange",
     "Matrix",
     "Partition",
     "RowGatherer",

@@ -23,6 +23,15 @@ collective consults its injector at the ``rank``, ``allreduce`` and
 :class:`RankFailure`, dropped halos raise :class:`CommunicationError`,
 corruption poisons the reduced payload in place, and stragglers / late
 messages charge extra simulated time under the ``fault`` trace category.
+
+Non-blocking exchanges (:meth:`Communicator.iallreduce`,
+:meth:`Communicator.ihalo_exchange`) return :class:`InflightExchange`
+handles wrapping a :class:`~repro.perfmodel.comm.CommRequest`: compute
+recorded while the handle is outstanding hides the transfer, and
+``wait()`` charges only the uncovered remainder.  Fault injection moves
+to wait time — exactly where MPI surfaces errors on non-blocking
+requests — so the same ``rank``/``allreduce``/``halo`` sites and kinds
+apply unchanged.
 """
 
 from __future__ import annotations
@@ -37,10 +46,147 @@ from repro.ginkgo.exceptions import (
 from repro.ginkgo.fault import injector_of
 from repro.perfmodel.comm import (
     DEFAULT_NETWORK,
+    CommRequest,
     NetworkSpec,
     allreduce_time,
     halo_exchange_time,
 )
+
+
+class InflightExchange:
+    """Handle of one posted non-blocking exchange (allreduce or halo).
+
+    Thin fault-aware wrapper over :class:`CommRequest`: :meth:`wait`
+    consults the injector (rank failures, corruption, stragglers, halo
+    drop/duplicate/late) *at completion time*, charges the exposed
+    remainder of the transfer under the ``comm`` category inside a
+    ``comm_op`` span, and folds the hidden/exposed split into the
+    communicator's accounting.  Trivial exchanges (single rank, no
+    messages) are free, uncounted, and already complete.
+    """
+
+    def __init__(
+        self,
+        comm: "Communicator",
+        kind: str,
+        nbytes: int,
+        label: str,
+        seconds: float = 0.0,
+        num_messages: int = 0,
+        payload=None,
+        trivial: bool = False,
+    ) -> None:
+        self._comm = comm
+        self._kind = kind
+        self._nbytes = int(nbytes)
+        self._label = label
+        self._messages = int(num_messages)
+        self._payload = payload
+        self._trivial = trivial
+        self._done = trivial
+        meta = {"bytes": int(nbytes), "ranks": comm.num_ranks}
+        if kind == "halo":
+            meta["messages"] = int(num_messages)
+        self._request = CommRequest(
+            comm.executor.clock, 0.0 if trivial else seconds, label, **meta
+        )
+        if not trivial:
+            comm._inflight.append(self)
+
+    @property
+    def done(self) -> bool:
+        """Whether the exchange has completed (waited on, or trivial)."""
+        return self._done
+
+    @property
+    def seconds(self) -> float:
+        """Modeled blocking duration of the exchange."""
+        return self._request.seconds
+
+    @property
+    def hidden(self) -> float:
+        """Transfer seconds covered by overlapped compute (post-wait)."""
+        return self._request.hidden
+
+    @property
+    def exposed(self) -> float:
+        """Transfer seconds charged to the timeline (post-wait)."""
+        return self._request.exposed
+
+    def progress(self) -> float:
+        """Completed fraction of the transfer at the current clock time."""
+        return self._request.progress()
+
+    def wait(self) -> float:
+        """Complete the exchange; returns the exposed (charged) seconds.
+
+        Wait-time fault semantics mirror the blocking collectives: rank
+        failures raise :class:`RankFailure`; a dropped halo raises
+        :class:`CommunicationError` without completing (nothing charged —
+        the replay retransmits); corruption poisons the payload after the
+        charge; stragglers / late deliveries add ``fault``-category time.
+        Idempotent once completed.
+        """
+        if self._done:
+            return self._request.exposed
+        self._done = True
+        comm = self._comm
+        if self in comm._inflight:
+            comm._inflight.remove(self)
+        comm._check_rank_failure(self._label)
+        injector = injector_of(comm.executor)
+        fault = (
+            injector.decide(self._kind, detail=self._label)
+            if injector is not None
+            else None
+        )
+        if self._kind == "halo" and fault is not None and fault.kind == "drop":
+            comm._announce(fault)
+            raise CommunicationError(
+                f"halo exchange {self._label!r} dropped "
+                f"({self._messages} messages, {self._nbytes} bytes)"
+            )
+        clock = comm.executor.clock
+        clock.push_span(self._label, "comm_op", ranks=comm.num_ranks)
+        try:
+            exposed = self._request.wait()
+        finally:
+            clock.pop_span()
+        comm.comm_seconds += self._request.seconds
+        comm.comm_hidden_seconds += self._request.hidden
+        if self._kind == "allreduce":
+            comm.num_all_reduces += 1
+            comm.bytes_all_reduced += self._nbytes
+        else:
+            comm.num_halo_exchanges += 1
+            comm.bytes_halo_exchanged += self._nbytes
+        if fault is not None:
+            comm._announce(fault)
+            if fault.kind == "straggler":
+                comm._extra_delay(injector.stall_seconds, "straggler_delay")
+            elif fault.kind == "corruption":
+                if self._payload is not None:
+                    poisoned = injector.corrupt(np.asarray(self._payload))
+                    comm.executor._log(
+                        "data_corrupted",
+                        index=fault.index,
+                        flat_index=poisoned,
+                    )
+            elif fault.kind == "duplicate":
+                # The retransmitted copy pays the full exchange again.
+                comm._extra_delay(self._request.seconds, "halo_duplicate")
+                comm.num_halo_exchanges += 1
+                comm.bytes_halo_exchanged += self._nbytes
+            else:  # late
+                comm._extra_delay(injector.stall_seconds, "halo_late")
+        return exposed
+
+    def __repr__(self) -> str:
+        state = "done" if self._done else f"{self.progress():.0%} in flight"
+        return (
+            f"InflightExchange({self._kind}, {self._label!r}, "
+            f"bytes={self._nbytes}, {state})"
+        )
 
 
 class Communicator:
@@ -70,6 +216,14 @@ class Communicator:
         self.bytes_halo_exchanged = 0
         #: Number of ranks dropped by :meth:`shrink` since construction.
         self.num_shrinks = 0
+        #: Total modeled communication seconds (hidden + exposed).
+        self.comm_seconds = 0.0
+        #: Communication seconds covered by overlapped compute.
+        self.comm_hidden_seconds = 0.0
+        #: Non-blocking exchanges posted (counted at post time).
+        self.num_posted = 0
+        #: Posted-but-unwaited exchange handles, in post order.
+        self._inflight: list = []
 
     @property
     def executor(self):
@@ -145,6 +299,7 @@ class Communicator:
             clock.pop_span()
         self.num_all_reduces += 1
         self.bytes_all_reduced += int(nbytes)
+        self.comm_seconds += seconds
         if fault is not None:
             if fault.kind == "straggler":
                 self._announce(fault)
@@ -205,6 +360,7 @@ class Communicator:
             clock.pop_span()
         self.num_halo_exchanges += 1
         self.bytes_halo_exchanged += int(nbytes)
+        self.comm_seconds += seconds
         if fault is not None:
             self._announce(fault)
             if fault.kind == "duplicate":
@@ -215,6 +371,71 @@ class Communicator:
             else:  # late
                 self._extra_delay(injector.stall_seconds, "halo_late")
         return seconds
+
+    # ------------------------------------------------------------------
+    # non-blocking exchanges
+    # ------------------------------------------------------------------
+    @property
+    def num_inflight(self) -> int:
+        """Posted exchanges not yet waited on."""
+        return len(self._inflight)
+
+    def iallreduce(
+        self, nbytes: int, label: str = "iallreduce", payload=None
+    ) -> InflightExchange:
+        """Post a non-blocking all-reduce; returns its wait handle.
+
+        Nothing is charged at post time: compute recorded before
+        ``wait()`` hides the transfer, and the wait charges only the
+        uncovered remainder (see :class:`InflightExchange`).  Free,
+        uncounted, and immediately complete with a single rank.
+        """
+        if nbytes < 0:
+            raise GinkgoError(
+                f"payload size must be non-negative, got {nbytes}"
+            )
+        if self.num_ranks == 1:
+            return InflightExchange(
+                self, "allreduce", nbytes, label, trivial=True
+            )
+        self.num_posted += 1
+        return InflightExchange(
+            self,
+            "allreduce",
+            nbytes,
+            label,
+            seconds=allreduce_time(nbytes, self.num_ranks, self.network),
+            payload=payload,
+        )
+
+    def ihalo_exchange(
+        self,
+        nbytes: int,
+        num_messages: int,
+        label: str = "ihalo_exchange",
+    ) -> InflightExchange:
+        """Post a non-blocking halo exchange; returns its wait handle.
+
+        Free, uncounted, and immediately complete with a single rank or
+        zero messages, like the blocking variant.
+        """
+        if nbytes < 0:
+            raise GinkgoError(
+                f"payload size must be non-negative, got {nbytes}"
+            )
+        if self.num_ranks == 1 or num_messages == 0:
+            return InflightExchange(
+                self, "halo", nbytes, label, trivial=True
+            )
+        self.num_posted += 1
+        return InflightExchange(
+            self,
+            "halo",
+            nbytes,
+            label,
+            seconds=halo_exchange_time(nbytes, num_messages, self.network),
+            num_messages=num_messages,
+        )
 
     def shrink(self, failed_rank: int) -> int:
         """Drop one failed rank; returns the surviving rank count.
@@ -234,11 +455,21 @@ class Communicator:
         return self.num_ranks
 
     def reset_counters(self) -> None:
-        """Zero the exchange/byte counters (charged time is not undone)."""
+        """Zero the exchange/byte counters (charged time is not undone).
+
+        Also resets the non-blocking accounting — hidden/total comm
+        seconds, the posted count, and any stale in-flight handles — so
+        baseline comparisons (e.g. against ``sequential_ranks()``) start
+        from a clean slate.
+        """
         self.num_all_reduces = 0
         self.bytes_all_reduced = 0
         self.num_halo_exchanges = 0
         self.bytes_halo_exchanged = 0
+        self.comm_seconds = 0.0
+        self.comm_hidden_seconds = 0.0
+        self.num_posted = 0
+        self._inflight.clear()
 
     def __repr__(self) -> str:
         return (

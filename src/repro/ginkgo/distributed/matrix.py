@@ -20,6 +20,16 @@ residual histories.  The structural blocks still drive what the real
 implementation would pay: the halo gather is actually performed
 (thread-parallel, into pooled buffers) and the communicator charges the
 message costs derived from the non-local sparsity pattern.
+
+Overlap mode (``overlap=True``) instead executes Ginkgo's two-phase
+distributed SpMV for real: the halo exchange is *posted* non-blocking,
+the rank-local diagonal block multiplies while the exchange is in
+flight (hiding up to the whole transfer — the covered share lands in the
+``comm_hidden`` trace annotation), and the non-local block is applied to
+the gathered ghost values only after the wait.  Summing the two block
+products relaxes the bitwise contract to a rounding-level tolerance
+(local + non-local partial sums associate differently than one
+full-width row reduction); the blocking default keeps byte identity.
 """
 
 from __future__ import annotations
@@ -41,7 +51,7 @@ from repro.ginkgo.matrix.base import (
     scipy_safe,
 )
 from repro.perfmodel import KernelCost, spmv_cost
-from repro.perfmodel.comm import halo_exchange_time
+from repro.perfmodel.comm import DEFAULT_NETWORK, halo_exchange_time
 
 
 class RowGatherer:
@@ -151,6 +161,11 @@ class Matrix(LinOp):
             modeling and the structural blocks.
         comm: Communicator charged for halo exchanges; shared with
             vectors built alongside this matrix by the factories.
+        overlap: When True, ``apply`` posts the halo exchange
+            non-blocking and runs the local-block SpMV while it is in
+            flight (see the module docstring; relaxes bit identity).
+        network: Interconnect model for the communicator created when
+            ``comm`` is omitted (ignored when ``comm`` is passed).
     """
 
     _format_name = "distributed_csr"
@@ -163,6 +178,8 @@ class Matrix(LinOp):
         value_dtype=np.float64,
         index_dtype=np.int32,
         comm: Communicator | None = None,
+        overlap: bool = False,
+        network=None,
     ) -> None:
         if not isinstance(partition, Partition):
             raise GinkgoError(
@@ -183,7 +200,14 @@ class Matrix(LinOp):
             )
         super().__init__(exec_, Dim(rows, cols))
         self._partition = partition
-        self._comm = comm or Communicator(exec_, partition.num_ranks)
+        if comm is None:
+            comm = Communicator(
+                exec_,
+                partition.num_ranks,
+                network=network or DEFAULT_NETWORK,
+            )
+        self._comm = comm
+        self._overlap = bool(overlap)
         self._nnz = int(mat.nnz)
 
         # Full-width row slices: the bitwise-exact compute path.  SciPy
@@ -195,6 +219,8 @@ class Matrix(LinOp):
         #: Per-rank structural blocks, built lazily on first access.
         self._local_blocks: list | None = None
         self._non_local_blocks: list | None = None
+        self._local_nnz: list = []
+        self._non_local_nnz: list = []
         self._ghost_cols: list = []
         for lo, hi in partition.ranges:
             block = mat[lo:hi, :].astype(compute)
@@ -211,6 +237,8 @@ class Matrix(LinOp):
         #: entries in storage order, so this matvec is bitwise identical
         #: to the per-rank block matvecs.
         self._stacked: sp.csr_matrix | None = None
+        #: Cached infinity norm (the operator is immutable).
+        self._inf_norm: float | None = None
 
     def _stacked_matrix(self) -> sp.csr_matrix:
         if self._stacked is None:
@@ -256,6 +284,15 @@ class Matrix(LinOp):
     def row_gatherer(self) -> RowGatherer:
         return self._gatherer
 
+    @property
+    def overlap(self) -> bool:
+        """Whether ``apply`` overlaps the local SpMV with the halo."""
+        return self._overlap
+
+    @overlap.setter
+    def overlap(self, enabled: bool) -> None:
+        self._overlap = bool(enabled)
+
     def rank_nnz(self, rank: int) -> int:
         """Nonzeros stored by ``rank``."""
         return self._rank_nnz[rank]
@@ -283,6 +320,8 @@ class Matrix(LinOp):
             non_locals.append(non_local)
         self._local_blocks = locals_
         self._non_local_blocks = non_locals
+        self._local_nnz = [int(b.nnz) for b in locals_]
+        self._non_local_nnz = [int(b.nnz) for b in non_locals]
 
     def local_block(self, rank: int) -> sp.csr_matrix:
         """Rank ``rank``'s diagonal block in local column indices."""
@@ -303,6 +342,36 @@ class Matrix(LinOp):
     def ghost_columns(self, rank: int) -> np.ndarray:
         """Sorted global column indices rank ``rank`` must receive."""
         return self._ghost_cols[rank]
+
+    def infinity_norm(self) -> float:
+        """Max absolute row sum — the Gershgorin bound on ``|lambda|``.
+
+        The s-step solvers scale their Krylov basis by this bound to keep
+        the monomial basis conditioned *without* per-vector norm
+        reductions.  Each rank reduces its own rows (one streaming pass
+        over the values) and a single scalar max-allreduce combines them;
+        the operator is immutable, so the result is cached and later
+        calls are free.
+        """
+        if self._inf_norm is None:
+            best = 0.0
+            for block in self._row_blocks:
+                if block.nnz:
+                    row_sums = np.abs(block).sum(axis=1)
+                    best = max(best, float(row_sums.max()))
+            self._exec.run(
+                KernelCost(
+                    "inf_norm",
+                    flops=float(self._nnz),
+                    bytes=float(self._nnz * self.value_bytes),
+                    launches=1,
+                )
+            )
+            self._comm.all_reduce(
+                np.dtype(np.float64).itemsize, label="all_reduce_inf_norm"
+            )
+            self._inf_norm = best
+        return self._inf_norm
 
     def to_scipy(self) -> sp.csr_matrix:
         """Reassemble the global operator (for tests and IO)."""
@@ -350,6 +419,8 @@ class Matrix(LinOp):
         self._ghost_cols = []
         self._local_blocks = None
         self._non_local_blocks = None
+        self._local_nnz = []
+        self._non_local_nnz = []
         self._stacked = None
         for lo, hi in new_partition.ranges:
             block = mat[lo:hi, :]
@@ -427,8 +498,113 @@ class Matrix(LinOp):
             for rank, nnz in enumerate(self._rank_nnz)
         ]
 
+    def _overlap_cost(self, name: str, nnz: int, num_cols: int, num_rhs):
+        cost = spmv_cost(
+            "csr",
+            self._size.rows,
+            max(num_cols, 1),
+            nnz,
+            self.value_bytes,
+            self.index_bytes,
+            num_rhs=num_rhs,
+            strategy="load_balance",
+        )
+        return dataclasses.replace(cost, name=name)
+
+    def _overlap_parts(self, nnz_per_rank) -> list:
+        return [
+            {"weight": float(nnz) or 1.0, "rank": rank}
+            for rank, nnz in enumerate(nnz_per_rank)
+        ]
+
+    def _apply_overlapped(self, b: Vector, x: Vector, alpha=None, beta=None):
+        """Two-phase SpMV: local block under an in-flight halo exchange.
+
+        Phase 1 packs the ghost values (the gather), posts the exchange,
+        and multiplies each rank's diagonal block against its own slice
+        of ``b`` — compute that hides the transfer.  Phase 2 waits (the
+        uncovered remainder is charged; the covered share is annotated
+        as ``comm_hidden``) and applies the non-local block to the
+        gathered ghosts.  The two-block sum associates differently than
+        the full-width row reduction, so this path trades bit identity
+        for overlap — see DESIGN.md's relaxed-contract section.
+        """
+        if self._local_blocks is None:
+            self._build_structural_blocks()
+        gatherer = self._gatherer
+        buffers = gatherer.gather(b)
+        nbytes = gatherer.total_recv_size * b.value_bytes * b.size.cols
+        request = self._comm.ihalo_exchange(nbytes, gatherer.num_messages)
+        src, dst = b._data, x._data
+        half = self._value_dtype == np.float16
+        b_c = src.astype(np.float32) if half else src
+        dtype = dst.dtype
+        advanced = alpha is not None
+        if advanced:
+            a, bt = dtype.type(float(alpha)), dtype.type(float(beta))
+
+        def make_local_task(rank):
+            lo, hi = self._partition.range_of(rank)
+            block = self._local_blocks[rank]
+
+            def task():
+                result = block @ b_c[lo:hi]
+                if advanced:
+                    dst[lo:hi] *= bt
+                    dst[lo:hi] += a * result.astype(dtype, copy=False)
+                else:
+                    np.copyto(dst[lo:hi], result.astype(dtype, copy=False))
+
+            return task
+
+        num_rhs = b.size.cols
+        run_rankwise(
+            self._exec,
+            self._overlap_cost(
+                "spmv_distributed_local",
+                sum(self._local_nnz),
+                self._size.cols,
+                num_rhs,
+            ),
+            [make_local_task(r) for r in range(self.num_ranks)],
+            self._overlap_parts(self._local_nnz),
+        )
+        request.wait()
+
+        def make_ghost_task(rank):
+            lo, hi = self._partition.range_of(rank)
+            block = self._non_local_blocks[rank]
+            buf = buffers[rank]
+
+            def task():
+                if block.nnz == 0 or buf is None:
+                    return
+                ghosts = buf.astype(np.float32) if half else buf
+                result = block @ ghosts
+                if advanced:
+                    dst[lo:hi] += a * result.astype(dtype, copy=False)
+                else:
+                    dst[lo:hi] += result.astype(dtype, copy=False)
+
+            return task
+
+        run_rankwise(
+            self._exec,
+            self._overlap_cost(
+                "spmv_distributed_non_local",
+                sum(self._non_local_nnz),
+                gatherer.total_recv_size,
+                num_rhs,
+            ),
+            [make_ghost_task(r) for r in range(self.num_ranks)],
+            self._overlap_parts(self._non_local_nnz),
+        )
+
     def _apply_impl(self, b: Vector, x: Vector) -> None:
         self._check_operands(b, x, "apply")
+        if self._overlap and self._gatherer.total_recv_size > 0:
+            self._apply_overlapped(b, x)
+            return
         self._exchange_halo(b)
         src, dst = b._data, x._data
         half = self._value_dtype == np.float16
@@ -463,6 +639,9 @@ class Matrix(LinOp):
 
     def _apply_advanced_impl(self, alpha, b: Vector, beta, x: Vector) -> None:
         self._check_operands(b, x, "apply_advanced")
+        if self._overlap and self._gatherer.total_recv_size > 0:
+            self._apply_overlapped(b, x, alpha=alpha, beta=beta)
+            return
         self._exchange_halo(b)
         src, dst = b._data, x._data
         half = self._value_dtype == np.float16

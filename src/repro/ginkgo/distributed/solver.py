@@ -1,6 +1,7 @@
 """Distributed Krylov solvers (CG and GMRES) over simulated ranks.
 
-Each solver mirrors its scalar counterpart *operation for operation*:
+Each blocking solver mirrors its scalar counterpart *operation for
+operation*:
 
 * rank-local work (SpMV, fused vector updates, copies) runs through the
   distributed :class:`~repro.ginkgo.distributed.matrix.Matrix` and
@@ -17,6 +18,29 @@ Consequence: a distributed solve produces a residual history bitwise
 identical to the scalar solver on the undistributed system, for any rank
 count — the property the distributed benchmark gates on.
 
+Communication-hiding variants
+-----------------------------
+Two solvers restructure the Krylov recurrences to attack the global
+reductions that dominate high-latency solves (ROADMAP item 4):
+
+* :class:`DistributedPipelinedCgSolver` — Ghysels–Vanroose pipelined CG.
+  The three reductions of a blocking CG iteration collapse into one
+  fused all-reduce of ``(r,u)``, ``(w,u)`` and ``(r,r)``, posted
+  *non-blocking* and overlapped with the next preconditioner apply and
+  SpMV; the extra vector recurrences (``z, q, s, p``) keep the
+  iteration mathematically equivalent to CG in exact arithmetic.
+* :class:`DistributedSStepGmresSolver` — s-step (communication-avoiding)
+  GMRES.  Each restart cycle builds ``s`` monomial Krylov basis vectors
+  scaled by the matrix's Gershgorin bound (reduction-free), then a
+  *single* Gram-matrix all-reduce of ``(s+1)^2`` doubles serves all
+  ``s`` iterations: prefix solves of the normal equations yield the
+  per-iteration residual estimates and the optimal update.
+
+Both relax the bitwise contract: reassociating reductions changes
+rounding, so their residual histories track the blocking reference only
+to a pinned tolerance (see DESIGN.md).  The blocking solvers above are
+untouched and keep byte identity.
+
 Fault tolerance
 ---------------
 When the executor injects faults (:class:`~repro.ginkgo.fault.FaultyExecutor`),
@@ -25,7 +49,11 @@ the solvers arm a checkpoint/replay recovery driver (:class:`_Recovery`):
 * CG checkpoints ``(x, r, p, rz)`` every ``checkpoint_every`` iterations;
   GMRES checkpoints ``x`` at each restart-cycle start (the cycle replays
   deterministically from ``x``, so the cycle start *is* an exact
-  checkpoint).
+  checkpoint).  Pipelined CG checkpoints its full eight-vector
+  recurrence state plus ``(prev_gamma, alpha)``; s-step GMRES, like
+  GMRES, checkpoints ``x`` at cycle starts.  On the non-blocking path
+  faults surface at ``wait()`` time, so a replay reposts and re-waits
+  the exchange deterministically.
 * A dropped halo / corrupted all-reduce restores the checkpoint and
   replays; a :class:`RankFailure` first shrinks the partition over the
   survivors (``Partition.shrink`` + ``Communicator.shrink`` +
@@ -294,6 +322,72 @@ def dist_cg_step_2(x: Vector, r: Vector, p: Vector, q: Vector, alpha) -> None:
     r.mark_modified()
 
 
+def _pcg_local_dots(r: Vector, u: Vector, w: Vector) -> np.ndarray:
+    """Fused local reductions of the pipelined-CG triple, one kernel.
+
+    Computes ``gamma = (r, u)``, ``delta = (w, u)`` and ``rr = (r, r)``
+    per column in global element order, reading the three arenas once —
+    the fused multi-dot the Ghysels–Vanroose formulation exists to
+    amortise.  Returns the stacked ``(3, cols)`` float64 payload for the
+    single all-reduce.
+    """
+    exec_ = r._exec
+    rows, cols = r._data.shape
+    result = np.stack(
+        [
+            np.einsum("ij,ij->j", r._data, u._data),
+            np.einsum("ij,ij->j", w._data, u._data),
+            np.einsum("ij,ij->j", r._data, r._data),
+        ]
+    ).astype(np.float64, copy=False)
+    exec_.run(
+        KernelCost(
+            "pipelined_cg_dots",
+            flops=6.0 * rows * cols,
+            bytes=3.0 * rows * cols * r.value_bytes,
+            launches=1,
+        )
+    )
+    return result
+
+
+def dist_pcg_step(z, q, s, p, x, r, u, w, m, n, alpha, beta) -> None:
+    """Fused Ghysels–Vanroose recurrence update, rank-parallel.
+
+    One streaming kernel updating all eight recurrence vectors from the
+    overlapped products ``m = M^{-1} w`` and ``n = A m``::
+
+        z = n + beta z ;  q = m + beta q ;  s = w + beta s ;  p = u + beta p
+        x += alpha p   ;  r -= alpha s   ;  u -= alpha q   ;  w -= alpha z
+
+    The auxiliary updates read ``w``/``u`` *before* their own updates
+    run, matching the paper's ordering.
+    """
+    a = _bc(alpha, x.dtype)
+    bt = _bc(beta, x.dtype)
+    zd, qd, sd, pd = z._data, q._data, s._data, p._data
+    xd, rd, ud, wd = x._data, r._data, u._data, w._data
+    md, nd = m._data, n._data
+
+    def op(lo, hi):
+        zd[lo:hi] *= bt
+        zd[lo:hi] += nd[lo:hi]
+        qd[lo:hi] *= bt
+        qd[lo:hi] += md[lo:hi]
+        sd[lo:hi] *= bt
+        sd[lo:hi] += wd[lo:hi]
+        pd[lo:hi] *= bt
+        pd[lo:hi] += ud[lo:hi]
+        xd[lo:hi] += a * pd[lo:hi]
+        rd[lo:hi] -= a * sd[lo:hi]
+        ud[lo:hi] -= a * qd[lo:hi]
+        wd[lo:hi] -= a * zd[lo:hi]
+
+    x._rankwise_elementwise("pipelined_cg_step", op, 18)
+    for vec in (z, q, s, p, r, u, w):
+        vec.mark_modified()
+
+
 class DistributedIterativeSolver(IterativeSolver):
     """Base of the distributed solvers: pooled Vectors, shared comm."""
 
@@ -424,6 +518,102 @@ class DistributedCgSolver(DistributedIterativeSolver):
                 # from bit-exact state.
                 iteration = scalars["iteration"] - 1
                 rz = scalars["rz"]
+
+
+class DistributedPipelinedCgSolver(DistributedIterativeSolver):
+    """Pipelined CG (Ghysels & Vanroose): one overlapped reduction/iter.
+
+    Blocking CG pays three all-reduces per iteration (``p.q``, the
+    residual norm, ``r.z``), each a synchronisation point.  The
+    pipelined formulation fuses them into a single all-reduce of the
+    triple ``gamma = (r, u)``, ``delta = (w, u)``, ``rr = (r, r)``,
+    posts it non-blocking, and computes the next preconditioner apply
+    and SpMV while it is in flight — at high latency the reduction
+    disappears behind the matrix work entirely.
+
+    Cost of the latency win: extra recurrences (``z, q, s, p`` next to
+    ``x, r, u, w``) reassociate the CG arithmetic, so residual histories
+    match blocking CG only to rounding-level tolerance (pinned in the
+    tests/benchmark, documented in DESIGN.md), and the recurrence for
+    ``r`` drifts from the true residual ``b - A x`` a few digits earlier
+    than blocking CG under loss of orthogonality.  The monitored
+    residual of iteration ``i`` is computed by the reduction of pass
+    ``i + 1`` (pipeline depth 1), so a converged solve performs one
+    extra overlapped SpMV.
+
+    Under fault injection the loop checkpoints the eight-vector
+    recurrence state plus ``(prev_gamma, alpha)`` every
+    ``checkpoint_every`` iterations; wait-time failures restore and
+    replay exactly like blocking CG.
+    """
+
+    def _iterate(self, A, M, b, x, r, monitor) -> None:
+        recovery = _Recovery.arm(self, b, x)
+        comm = self._matrix.comm
+        u = self._vector("pcg.u", r)
+        M.apply(r, u)
+        w = self._vector("pcg.w", r)
+        A.apply(u, w)
+        m = self._vector("pcg.m", r)
+        n = self._vector("pcg.n", r)
+        # The auxiliary recurrences start at zero (beta_0 = 0 makes the
+        # first update a plain copy, but a stale NaN from a previous
+        # broken-down solve would survive `0 * NaN`).
+        z = self._vector("pcg.z", r).fill(0.0)
+        q = self._vector("pcg.q", r).fill(0.0)
+        s = self._vector("pcg.s", r).fill(0.0)
+        p = self._vector("pcg.p", r).fill(0.0)
+        if recovery is not None:
+            recovery.track(r=r, u=u, w=w, z=z, q=q, s=s, p=p)
+            monitor = recovery.wrap_monitor(monitor)
+
+        iteration = 0
+        prev_gamma = None
+        alpha = None
+        while True:
+            iteration += 1
+            if recovery is not None and recovery.due(iteration):
+                recovery.checkpoint(
+                    iteration, prev_gamma=prev_gamma, alpha=alpha
+                )
+            try:
+                # Fused local dots, then ONE non-blocking all-reduce …
+                reduced = _pcg_local_dots(r, u, w)
+                request = comm.iallreduce(
+                    reduced.size * _REDUCE_BYTES,
+                    label="iallreduce_pcg",
+                    payload=reduced,
+                )
+                # … hidden behind the next preconditioner apply + SpMV
+                # (the point of the pipelined formulation).
+                M.apply(w, m)
+                A.apply(m, n)
+                request.wait()
+                if recovery is not None:
+                    recovery.verify(reduced)
+                gamma, delta, rr = reduced
+                res_norm = np.sqrt(rr)
+                # Pipeline depth 1: this pass's reduction delivers the
+                # residual of the *previous* pass's update.
+                if iteration > 1 and monitor(iteration - 1, res_norm):
+                    return
+                if prev_gamma is None:
+                    beta = np.zeros_like(gamma)
+                    alpha = _safe_divide(gamma, delta)
+                else:
+                    beta = _safe_divide(gamma, prev_gamma)
+                    alpha = _safe_divide(
+                        gamma, delta - _safe_divide(beta * gamma, alpha)
+                    )
+                dist_pcg_step(z, q, s, p, x, r, u, w, m, n, alpha, beta)
+                prev_gamma = gamma
+            except RECOVERABLE as exc:
+                if recovery is None:
+                    raise
+                scalars = recovery.recover(exc)
+                iteration = scalars["iteration"] - 1
+                prev_gamma = scalars["prev_gamma"]
+                alpha = scalars["alpha"]
 
 
 class DistributedGmresSolver(DistributedIterativeSolver):
@@ -593,6 +783,168 @@ class DistributedGmresSolver(DistributedIterativeSolver):
             return total_iteration, stopped
 
 
+#: Default s-step cycle length: the monomial basis loses roughly one
+#: decimal digit of conditioning per power, so small cycles are the
+#: practical regime (Hoemmen 2010 reaches further only with Newton bases).
+DEFAULT_S_STEP = 4
+
+
+class DistributedSStepGmresSolver(DistributedIterativeSolver):
+    """s-step (communication-avoiding) GMRES: one reduction per cycle.
+
+    Each restart cycle of length ``s``:
+
+    1. computes the preconditioned residual ``r = M^{-1}(b - A x)``;
+    2. builds the monomial Krylov basis ``p_0 = r``,
+       ``p_{i+1} = M^{-1}(A p_i) / rho`` with ``rho`` the matrix's
+       Gershgorin bound (:meth:`Matrix.infinity_norm` — no per-vector
+       norm reductions);
+    3. all-reduces the Gram matrix ``G = P^T P`` — ``(s+1)^2`` doubles,
+       the cycle's *only* global reduction;
+    4. for ``k = 1..s`` solves the normal equations on the leading
+       ``k x k`` corner of ``G`` (redundant O(s^3) host work on every
+       rank): since ``A M^{-1} p_i = rho p_{i+1}`` exactly, the update
+       ``x += P[:, :k] (y / rho)`` has preconditioned residual
+       ``P (e_0 - S y)`` whose norm is ``sqrt(G[0,0] - y^T G[1:,0])`` —
+       the per-iteration residual estimate fed to the monitor;
+    5. applies the best update and restarts (re-deriving the true
+       residual, which bounds the estimate drift per cycle).
+
+    The estimates reassociate the orthogonalisation arithmetic, so
+    residual histories track blocking GMRES only to a pinned tolerance;
+    conditioning of the monomial basis limits ``s`` to small values
+    (default 4).  Checkpoint/recovery is cycle-granular, exactly like
+    blocking GMRES: cycles replay deterministically from ``x``.
+    """
+
+    def _iterate(self, A, M, b, x, r0, monitor) -> None:
+        s = int(self._factory.params.get("s_step", DEFAULT_S_STEP))
+        if s < 1:
+            raise GinkgoError(f"s_step must be >= 1, got {s}")
+        if b.size.cols != 1:
+            raise GinkgoError(
+                "distributed s-step GMRES supports a single right-hand "
+                f"side, got {b.size.cols} columns"
+            )
+        ws = self._workspace
+        n = b.size.rows
+        w = self._vector("sstep.w", b)
+        r = self._vector("sstep.r", b)
+        pk = self._vector("sstep.pk", b)
+        rho = self._matrix.infinity_norm() or 1.0
+        total_iteration = 0
+        recovery = _Recovery.arm(self, b, x)
+        if recovery is not None:
+            monitor = recovery.wrap_monitor(monitor)
+
+        while True:
+            if recovery is not None and recovery.due_cycle(total_iteration):
+                recovery.checkpoint(total_iteration)
+            try:
+                stopped = self._cycle(
+                    A, M, b, x, monitor, w, r, pk, ws, n, s, rho,
+                    total_iteration, recovery,
+                )
+            except RECOVERABLE as exc:
+                if recovery is None:
+                    raise
+                scalars = recovery.recover(exc)
+                total_iteration = scalars["iteration"]
+                continue
+            if stopped is None:
+                return
+            total_iteration, stopped = stopped
+            if stopped:
+                return
+            # Otherwise: restart with the next s-step cycle.
+
+    def _cycle(
+        self, A, M, b, x, monitor, w, r, pk, ws, n, s, rho,
+        total_iteration, recovery,
+    ):
+        """One s-step cycle; returns None on a zero residual, else
+        ``(total_iteration, stopped)``."""
+        exec_ = self._exec
+        comm = self._matrix.comm
+        # Preconditioned residual r = M^{-1}(b - A x).
+        w.copy_values_from(b)
+        A.apply_advanced(-1.0, x, 1.0, w)
+        M.apply(w, r)
+        basis = ws.array("sstep.basis", (n, s + 1))
+        basis[:, 0] = r._data[:, 0]
+        record_fused(exec_, "sstep_init", n, b.value_bytes, 2)
+        inv_rho = 1.0 / rho
+        for i in range(s):
+            # p_{i+1} = M^{-1}(A p_i) / rho — matrix work only, no
+            # reductions; the halo exchanges ride the overlap path when
+            # the matrix has it enabled.
+            pk._data[:, 0] = basis[:, i]
+            pk.mark_modified()
+            A.apply(pk, w)
+            M.apply(w, pk)
+            basis[:, i + 1] = pk._data[:, 0] * inv_rho
+            record_fused(exec_, "sstep_basis_scale", n, b.value_bytes, 2)
+        # The cycle's single global reduction: every inner iteration's
+        # orthogonalisation state in one (s+1)^2 payload.
+        gram = basis.T @ basis
+        exec_.run(
+            KernelCost(
+                "sstep_gram",
+                flops=2.0 * n * (s + 1) ** 2,
+                bytes=float(n * (s + 1) * b.value_bytes + gram.nbytes),
+                launches=1,
+            )
+        )
+        comm.all_reduce(
+            gram.size * _REDUCE_BYTES,
+            label="all_reduce_gram",
+            payload=gram,
+        )
+        if recovery is not None:
+            recovery.verify(gram)
+        if gram[0, 0] == 0.0:
+            monitor(total_iteration, 0.0)
+            return None
+
+        y = None
+        inner = 0
+        stopped = False
+        for k in range(1, s + 1):
+            corner = gram[1 : k + 1, 1 : k + 1]
+            rhs = gram[1 : k + 1, 0]
+            try:
+                yk = np.linalg.solve(corner, rhs)
+            except np.linalg.LinAlgError:
+                # Degenerate basis (Krylov space exhausted): fall back
+                # to the minimum-norm least-squares coefficients.
+                yk = np.linalg.lstsq(corner, rhs, rcond=None)[0]
+            residual_norm = np.sqrt(
+                max(float(gram[0, 0] - rhs @ yk), 0.0)
+            )
+            # The prefix solves are O(s^3) redundant host work on every
+            # rank, like the blocking solver's Givens updates.
+            exec_.run(
+                KernelCost(
+                    "sstep_normal_solve",
+                    flops=float(k**3) / 3.0 + 2.0 * k * k,
+                    bytes=8.0 * (k + 1) * (k + 1),
+                    launches=2,
+                )
+            )
+            y = yk
+            inner = k
+            total_iteration += 1
+            exec_.run(KernelCost("residual_check", 0.0, 64.0, launches=4))
+            stopped = monitor(total_iteration, residual_norm)
+            if stopped:
+                break
+
+        x._data[:, 0] += basis[:, :inner] @ (y * inv_rho)
+        x.mark_modified()
+        record_fused(exec_, "sstep_x_update", n * inner, b.value_bytes, 2)
+        return total_iteration, stopped
+
+
 class DistributedCg(SolverFactory):
     """Distributed CG factory: ``DistributedCg(exec, criteria=...)``.
 
@@ -620,3 +972,33 @@ class DistributedGmres(SolverFactory):
 
     solver_class = DistributedGmresSolver
     parameter_names = ("krylov_dim", "checkpoint_every", "max_recoveries")
+
+
+class DistributedPipelinedCg(SolverFactory):
+    """Pipelined CG factory: one overlapped all-reduce per iteration.
+
+    Parameters:
+        checkpoint_every: Krylov-state checkpoint period under fault
+            injection (default 1; 0 disables recovery).
+        max_recoveries: Recoverable failures absorbed per solve before
+            the error propagates (default 8).
+    """
+
+    solver_class = DistributedPipelinedCgSolver
+    parameter_names = ("checkpoint_every", "max_recoveries")
+
+
+class DistributedSStepGmres(SolverFactory):
+    """s-step GMRES factory: one all-reduce per ``s_step`` iterations.
+
+    Parameters:
+        s_step: Cycle length / basis size (default 4; the monomial basis
+            limits practical values to single digits).
+        checkpoint_every: Checkpoint period under fault injection
+            (cycle-granular, like blocking GMRES; 0 disables).
+        max_recoveries: Recoverable failures absorbed per solve before
+            the error propagates (default 8).
+    """
+
+    solver_class = DistributedSStepGmresSolver
+    parameter_names = ("s_step", "checkpoint_every", "max_recoveries")

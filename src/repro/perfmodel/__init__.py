@@ -28,8 +28,10 @@ binding overhead amortises to <10% above 1e7 nonzeros, ...) are covered by
 from repro.perfmodel.clock import KernelEvent, SimClock
 from repro.perfmodel.comm import (
     DEFAULT_NETWORK,
+    ETHERNET_CLUSTER,
     INFINIBAND_HDR,
     INTRA_NODE,
+    CommRequest,
     NetworkSpec,
     allreduce_time,
     halo_exchange_time,
@@ -76,6 +78,8 @@ __all__ = [
     "INFINIBAND_HDR",
     "INTEL_XEON_8368",
     "INTRA_NODE",
+    "CommRequest",
+    "ETHERNET_CLUSTER",
     "KernelCost",
     "KernelEvent",
     "LIBRARY_PROFILES",

@@ -254,6 +254,107 @@ class TestDistributedRecovery:
         assert trails[0] == trails[1]
 
 
+class TestPipelinedRecovery:
+    """Non-blocking path: faults surface at wait time, recovery replays.
+
+    The pipelined solvers relax bit-identity against *blocking* CG, but
+    their fault-tolerance contract is unchanged: a recovered solve must
+    be bit-identical to the same solver's own fault-free run.
+    """
+
+    def fault_free(self, rng, factory_cls, **params):
+        mat = spd_matrix(rng)
+        b = np.random.default_rng(5).standard_normal(mat.shape[0])
+        ex = OmpExecutor.create(num_threads=4, noisy=False)
+        solver, hist, x = dist_solve(ex, mat, b, factory_cls, **params)
+        assert solver.converged
+        return mat, b, hist, x
+
+    @pytest.mark.parametrize(
+        "schedule,expected_event",
+        [
+            ({"allreduce": [(4, "corruption")]}, "replay_recovered"),
+            ({"halo": [(5, "drop")]}, "replay_recovered"),
+            ({"rank": [(6, "failure")]}, "rank_recovered"),
+        ],
+        ids=["allreduce-corruption", "halo-drop", "rank-failure"],
+    )
+    def test_pipelined_cg_recovers_bit_identical(
+        self, rng, schedule, expected_event
+    ):
+        from repro.ginkgo.distributed import DistributedPipelinedCg
+
+        mat, b, hist, x = self.fault_free(rng, DistributedPipelinedCg)
+        ex, injector = faulty_omp(schedule=schedule)
+        solver, fhist, fx = dist_solve(ex, mat, b, DistributedPipelinedCg)
+        assert solver.converged
+        assert solver.num_recoveries == 1
+        assert [e["event"] for e in solver.recovery_events] == [
+            expected_event
+        ]
+        assert len(injector.injected) == 1
+        assert np.asarray(fhist).tobytes() == np.asarray(hist).tobytes()
+        assert fx.tobytes() == x.tobytes()
+
+    def test_pipelined_cg_stragglers_only_cost_time(self, rng):
+        from repro.ginkgo.distributed import DistributedPipelinedCg
+
+        mat, b, hist, x = self.fault_free(rng, DistributedPipelinedCg)
+        ex, injector = faulty_omp(
+            schedule={
+                "allreduce": [(3, "straggler")],
+                "halo": [(4, "late")],
+            }
+        )
+        with pg.profile(ex) as prof:
+            solver, fhist, fx = dist_solve(
+                ex, mat, b, DistributedPipelinedCg
+            )
+        assert solver.converged
+        assert solver.num_recoveries == 0
+        assert np.asarray(fhist).tobytes() == np.asarray(hist).tobytes()
+        assert fx.tobytes() == x.tobytes()
+        fault_seconds = sum(
+            span.duration
+            for span in prof.trace.walk()
+            if span.category == "fault"
+        )
+        assert fault_seconds > 0.0
+
+    def test_sstep_gmres_recovers_bit_identical(self, rng):
+        from repro.ginkgo.distributed import DistributedSStepGmres
+
+        mat, b, hist, x = self.fault_free(
+            rng, DistributedSStepGmres, s_step=4
+        )
+        ex, injector = faulty_omp(
+            schedule={"allreduce": [(3, "corruption")]}
+        )
+        solver, fhist, fx = dist_solve(
+            ex, mat, b, DistributedSStepGmres, s_step=4
+        )
+        assert solver.converged
+        assert solver.num_recoveries == 1
+        assert np.asarray(fhist).tobytes() == np.asarray(hist).tobytes()
+        assert fx.tobytes() == x.tobytes()
+
+    def test_pipelined_budget_exhausts_truthfully(self, rng):
+        from repro.ginkgo.distributed import DistributedPipelinedCg
+
+        mat = spd_matrix(rng)
+        b = rng.standard_normal(mat.shape[0])
+        ex, _ = faulty_omp(schedule={"allreduce": [(4, "corruption")]})
+        part = Partition.build_uniform(mat.shape[0], 4)
+        dist = Matrix(ex, part, mat)
+        db = Vector(ex, part, b, comm=dist.comm)
+        dx = Vector.zeros(ex, part, comm=dist.comm)
+        solver = DistributedPipelinedCg(
+            ex, criteria=crit(), max_recoveries=0
+        ).generate(dist)
+        with pytest.raises(GinkgoError):
+            solver.apply(db, dx)
+
+
 class TestSequentialRanksContractRelaxed:
     def test_shrink_under_sequential_mode_still_converges(self, rng):
         # The documented carve-out: rank-sequential reductions relax the

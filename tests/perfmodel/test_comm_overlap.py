@@ -1,0 +1,188 @@
+"""Non-blocking comm model: CommRequest accounting and model edges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ginkgo.distributed import Communicator
+from repro.perfmodel.comm import (
+    ETHERNET_CLUSTER,
+    INTRA_NODE,
+    CommRequest,
+    allreduce_time,
+    halo_exchange_time,
+)
+
+
+class TestModelEdges:
+    def test_allreduce_rounds_non_power_of_two(self):
+        # Recursive doubling: ceil(log2 K) rounds, so 5..8 ranks all
+        # cost 3 rounds.
+        t5 = allreduce_time(64, 5, INTRA_NODE)
+        t8 = allreduce_time(64, 8, INTRA_NODE)
+        assert t5 == pytest.approx(t8)
+        assert t5 == pytest.approx(3.0 * INTRA_NODE.message_time(64))
+        assert allreduce_time(64, 9, INTRA_NODE) == pytest.approx(
+            4.0 * INTRA_NODE.message_time(64)
+        )
+
+    def test_zero_byte_halo_still_pays_latency(self):
+        # An empty payload is still num_messages envelopes on the wire.
+        t = halo_exchange_time(0, 4, ETHERNET_CLUSTER)
+        assert t == pytest.approx(4 * ETHERNET_CLUSTER.latency)
+        assert halo_exchange_time(0, 0, ETHERNET_CLUSTER) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            allreduce_time(-1, 4)
+        with pytest.raises(ValueError):
+            allreduce_time(8, 0)
+        with pytest.raises(ValueError):
+            halo_exchange_time(-1, 2)
+        with pytest.raises(ValueError):
+            halo_exchange_time(8, -1)
+
+
+class TestCommRequest:
+    def test_fully_exposed_without_overlap(self, ref):
+        req = CommRequest(ref.clock, 1e-3, "xchg")
+        before = ref.clock.now
+        exposed = req.wait()
+        assert exposed == pytest.approx(1e-3)
+        assert req.hidden == 0.0
+        assert ref.clock.now == pytest.approx(before + 1e-3)
+
+    def test_fully_hidden_behind_compute(self, ref):
+        req = CommRequest(ref.clock, 1e-3, "xchg")
+        ref.clock.advance(5e-3, category="compute", label="spmv")
+        before = ref.clock.now
+        exposed = req.wait()
+        assert exposed == 0.0
+        assert req.hidden == pytest.approx(1e-3)
+        assert ref.clock.now == before  # nothing charged
+
+    def test_partial_overlap_charges_remainder(self, ref):
+        req = CommRequest(ref.clock, 1e-3, "xchg")
+        ref.clock.advance(4e-4, category="compute", label="spmv")
+        before = ref.clock.now
+        exposed = req.wait()
+        assert exposed == pytest.approx(6e-4)
+        assert req.hidden == pytest.approx(4e-4)
+        assert ref.clock.now == pytest.approx(before + 6e-4)
+        assert req.progress() == 1.0
+
+    def test_wait_is_idempotent(self, ref):
+        req = CommRequest(ref.clock, 1e-3, "xchg")
+        first = req.wait()
+        before = ref.clock.now
+        assert req.wait() == first
+        assert ref.clock.now == before
+
+    def test_progress_tracks_elapsed_fraction(self, ref):
+        req = CommRequest(ref.clock, 1e-3, "xchg")
+        assert req.progress() == 0.0
+        ref.clock.advance(5e-4, category="compute")
+        assert req.progress() == pytest.approx(0.5)
+        ref.clock.advance(1e-2, category="compute")
+        assert req.progress() == 1.0
+
+    def test_zero_second_request_is_complete(self, ref):
+        req = CommRequest(ref.clock, 0.0, "xchg")
+        assert req.progress() == 1.0
+        assert req.wait() == 0.0
+
+    def test_rejects_negative_duration(self, ref):
+        with pytest.raises(ValueError):
+            CommRequest(ref.clock, -1.0, "xchg")
+
+    def test_concurrent_requests_share_the_window(self, ref):
+        # Two in-flight transfers both progress against the same elapsed
+        # compute: the model's documented wire-sharing behaviour.
+        a = CommRequest(ref.clock, 1e-3, "a")
+        b = CommRequest(ref.clock, 1e-3, "b")
+        ref.clock.advance(2e-3, category="compute")
+        assert a.wait() == 0.0
+        assert b.wait() == 0.0
+
+
+class TestNonBlockingCommunicator:
+    def test_iallreduce_accounting(self, ref):
+        comm = Communicator(ref, 4)
+        req = comm.iallreduce(64)
+        assert comm.num_inflight == 1
+        assert comm.num_all_reduces == 0  # counted at wait, like MPI_Wait
+        ref.clock.advance(1.0, category="compute")
+        req.wait()
+        assert comm.num_inflight == 0
+        assert comm.num_all_reduces == 1
+        assert comm.bytes_all_reduced == 64
+        expected = allreduce_time(64, 4, comm.network)
+        assert comm.comm_seconds == pytest.approx(expected)
+        assert comm.comm_hidden_seconds == pytest.approx(expected)
+
+    def test_ihalo_exposed_time_without_overlap(self, ref):
+        comm = Communicator(ref, 4)
+        before = ref.clock.now
+        req = comm.ihalo_exchange(1024, 6)
+        req.wait()  # immediate wait: nothing hidden
+        expected = halo_exchange_time(1024, 6, comm.network)
+        assert ref.clock.now == pytest.approx(before + expected)
+        assert comm.comm_seconds == pytest.approx(expected)
+        assert comm.comm_hidden_seconds == 0.0
+        assert comm.num_halo_exchanges == 1
+
+    def test_single_rank_handles_are_free_and_uncounted(self, ref):
+        comm = Communicator(ref, 1)
+        before = ref.clock.now
+        for req in (comm.iallreduce(1 << 20), comm.ihalo_exchange(1 << 20, 8)):
+            assert req.done
+            assert req.wait() == 0.0
+        assert ref.clock.now == before
+        assert comm.num_posted == 0
+        assert comm.num_inflight == 0
+        assert comm.num_all_reduces == 0
+        assert comm.num_halo_exchanges == 0
+        assert comm.comm_seconds == 0.0
+
+    def test_zero_message_halo_is_trivial(self, ref):
+        comm = Communicator(ref, 4)
+        req = comm.ihalo_exchange(0, 0)
+        assert req.done
+        assert req.wait() == 0.0
+        assert comm.num_posted == 0
+        assert comm.num_halo_exchanges == 0
+
+    def test_reset_counters_clears_overlap_accounting(self, ref):
+        comm = Communicator(ref, 4)
+        comm.iallreduce(64).wait()
+        comm.ihalo_exchange(256, 3)  # left in flight on purpose
+        comm.all_reduce(8)
+        assert comm.comm_seconds > 0.0
+        assert comm.num_posted == 2
+        assert comm.num_inflight == 1
+        comm.reset_counters()
+        assert comm.comm_seconds == 0.0
+        assert comm.comm_hidden_seconds == 0.0
+        assert comm.num_posted == 0
+        assert comm.num_inflight == 0
+        assert comm.num_all_reduces == 0
+        assert comm.bytes_all_reduced == 0
+
+    def test_blocking_calls_accumulate_comm_seconds(self, ref):
+        comm = Communicator(ref, 4)
+        s1 = comm.all_reduce(64)
+        s2 = comm.halo_exchange(1024, 6)
+        assert comm.comm_seconds == pytest.approx(s1 + s2)
+        assert comm.comm_hidden_seconds == 0.0
+
+    def test_comm_hidden_annotation_in_trace(self):
+        import repro as pg
+
+        dev = pg.device("reference", fresh=True)
+        comm = Communicator(dev, 4, network=ETHERNET_CLUSTER)
+        with pg.profile(dev) as prof:
+            req = comm.iallreduce(64)
+            dev.clock.advance(1.0, category="compute", label="spmv")
+            req.wait()
+        names = [s.name for s in prof.trace.walk()]
+        assert "comm_hidden" in names
