@@ -3,11 +3,11 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: verify unit profile-smoke perf-smoke chaos-smoke test bench bench-report
+.PHONY: verify unit profile-smoke perf-smoke service-smoke chaos-smoke test bench bench-report
 
-# Tier-1 gate: the full test suite plus the profiler, perf, and chaos
-# smoke checks.
-verify: unit profile-smoke perf-smoke chaos-smoke
+# Tier-1 gate: the full test suite plus the profiler, perf, service,
+# and chaos smoke checks.
+verify: unit profile-smoke perf-smoke service-smoke chaos-smoke
 
 # The full unit/integration/property suite, fail-fast.
 unit:
@@ -34,6 +34,14 @@ perf-smoke:
 	$(PYTHON) benchmarks/bench_distributed.py --smoke
 	$(PYTHON) benchmarks/bench_overlap.py --smoke
 	$(PYTHON) benchmarks/bench_fusion.py --smoke
+
+# Service acceptance: coalesced multi-tenant scheduling must beat the
+# naive one-at-a-time FIFO baseline by >= 3x simulated-clock throughput
+# with every job's solution byte-identical to its solo solve, and the
+# SLO snapshot (latency percentiles, throughput, coalesce ratio) must
+# land in BENCH_service.json for the bench report.
+service-smoke:
+	$(PYTHON) benchmarks/bench_service.py --smoke
 
 # Chaos acceptance: the seeded fault-schedule suite, then the recovery
 # sweep — every injectable site across scalar/batch/distributed solves

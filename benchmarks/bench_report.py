@@ -65,6 +65,62 @@ def _fmt_speedup(report) -> str:
     return text
 
 
+def _fmt_slo_cell(value, fmt) -> str:
+    if not isinstance(value, (int, float)):
+        return "-"
+    return format(value, fmt)
+
+
+def render_slo(report) -> list:
+    """SLO percentile table lines for a report carrying an ``"slo"`` key.
+
+    ``slo`` maps run labels (e.g. ``coalesced``/``baseline``) to the
+    service's SLO snapshot; one row per run with the latency
+    percentiles, throughput, and coalesce ratio.
+    """
+    slo = report.get("slo")
+    if not isinstance(slo, dict) or not slo:
+        return []
+    rows = [
+        (
+            "run",
+            "p50 latency",
+            "p99 latency",
+            "throughput",
+            "coalesce",
+            "miss rate",
+        )
+    ]
+    for label in sorted(slo):
+        snapshot = slo[label]
+        if not isinstance(snapshot, dict):
+            continue
+        rows.append(
+            (
+                str(label),
+                _fmt_slo_cell(snapshot.get("p50_latency"), ".3e"),
+                _fmt_slo_cell(snapshot.get("p99_latency"), ".3e"),
+                _fmt_slo_cell(snapshot.get("throughput"), ".1f"),
+                _fmt_slo_cell(snapshot.get("coalesce_ratio"), ".2f"),
+                _fmt_slo_cell(snapshot.get("deadline_miss_rate"), ".2f"),
+            )
+        )
+    if len(rows) == 1:
+        return []
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    lines = [f"SLO — {report.get('benchmark')}:"]
+    for index, row in enumerate(rows):
+        lines.append(
+            "  "
+            + "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+        if index == 0:
+            lines.append(
+                "  " + "  ".join("-" * width for width in widths)
+            )
+    return lines
+
+
 def render(reports) -> str:
     rows = [("benchmark", "speedup", "status", "file")]
     for report in reports:
@@ -86,6 +142,11 @@ def render(reports) -> str:
         )
         if index == 0:
             lines.append("  ".join("-" * width for width in widths))
+    for report in reports:
+        slo_lines = render_slo(report)
+        if slo_lines:
+            lines.append("")
+            lines.extend(slo_lines)
     for report in reports:
         for failure in report.get("failures") or []:
             lines.append(f"  {report.get('benchmark')}: FAIL {failure}")

@@ -79,6 +79,10 @@ from repro.core import (
 )
 from repro.ginkgo.log import MetricsRegistry, ProfilerHook
 
+# Imported after repro.core: the service layer builds on the core solve,
+# batch, distributed, and resilient APIs.
+from repro import service
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -120,6 +124,7 @@ __all__ = [
     "rayleigh_ritz_eigensolver",
     "read",
     "resilient_solve",
+    "service",
     "shares_memory",
     "solve",
     "solver",

@@ -28,6 +28,8 @@ every operation the region replaced is exactly the amortisation
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.bindings import overhead
@@ -41,6 +43,8 @@ _INDEX_SUFFIXES = {np.dtype(dt): name for name, dt in INDEX_TYPES.items()}
 
 #: (op, value suffix, index suffix, device family) -> bound wrapper.
 _CACHE: dict = {}
+#: Guards misses so concurrent worker threads resolve each key once.
+_LOCK = threading.Lock()
 
 
 def _suffix(dtype, names: dict, inverted: dict, kind: str) -> str | None:
@@ -102,22 +106,27 @@ def resolve(op: str, value_dtype=None, index_dtype=None, exec_=None):
     entry = _CACHE.get(key)
     hit = entry is not None
     if not hit:
-        name = op
-        if vs is not None:
-            name = f"{name}_{vs}"
-        if is_ is not None:
-            name = f"{name}_{is_}"
-        try:
-            entry = get_binding(name)
-        except KeyError:
-            raise GinkgoError(f"no binding symbol {name!r} for op {op!r}") from None
-        # Warm the overhead model for the family so the first bound call
-        # finds it pre-resolved (the jitter stream is untouched: models
-        # are created lazily either way, and sampling only happens inside
-        # charge_binding).
-        if exec_ is not None:
-            overhead.overhead_model_for(exec_)
-        _CACHE[key] = entry
+        with _LOCK:
+            entry = _CACHE.get(key)
+            if entry is None:
+                name = op
+                if vs is not None:
+                    name = f"{name}_{vs}"
+                if is_ is not None:
+                    name = f"{name}_{is_}"
+                try:
+                    entry = get_binding(name)
+                except KeyError:
+                    raise GinkgoError(
+                        f"no binding symbol {name!r} for op {op!r}"
+                    ) from None
+                # Warm the overhead model for the family so the first
+                # bound call finds it pre-resolved (the jitter stream is
+                # untouched: models are created lazily either way, and
+                # sampling only happens inside charge_binding).
+                if exec_ is not None:
+                    overhead.overhead_model_for(exec_)
+                _CACHE[key] = entry
     cachestats.record(
         "dispatch",
         hit,

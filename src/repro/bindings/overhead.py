@@ -14,6 +14,7 @@ suite does this automatically around every test).
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 
 from repro.perfmodel import BindingOverheadModel
@@ -25,6 +26,14 @@ _ENABLED = _DEFAULT_ENABLED
 
 #: One shared model per device family so the jitter streams are stable.
 _MODELS: dict[str, BindingOverheadModel] = {}
+
+#: Guards model creation and jitter-stream draws: the models (and their
+#: RNG state) are shared across every executor of a family, so the
+#: service layer's concurrent workers must serialize their draws.  The
+#: draw *order* under true concurrency still follows thread timing, so
+#: virtual durations may differ in the last digits between a threaded
+#: and a sequential run of the same schedule; solutions never do.
+_MODELS_LOCK = threading.Lock()
 
 
 def set_binding_overhead(enabled: bool) -> None:
@@ -101,9 +110,10 @@ def _classify_family(exec_) -> str:
 def overhead_model_for(exec_) -> BindingOverheadModel:
     """The (shared) overhead model for an executor's device family."""
     family = device_family(exec_)
-    if family not in _MODELS:
-        _MODELS[family] = BindingOverheadModel.for_device(family)
-    return _MODELS[family]
+    with _MODELS_LOCK:
+        if family not in _MODELS:
+            _MODELS[family] = BindingOverheadModel.for_device(family)
+        return _MODELS[family]
 
 
 def charge_binding(exec_, num_arguments: int = 2, tag: str | None = None) -> float:
@@ -117,7 +127,9 @@ def charge_binding(exec_, num_arguments: int = 2, tag: str | None = None) -> flo
     """
     if not _ENABLED or exec_ is None:
         return 0.0
-    overhead = overhead_model_for(exec_).sample(num_arguments)
+    model = overhead_model_for(exec_)
+    with _MODELS_LOCK:
+        overhead = model.sample(num_arguments)
     exec_.clock.advance(
         overhead,
         category="binding",

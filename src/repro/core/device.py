@@ -8,6 +8,8 @@ program, matching Ginkgo's shared-pointer executor semantics.
 
 from __future__ import annotations
 
+import threading
+
 from repro.ginkgo.exceptions import GinkgoError
 from repro.ginkgo.executor import (
     CudaExecutor,
@@ -28,6 +30,9 @@ _EXECUTOR_CLASSES = {
 }
 
 _CACHE: dict = {}
+#: Guards the cache so concurrent worker threads resolving one device
+#: name share a single executor instance (clock, memory, noise stream).
+_CACHE_LOCK = threading.Lock()
 
 
 def device(
@@ -66,9 +71,10 @@ def device(
     cache_key = (cls, id, num_threads, tuple(sorted(kwargs.items())))
     if fresh:
         return _create(cls, id, num_threads, kwargs)
-    if cache_key not in _CACHE:
-        _CACHE[cache_key] = _create(cls, id, num_threads, kwargs)
-    return _CACHE[cache_key]
+    with _CACHE_LOCK:
+        if cache_key not in _CACHE:
+            _CACHE[cache_key] = _create(cls, id, num_threads, kwargs)
+        return _CACHE[cache_key]
 
 
 def _create(cls, id: int, num_threads, kwargs) -> Executor:
@@ -81,4 +87,5 @@ def _create(cls, id: int, num_threads, kwargs) -> Executor:
 
 def clear_device_cache() -> None:
     """Drop all cached executors (mainly for test isolation)."""
-    _CACHE.clear()
+    with _CACHE_LOCK:
+        _CACHE.clear()

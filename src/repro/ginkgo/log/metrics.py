@@ -13,36 +13,51 @@ composable:
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.ginkgo.log.logger import Logger
 
 
 class Counter:
-    """A monotonically increasing named count."""
+    """A monotonically increasing named count.
+
+    Increments are atomic under concurrent threads: one registry may be
+    shared by many workers of the service layer's solve pool, and a
+    plain ``+=`` would lose updates under contention.
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError(f"counter increment must be >= 0, got {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def __repr__(self) -> str:
         return f"Counter({self.name!r}, value={self.value})"
 
 
 class Histogram:
-    """A named distribution of observed values (kept exactly; small N)."""
+    """A named distribution of observed values (kept exactly; small N).
+
+    Observations are appended under a lock so concurrent worker threads
+    sharing a registry can never corrupt the value list.
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.values: list[float] = []
+        self._lock = threading.Lock()
 
     def observe(self, value) -> None:
-        self.values.append(float(value))
+        with self._lock:
+            self.values.append(float(value))
 
     @property
     def count(self) -> int:
@@ -91,16 +106,21 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self.counters: dict = {}
         self.histograms: dict = {}
+        # Guards get-or-create: two racing threads must receive the same
+        # instrument instance, not two (one of which would drop updates).
+        self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
-        if name not in self.counters:
-            self.counters[name] = Counter(name)
-        return self.counters[name]
+        with self._lock:
+            if name not in self.counters:
+                self.counters[name] = Counter(name)
+            return self.counters[name]
 
     def histogram(self, name: str) -> Histogram:
-        if name not in self.histograms:
-            self.histograms[name] = Histogram(name)
-        return self.histograms[name]
+        with self._lock:
+            if name not in self.histograms:
+                self.histograms[name] = Histogram(name)
+            return self.histograms[name]
 
     def to_dict(self) -> dict:
         """Plain-dict snapshot (counter values, histogram summaries)."""

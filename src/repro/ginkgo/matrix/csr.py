@@ -11,6 +11,8 @@ they differ in modeled launch count and data movement.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 import scipy.sparse as sp
 
@@ -432,6 +434,38 @@ class Csr(SparseBase):
                 self.value_bytes, self.index_bytes,
             )
         )
+
+    # ------------------------------------------------------------------
+    # structural identity
+    # ------------------------------------------------------------------
+    def pattern_fingerprint(self) -> str:
+        """Hash of the sparsity *pattern*: ``(shape, row_ptrs, col_idxs)``.
+
+        Two CSR matrices with equal fingerprints can be stacked into one
+        :class:`~repro.ginkgo.batch.matrix.BatchCsr` — the service-layer
+        coalescer keys its batch lanes on this.  Values do not contribute,
+        so rescaling keeps the fingerprint while any structural edit
+        changes it.
+
+        Memoized per data generation through the same ``data_version``
+        counter as the format conversions: in-place mutation (via
+        ``writable_values()`` + ``mark_modified()``) invalidates the
+        cached digest, and the recomputation is counted under the
+        ``format`` cache kind.
+        """
+        return self._cached_derived(
+            "pattern_fingerprint", self._build_pattern_fingerprint
+        )
+
+    def _build_pattern_fingerprint(self) -> str:
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(
+            np.asarray([self._size.rows, self._size.cols], dtype=np.int64)
+            .tobytes()
+        )
+        digest.update(np.ascontiguousarray(self._row_ptrs).tobytes())
+        digest.update(np.ascontiguousarray(self._col_idxs).tobytes())
+        return digest.hexdigest()
 
     # ------------------------------------------------------------------
     # analysis helpers used by the benchmark harness

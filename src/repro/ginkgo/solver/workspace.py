@@ -22,9 +22,18 @@ Buffers are re-allocated automatically when a request's shape or dtype
 changes (the old buffer is returned to the executor), and :meth:`clear`
 releases everything — repeated solves therefore no longer grow the
 executor's ``bytes_allocated`` without bound.
+
+Pools are safe to acquire from concurrent threads: the service layer's
+shared worker pool may drive solvers on worker threads, and without
+coordination two acquisitions of one slot could both miss, leak a buffer,
+and hand out aliased storage.  A per-workspace re-entrant lock serialises
+slot bookkeeping; the lock is uncontended (and therefore nearly free) in
+single-threaded use, so the warm-path wall-clock gate is unaffected.
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
@@ -43,6 +52,8 @@ class Workspace:
 
     def __init__(self, exec_) -> None:
         self._exec = exec_
+        #: Serialises slot bookkeeping under concurrent worker threads.
+        self._lock = threading.RLock()
         #: name -> pooled Dense (buffers allocated on ``exec_``).
         self._dense: dict[str, Dense] = {}
         #: name -> host-side NumPy bookkeeping array.
@@ -73,23 +84,25 @@ class Workspace:
                 fully overwrite before reading.
         """
         size = Dim.of(size)
-        buf = self._dense.get(name)
-        hit = (
-            buf is not None
-            and buf.size == size
-            and buf.dtype == np.dtype(dtype)
-        )
-        if hit:
-            if zero:
-                # A fresh alloc is zero-initialised at no simulated cost;
-                # re-zeroing a reused buffer must be equally free, so this
-                # bypasses Dense.fill (which charges a blas1 kernel).
-                buf._data.fill(0)
-        else:
-            if buf is not None:
-                self._exec.free(buf._data)
-            buf = Dense.empty(self._exec, size, dtype)
-            self._dense[name] = buf
+        with self._lock:
+            buf = self._dense.get(name)
+            hit = (
+                buf is not None
+                and buf.size == size
+                and buf.dtype == np.dtype(dtype)
+            )
+            if hit:
+                if zero:
+                    # A fresh alloc is zero-initialised at no simulated
+                    # cost; re-zeroing a reused buffer must be equally
+                    # free, so this bypasses Dense.fill (which charges a
+                    # blas1 kernel).
+                    buf._data.fill(0)
+            else:
+                if buf is not None:
+                    self._exec.free(buf._data)
+                buf = Dense.empty(self._exec, size, dtype)
+                self._dense[name] = buf
         cachestats.record(
             "workspace", hit, clock=self._exec.clock,
             buffer=name, nbytes=buf._data.nbytes,
@@ -114,17 +127,20 @@ class Workspace:
         view land in the block; the cached wrapper is rebuilt if the slot
         is reused for a different block or column.
         """
-        cached = self._columns.get(name)
-        if cached is not None:
-            owner, wrapper = cached
-            if owner == (id(block._data), index):
-                cachestats.record(
-                    "workspace", True, clock=self._exec.clock,
-                    buffer=name, column=index,
-                )
-                return wrapper
-        wrapper = Dense._wrap(self._exec, block._data[:, index : index + 1])
-        self._columns[name] = ((id(block._data), index), wrapper)
+        with self._lock:
+            cached = self._columns.get(name)
+            if cached is not None:
+                owner, wrapper = cached
+                if owner == (id(block._data), index):
+                    cachestats.record(
+                        "workspace", True, clock=self._exec.clock,
+                        buffer=name, column=index,
+                    )
+                    return wrapper
+            wrapper = Dense._wrap(
+                self._exec, block._data[:, index : index + 1]
+            )
+            self._columns[name] = ((id(block._data), index), wrapper)
         cachestats.record(
             "workspace", False, clock=self._exec.clock,
             buffer=name, column=index,
@@ -140,20 +156,21 @@ class Workspace:
         same hit/miss and zeroing semantics as :meth:`dense`.
         """
         shape = tuple(int(s) for s in np.atleast_1d(shape))
-        buf = self._tensors.get(name)
-        hit = (
-            buf is not None
-            and buf.shape == shape
-            and buf.dtype == np.dtype(dtype)
-        )
-        if hit:
-            if zero:
-                buf.fill(0)
-        else:
-            if buf is not None:
-                self._exec.free(buf)
-            buf = self._exec.alloc(shape, dtype)
-            self._tensors[name] = buf
+        with self._lock:
+            buf = self._tensors.get(name)
+            hit = (
+                buf is not None
+                and buf.shape == shape
+                and buf.dtype == np.dtype(dtype)
+            )
+            if hit:
+                if zero:
+                    buf.fill(0)
+            else:
+                if buf is not None:
+                    self._exec.free(buf)
+                buf = self._exec.alloc(shape, dtype)
+                self._tensors[name] = buf
         cachestats.record(
             "workspace", hit, clock=self._exec.clock,
             buffer=name, nbytes=buf.nbytes,
@@ -181,17 +198,18 @@ class Workspace:
         never lived in executor memory and carry no simulated cost.
         """
         shape = tuple(np.atleast_1d(shape))
-        arr = self._arrays.get(name)
-        hit = (
-            arr is not None
-            and arr.shape == shape
-            and arr.dtype == np.dtype(dtype)
-        )
-        if hit:
-            arr.fill(0)
-        else:
-            arr = np.zeros(shape, dtype=dtype)
-            self._arrays[name] = arr
+        with self._lock:
+            arr = self._arrays.get(name)
+            hit = (
+                arr is not None
+                and arr.shape == shape
+                and arr.dtype == np.dtype(dtype)
+            )
+            if hit:
+                arr.fill(0)
+            else:
+                arr = np.zeros(shape, dtype=dtype)
+                self._arrays[name] = arr
         cachestats.record(
             "workspace", hit, clock=self._exec.clock,
             buffer=name, nbytes=arr.nbytes,
@@ -203,14 +221,15 @@ class Workspace:
     # ------------------------------------------------------------------
     def clear(self) -> None:
         """Release every pooled buffer back to the executor."""
-        for buf in self._dense.values():
-            self._exec.free(buf._data)
-        for buf in self._tensors.values():
-            self._exec.free(buf)
-        self._dense.clear()
-        self._arrays.clear()
-        self._columns.clear()
-        self._tensors.clear()
+        with self._lock:
+            for buf in self._dense.values():
+                self._exec.free(buf._data)
+            for buf in self._tensors.values():
+                self._exec.free(buf)
+            self._dense.clear()
+            self._arrays.clear()
+            self._columns.clear()
+            self._tensors.clear()
 
     @property
     def num_buffers(self) -> int:

@@ -1,0 +1,36 @@
+"""``pg.service`` — solver-as-a-service on the simulated runtime.
+
+A :class:`SolverService` schedules streams of tenant solve jobs over a
+shared worker pool on virtual time: admission control and per-tenant
+quotas, EDF-within-priority ordering, batch-lane coalescing of
+same-pattern small jobs (the throughput headline), distributed routing
+for large systems, and deadline budgets through the resilient layer —
+with per-job solutions byte-identical to solo solves.
+
+    import repro as pg
+
+    dev = pg.device("reference")
+    jobs = pg.service.synthetic_workload(dev, num_jobs=64)
+    svc = pg.service.SolverService(num_workers=4, coalesce=True)
+    results = svc.run(jobs)
+    print(svc.slo_report())
+"""
+
+from repro.service.coalesce import Coalescer, lane_key
+from repro.service.job import ROUTES, JobResult, SolveJob
+from repro.service.scheduler import POLICIES, AdmissionControl, JobQueue
+from repro.service.service import SolverService
+from repro.service.workload import synthetic_workload
+
+__all__ = [
+    "AdmissionControl",
+    "Coalescer",
+    "JobQueue",
+    "JobResult",
+    "POLICIES",
+    "ROUTES",
+    "SolveJob",
+    "SolverService",
+    "lane_key",
+    "synthetic_workload",
+]

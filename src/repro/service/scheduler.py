@@ -1,0 +1,144 @@
+"""Admission control and the priority/deadline job queue.
+
+The queue implements the service's scheduling policy:
+
+* ``"edf"`` (default) — strict priority classes; *within* a class,
+  earliest deadline first (jobs without deadlines sort after all
+  deadlines), ties broken by arrival order so equal jobs stay FIFO;
+* ``"fifo"`` — pure arrival order, ignoring priority and deadline.
+  This is the naive baseline the throughput gate compares against.
+
+Admission control runs when an arrival is processed: a bounded queue
+depth protects the service from unbounded backlog, and per-tenant quotas
+cap any one tenant's outstanding (queued + running) jobs so a single
+heavy tenant cannot starve the rest.  Rejected jobs are answered
+immediately and truthfully — nothing is queued and no solve is charged.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.ginkgo.exceptions import GinkgoError
+from repro.service.job import SolveJob
+
+POLICIES = ("edf", "fifo")
+
+#: Deadline sort key for jobs without one: after every real deadline.
+_NO_DEADLINE = float("inf")
+
+
+class JobQueue:
+    """Priority queue over :class:`SolveJob` with EDF or FIFO ordering.
+
+    Implemented as a heap plus an id-indexed live table so the coalescer
+    can *remove* arbitrary queued jobs (lane members) without a rebuild:
+    popped entries whose id is no longer live are skipped lazily.
+    """
+
+    def __init__(self, policy: str = "edf") -> None:
+        if policy not in POLICIES:
+            raise GinkgoError(
+                f"unknown scheduling policy {policy!r}; available: {POLICIES}"
+            )
+        self.policy = policy
+        self._heap: list = []
+        self._live: dict[int, SolveJob] = {}
+        self._seq = itertools.count()
+
+    def _key(self, job: SolveJob) -> tuple:
+        if self.policy == "fifo":
+            return (job.arrival,)
+        deadline = _NO_DEADLINE if job.deadline is None else job.deadline
+        return (-job.priority, deadline, job.arrival)
+
+    def push(self, job: SolveJob) -> None:
+        heapq.heappush(
+            self._heap, (*self._key(job), next(self._seq), job.job_id)
+        )
+        self._live[job.job_id] = job
+
+    def pop(self) -> SolveJob | None:
+        """Remove and return the next job per policy (None when empty)."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            job = self._live.pop(entry[-1], None)
+            if job is not None:
+                return job
+        return None
+
+    def remove(self, job_id: int) -> SolveJob | None:
+        """Drop a queued job by id (lane coalescing); lazy heap cleanup."""
+        return self._live.pop(job_id, None)
+
+    def jobs(self) -> list:
+        """Live queued jobs in policy order (for lane scans)."""
+        order = sorted(
+            self._heap, key=lambda entry: entry[:-1]
+        )
+        seen = set()
+        out = []
+        for entry in order:
+            job = self._live.get(entry[-1])
+            if job is not None and entry[-1] not in seen:
+                seen.add(entry[-1])
+                out.append(job)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __bool__(self) -> bool:
+        return bool(self._live)
+
+
+class AdmissionControl:
+    """Queue-depth bound and per-tenant outstanding-job quotas.
+
+    Args:
+        max_queue_depth: Maximum queued jobs; ``None`` disables.
+        default_quota: Outstanding-job cap applied to tenants without an
+            explicit entry; ``None`` disables.
+        quotas: tenant name -> outstanding-job cap overrides.
+    """
+
+    def __init__(
+        self,
+        max_queue_depth: int | None = None,
+        default_quota: int | None = None,
+        quotas: dict | None = None,
+    ) -> None:
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise GinkgoError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}"
+            )
+        self.max_queue_depth = max_queue_depth
+        self.default_quota = default_quota
+        self.quotas = dict(quotas or {})
+
+    def quota_for(self, tenant: str) -> int | None:
+        return self.quotas.get(tenant, self.default_quota)
+
+    def admit(
+        self, job: SolveJob, queue_depth: int, tenant_outstanding: int
+    ) -> str | None:
+        """``None`` to admit, else the human-readable rejection reason."""
+        if (
+            self.max_queue_depth is not None
+            and queue_depth >= self.max_queue_depth
+        ):
+            return f"queue full ({queue_depth}/{self.max_queue_depth})"
+        quota = self.quota_for(job.tenant)
+        if quota is not None and tenant_outstanding >= quota:
+            return (
+                f"tenant {job.tenant!r} over quota "
+                f"({tenant_outstanding}/{quota})"
+            )
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionControl(max_queue_depth={self.max_queue_depth}, "
+            f"default_quota={self.default_quota}, quotas={self.quotas})"
+        )

@@ -1,0 +1,659 @@
+"""The solver service: multi-tenant solve scheduling on virtual time.
+
+:class:`SolverService` turns the repo's solve stack into a shared
+facility: tenants submit :class:`~repro.service.job.SolveJob` streams
+with arrival instants on a virtual clock; the service applies admission
+control (:class:`~repro.service.scheduler.AdmissionControl`), orders the
+backlog with EDF-within-priority scheduling
+(:class:`~repro.service.scheduler.JobQueue`), and drives a pool of
+workers — each owning a *fresh* executor, so per-worker simulated
+timelines never interleave — through a discrete-event loop.
+
+The headline throughput win is **coalescing**: when a worker picks up a
+small job, the :class:`~repro.service.coalesce.Coalescer` pulls queued
+jobs with the same pattern fingerprint and solver controls into one
+PR-4 lockstep batch solve with per-system stopping.  Large systems
+route to the PR-5 distributed path instead; everything executes under
+the PR-1/6 resilient layer, with a job's ``stop::Deadline`` budget
+charged from *arrival* (queue wait consumes it).
+
+Result fidelity is contractual: a completed job's solution is
+byte-identical to solving it alone (PR-4's lockstep compaction and the
+blocking distributed path both preserve bit-exact arithmetic;
+``overlap=True`` relaxes this and is off by default).
+
+Event-loop shape (one iteration)::
+
+    admit arrivals due now  ->  reap workers due now
+        ->  dispatch while (free worker and backlog)
+        ->  advance virtual time to the next arrival/completion
+
+The service keeps a *frontend* clock (its own fresh executor) as the
+shared timeline: waiting time is advanced with a ``queued`` stall label
+and lifecycle instants (``enqueue``/``scheduled``/``solve_completed``)
+are annotated on it, so ``pg.profile()`` traces show the scheduler the
+same way it shows kernels.  SLO metrics (latency percentiles,
+throughput, coalesce ratio, deadline misses) land in a
+:class:`~repro.ginkgo.log.MetricsRegistry` under ``service_*`` names.
+
+With ``real_pool=True`` dispatched solves additionally run on a real
+:class:`~concurrent.futures.ThreadPoolExecutor` — results and virtual
+timings are unchanged (each worker's executor is still used serially),
+but the runtime's shared caches (dispatch, workspace pools, cachestats,
+metrics) see genuine concurrency.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core import batch_api, distributed_api
+from repro.core.device import device as _device_factory
+from repro.core.interop import to_numpy, to_scipy
+from repro.core.resilient import (
+    FallbackChain,
+    ResilienceReport,
+    RetryPolicy,
+    resilient_batch_solve,
+    resilient_solve,
+)
+from repro.ginkgo.exceptions import GinkgoError
+from repro.ginkgo.log.metrics import MetricsRegistry
+from repro.ginkgo.matrix.dense import Dense
+from repro.service.coalesce import Coalescer
+from repro.service.job import ROUTES, JobResult, SolveJob
+from repro.service.scheduler import AdmissionControl, JobQueue
+
+
+class _Worker:
+    """One slot of the solve pool: a fresh executor plus busy-state."""
+
+    def __init__(self, index: int, exec_) -> None:
+        self.index = index
+        self.exec_ = exec_
+        self.lane: list | None = None
+        self.route = ""
+        self.dispatched_at = 0.0
+        self.free_at = 0.0
+        self.future = None
+        self.payloads: list | None = None
+
+    @property
+    def busy(self) -> bool:
+        return self.lane is not None
+
+    def reset(self) -> None:
+        self.lane = None
+        self.route = ""
+        self.future = None
+        self.payloads = None
+
+
+class SolverService:
+    """Async multi-tenant solve scheduler over a shared worker pool.
+
+    Args:
+        num_workers: Worker slots; each owns a fresh executor.
+        device: Device name the workers (and frontend clock) run on.
+        policy: ``"edf"`` (priority, then earliest deadline) or
+            ``"fifo"`` (the naive baseline).
+        coalesce: Enable batch-lane coalescing of small same-pattern
+            jobs (the headline throughput optimisation).
+        max_lane: Largest coalesced lane, anchor included.
+        admission: :class:`AdmissionControl`; default admits everything.
+        distributed_threshold: Jobs with at least this many rows route
+            to the distributed path (``None`` disables routing).
+        distributed_ranks: Simulated ranks for distributed solves.
+        overlap: Use comm/compute-overlap distributed matrices.  Off by
+            default because overlap relaxes the byte-identity contract
+            to a rounding tolerance (see DESIGN.md).
+        retry: :class:`RetryPolicy` for the resilient solve paths.
+        fallback: Shared :class:`FallbackChain` (e.g. carrying a
+            :class:`~repro.core.resilient.CircuitBreaker`) so scalar
+            jobs reroute off an unhealthy device instead of being lost.
+            ``None`` pins each solve to its worker's executor.
+        metrics: Shared :class:`MetricsRegistry`; one is created when
+            omitted.  Also fed by the resilient layer per solve.
+        real_pool: Run dispatched solves on a real thread pool (same
+            results and virtual timings; exercises the runtime's shared
+            caches under true concurrency).
+        device_kwargs: Extra executor-constructor kwargs (``seed``,
+            ``noisy``, ...) applied to the frontend and every worker.
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 2,
+        device: str = "reference",
+        policy: str = "edf",
+        coalesce: bool = True,
+        max_lane: int = 16,
+        admission: AdmissionControl | None = None,
+        distributed_threshold: int | None = 2048,
+        distributed_ranks: int = 4,
+        overlap: bool = False,
+        retry: RetryPolicy | None = None,
+        fallback: FallbackChain | None = None,
+        metrics: MetricsRegistry | None = None,
+        real_pool: bool = False,
+        device_kwargs: dict | None = None,
+    ) -> None:
+        if num_workers < 1:
+            raise GinkgoError(f"num_workers must be >= 1, got {num_workers}")
+        self.device_name = device
+        self.policy = policy
+        self.coalesce = bool(coalesce)
+        self.distributed_threshold = distributed_threshold
+        self.distributed_ranks = int(distributed_ranks)
+        self.overlap = bool(overlap)
+        self.real_pool = bool(real_pool)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.admission = admission if admission is not None else AdmissionControl()
+        self.coalescer = Coalescer(max_lane=max_lane if coalesce else 1)
+        self._retry = retry
+        self._fallback = fallback
+        self._device_kwargs = dict(device_kwargs or {})
+        # The frontend executor's clock is the service timeline; workers
+        # get their own fresh executors so lane/solve kernel charges
+        # never interleave across workers.
+        self._frontend = _device_factory(
+            device, fresh=True, **self._device_kwargs
+        )
+        self._workers = [
+            _Worker(i, _device_factory(device, fresh=True, **self._device_kwargs))
+            for i in range(num_workers)
+        ]
+        self.now = 0.0
+        self._next_id = 0
+        self._pending: list[SolveJob] = []
+        # Validate the policy eagerly (JobQueue raises on unknown names).
+        JobQueue(policy)
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    @property
+    def clock(self):
+        """The frontend :class:`~repro.perfmodel.clock.SimClock`."""
+        return self._frontend.clock
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._workers)
+
+    def submit(self, job: SolveJob) -> int:
+        """Queue a job for the next :meth:`run`; returns its job id."""
+        if not isinstance(job, SolveJob):
+            raise GinkgoError(
+                f"submit expects a SolveJob, got {type(job).__name__}"
+            )
+        job.job_id = self._next_id
+        self._next_id += 1
+        self._pending.append(job)
+        self.metrics.counter("service_jobs_submitted").inc()
+        return job.job_id
+
+    # ------------------------------------------------------------------
+    # the event loop
+    # ------------------------------------------------------------------
+    def run(self, jobs=None) -> list:
+        """Drive the arrival stream to completion; results in job order.
+
+        Every submitted job is answered: the returned list holds one
+        :class:`JobResult` per job, sorted by job id (submission order).
+        """
+        if jobs is not None:
+            for job in jobs:
+                self.submit(job)
+        arrivals = sorted(self._pending, key=lambda j: (j.arrival, j.job_id))
+        self._pending = []
+        queue = JobQueue(self.policy)
+        results: dict[int, JobResult] = {}
+        outstanding: dict[str, int] = {}
+        next_arrival = 0
+        pool = (
+            ThreadPoolExecutor(max_workers=len(self._workers))
+            if self.real_pool
+            else None
+        )
+        try:
+            while (
+                next_arrival < len(arrivals)
+                or queue
+                or any(w.busy for w in self._workers)
+            ):
+                while (
+                    next_arrival < len(arrivals)
+                    and arrivals[next_arrival].arrival <= self.now
+                ):
+                    self._admit(
+                        arrivals[next_arrival], queue, outstanding, results
+                    )
+                    next_arrival += 1
+                for worker in self._workers:
+                    if worker.busy and self._free_at(worker) <= self.now:
+                        self._complete(worker, results, outstanding)
+                for worker in self._workers:
+                    if not queue:
+                        break
+                    if not worker.busy:
+                        self._dispatch(
+                            worker, queue, results, outstanding, pool
+                        )
+                instants = []
+                if next_arrival < len(arrivals):
+                    instants.append(arrivals[next_arrival].arrival)
+                instants.extend(
+                    self._free_at(w) for w in self._workers if w.busy
+                )
+                if not instants:
+                    break
+                self._advance_to(min(instants), queued=len(queue))
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
+        return [results[job_id] for job_id in sorted(results)]
+
+    def _advance_to(self, instant: float, queued: int) -> None:
+        if instant <= self.now:
+            return
+        self.clock.advance(
+            instant - self.now,
+            category="stall" if queued else "host",
+            label="queued" if queued else "service_idle",
+            queue_depth=queued,
+        )
+        self.now = instant
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def _admit(self, job, queue, outstanding, results) -> None:
+        reason = self.admission.admit(
+            job, len(queue), outstanding.get(job.tenant, 0)
+        )
+        if reason is not None:
+            results[job.job_id] = JobResult(
+                job=job,
+                status="rejected",
+                reason=reason,
+                arrival=job.arrival,
+                started=job.arrival,
+                finished=job.arrival,
+            )
+            self.metrics.counter("service_jobs_rejected").inc()
+            self.clock.annotate(
+                "rejected", job=job.job_id, tenant=job.tenant, reason=reason
+            )
+            return
+        queue.push(job)
+        outstanding[job.tenant] = outstanding.get(job.tenant, 0) + 1
+        self.metrics.histogram("service_queue_depth").observe(len(queue))
+        self.clock.annotate(
+            "enqueue",
+            job=job.job_id,
+            tenant=job.tenant,
+            priority=job.priority,
+            rows=job.num_rows,
+        )
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _route_for(self, job: SolveJob) -> str:
+        if (
+            self.distributed_threshold is not None
+            and job.num_rows >= self.distributed_threshold
+        ):
+            return "distributed"
+        return "scalar"
+
+    def _dispatch(self, worker, queue, results, outstanding, pool) -> None:
+        while queue:
+            job = queue.pop()
+            if job is None:
+                return
+            if job.deadline is not None and self.now >= job.deadline:
+                self._expire_queued(job, results, outstanding)
+                continue
+            route = self._route_for(job)
+            lane = [job]
+            if route == "scalar" and self.coalesce:
+                lane = self.coalescer.gather(job, queue, self.now)
+                if len(lane) > 1:
+                    route = "batch"
+            worker.lane = lane
+            worker.route = route
+            worker.dispatched_at = self.now
+            self.clock.annotate(
+                "scheduled",
+                jobs=",".join(str(j.job_id) for j in lane),
+                worker=worker.index,
+                route=route,
+                lane=len(lane),
+                wait=self.now - job.arrival,
+            )
+            if pool is not None:
+                worker.free_at = float("nan")
+                worker.future = pool.submit(
+                    self._execute, worker, lane, route, self.now
+                )
+            else:
+                duration, worker.payloads = self._execute(
+                    worker, lane, route, self.now
+                )
+                worker.free_at = self.now + duration
+            return
+
+    def _expire_queued(self, job, results, outstanding) -> None:
+        """Answer a job whose deadline passed while it waited.
+
+        Truthful and cheap: no solve is charged (no worker clock moves),
+        the returned solution is the untouched zero initial guess, and
+        the partial report says so.
+        """
+        report = ResilienceReport(
+            converged=False,
+            breakdown=False,
+            num_iterations=0,
+            final_residual_norm=float("nan"),
+            events=[
+                (
+                    "deadline_expired_in_queue",
+                    {"job": job.job_id, "deadline": job.deadline},
+                )
+            ],
+            attempts=0,
+            executor_name="",
+            timed_out=True,
+            partial=True,
+        )
+        result = JobResult(
+            job=job,
+            status="timed_out",
+            x=np.zeros_like(job.rhs),
+            report=report,
+            route="none",
+            arrival=job.arrival,
+            started=self.now,
+            finished=self.now,
+            deadline_missed=True,
+        )
+        results[job.job_id] = result
+        outstanding[job.tenant] -= 1
+        self._record(result)
+        self.clock.annotate(
+            "deadline_expired_in_queue", job=job.job_id, tenant=job.tenant
+        )
+
+    # ------------------------------------------------------------------
+    # execution (runs on the pool thread under real_pool=True)
+    # ------------------------------------------------------------------
+    def _execute(self, worker, lane, route, dispatch_now):
+        clock = worker.exec_.clock
+        if clock.now < dispatch_now:
+            # The worker sat idle since its last job; bring its timeline
+            # up to the service clock before charging the solve.
+            clock.advance(
+                dispatch_now - clock.now, category="stall", label="worker_idle"
+            )
+        start = clock.now
+        clock.push_span(
+            "service_solve",
+            category="region",
+            route=route,
+            lane=len(lane),
+            jobs=",".join(str(j.job_id) for j in lane),
+        )
+        try:
+            if route == "batch":
+                payloads = self._solve_batch(worker.exec_, lane)
+            elif route == "distributed":
+                payloads = self._solve_distributed(worker.exec_, lane[0])
+            else:
+                payloads = self._solve_scalar(
+                    worker.exec_, lane[0], dispatch_now
+                )
+        finally:
+            clock.pop_span()
+        return clock.now - start, payloads
+
+    def _solve_scalar(self, exec_, job, dispatch_now) -> list:
+        mtx = (
+            job.matrix
+            if job.matrix.executor is exec_
+            else job.matrix.copy_to(exec_)
+        )
+        b = Dense.create(exec_, job.rhs)
+        # The deadline budget is what's left after queueing: waiting in
+        # the backlog spends it exactly like solving does.
+        remaining = (
+            None if job.deadline is None else job.deadline - dispatch_now
+        )
+        fallback = (
+            self._fallback if self._fallback is not None else FallbackChain(exec_)
+        )
+        report, x = resilient_solve(
+            exec_,
+            mtx,
+            b,
+            solver=job.solver,
+            max_iters=job.max_iters,
+            reduction_factor=job.reduction_factor,
+            retry=self._retry,
+            fallback=fallback,
+            deadline=remaining,
+            metrics=self.metrics,
+        )
+        status = "timed_out" if report.timed_out else "completed"
+        return [
+            {
+                "x": np.array(to_numpy(x), copy=True),
+                "report": report,
+                "status": status,
+            }
+        ]
+
+    def _solve_batch(self, exec_, lane) -> list:
+        bm = batch_api.matrices(
+            exec_, [to_scipy(job.matrix) for job in lane]
+        )
+        bb = batch_api.vectors(exec_, [job.rhs for job in lane])
+        anchor = lane[0]
+        report, x = resilient_batch_solve(
+            exec_,
+            bm,
+            bb,
+            solver=anchor.solver,
+            max_iters=anchor.max_iters,
+            reduction_factor=anchor.reduction_factor,
+            retry=self._retry,
+            metrics=self.metrics,
+        )
+        payloads = []
+        for k, job in enumerate(lane):
+            # Distil the per-system slice of the batch report into the
+            # scalar report shape the JobResult contract promises.
+            payloads.append(
+                {
+                    "x": np.array(x._data[k], copy=True),
+                    "report": ResilienceReport(
+                        converged=bool(report.converged[k]),
+                        breakdown=False,
+                        num_iterations=int(report.num_iterations[k]),
+                        final_residual_norm=float(
+                            report.final_residual_norm[k]
+                        ),
+                        events=[
+                            (
+                                "batch_lane",
+                                {"lane": len(lane), "system": k},
+                            )
+                        ],
+                        attempts=report.attempts,
+                        executor_name=report.executor_name,
+                    ),
+                    "status": "completed",
+                }
+            )
+        return payloads
+
+    def _solve_distributed(self, exec_, job) -> list:
+        sp_mtx = to_scipy(job.matrix).tocsr()
+        part = distributed_api.partition(job.num_rows, self.distributed_ranks)
+        mtx = distributed_api.matrix(exec_, part, sp_mtx, overlap=self.overlap)
+        b = distributed_api.vector(exec_, part, job.rhs, comm=mtx.comm)
+        x = distributed_api.zeros_like(b)
+        makers = {"cg": distributed_api.cg, "gmres": distributed_api.gmres}
+        if job.solver not in makers:
+            raise GinkgoError(
+                f"no distributed route for solver {job.solver!r}; "
+                f"available: {sorted(makers)}"
+            )
+        handle = makers[job.solver](
+            exec_,
+            mtx,
+            max_iters=job.max_iters,
+            reduction_factor=job.reduction_factor,
+        )
+        logger, x = handle.apply(b, x)
+        report = ResilienceReport(
+            converged=logger.converged,
+            breakdown=logger.breakdown,
+            num_iterations=logger.num_iterations,
+            final_residual_norm=logger.final_residual_norm,
+            residual_norms=list(logger.residual_norms),
+            events=[
+                (
+                    "distributed_solve",
+                    {
+                        "ranks": self.distributed_ranks,
+                        "overlap": self.overlap,
+                        "reductions": handle.num_reductions,
+                    },
+                )
+            ],
+            attempts=1,
+            executor_name=exec_.name,
+            logger=logger,
+        )
+        xh = np.asarray(x.to_numpy(), dtype=np.float64).reshape(-1, 1)
+        return [{"x": xh, "report": report, "status": "completed"}]
+
+    # ------------------------------------------------------------------
+    # completion
+    # ------------------------------------------------------------------
+    def _free_at(self, worker) -> float:
+        if worker.future is not None:
+            duration, worker.payloads = worker.future.result()
+            worker.future = None
+            worker.free_at = worker.dispatched_at + duration
+        return worker.free_at
+
+    def _complete(self, worker, results, outstanding) -> None:
+        self._free_at(worker)
+        finished = worker.free_at
+        lane, payloads = worker.lane, worker.payloads
+        for job, payload in zip(lane, payloads):
+            missed = payload["status"] == "timed_out" or (
+                job.deadline is not None and finished > job.deadline
+            )
+            result = JobResult(
+                job=job,
+                status=payload["status"],
+                x=payload["x"],
+                report=payload["report"],
+                route=worker.route,
+                lane_size=len(lane),
+                worker=worker.index,
+                arrival=job.arrival,
+                started=worker.dispatched_at,
+                finished=finished,
+                deadline_missed=missed,
+            )
+            results[job.job_id] = result
+            outstanding[job.tenant] -= 1
+            self._record(result)
+        self.clock.annotate(
+            "solve_completed",
+            jobs=",".join(str(j.job_id) for j in lane),
+            worker=worker.index,
+            route=worker.route,
+        )
+        worker.reset()
+
+    def _record(self, result: JobResult) -> None:
+        metrics = self.metrics
+        if result.status == "completed":
+            metrics.counter("service_jobs_completed").inc()
+        else:
+            metrics.counter("service_jobs_timed_out").inc()
+        if result.route in ROUTES:
+            metrics.counter(f"service_route_{result.route}").inc()
+        if result.lane_size >= 2:
+            metrics.counter("service_jobs_coalesced").inc()
+        if result.deadline_missed:
+            metrics.counter("service_deadline_missed").inc()
+        metrics.histogram("service_latency").observe(result.latency)
+        metrics.histogram("service_queue_wait").observe(result.queue_wait)
+        metrics.histogram("service_solve_time").observe(result.solve_time)
+
+    # ------------------------------------------------------------------
+    # SLO reporting
+    # ------------------------------------------------------------------
+    def slo_report(self) -> dict:
+        """SLO snapshot: percentiles, throughput, coalescing, misses.
+
+        Latency percentiles are over *answered* jobs (completed and
+        timed out — a deadline miss still consumed service capacity);
+        throughput counts completed jobs per simulated second of the
+        service timeline (the makespan).
+        """
+        metrics = self.metrics
+        latency = metrics.histogram("service_latency")
+        queue_wait = metrics.histogram("service_queue_wait")
+        depth = metrics.histogram("service_queue_depth")
+        completed = metrics.counter("service_jobs_completed").value
+        timed_out = metrics.counter("service_jobs_timed_out").value
+        answered = completed + timed_out
+        coalesced = metrics.counter("service_jobs_coalesced").value
+        makespan = self.now
+        return {
+            "makespan": makespan,
+            "jobs_submitted": metrics.counter("service_jobs_submitted").value,
+            "jobs_completed": completed,
+            "jobs_timed_out": timed_out,
+            "jobs_rejected": metrics.counter("service_jobs_rejected").value,
+            "p50_latency": latency.percentile(50),
+            "p99_latency": latency.percentile(99),
+            "mean_queue_wait": queue_wait.mean,
+            "max_queue_depth": depth.max if depth.count else 0.0,
+            "throughput": (
+                completed / makespan if makespan > 0 else float("nan")
+            ),
+            "coalesced_jobs": coalesced,
+            "coalesce_ratio": (
+                coalesced / answered if answered else 0.0
+            ),
+            "deadline_missed": metrics.counter(
+                "service_deadline_missed"
+            ).value,
+            "deadline_miss_rate": (
+                metrics.counter("service_deadline_missed").value / answered
+                if answered
+                else 0.0
+            ),
+            "routes": {
+                route: metrics.counter(f"service_route_{route}").value
+                for route in ROUTES
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SolverService(workers={len(self._workers)}, "
+            f"policy={self.policy!r}, coalesce={self.coalesce}, "
+            f"device={self.device_name!r}, now={self.now:.3e})"
+        )

@@ -139,3 +139,50 @@ class TestChargesStillFire:
         warm = ref.clock.now - t1
         assert cold > 0.0
         assert warm == pytest.approx(cold)
+
+
+class TestPatternFingerprint:
+    def test_structure_only(self, ref, small_sp):
+        """Same pattern with different values shares one fingerprint."""
+        a = Csr.from_scipy(ref, small_sp)
+        other = small_sp.copy()
+        other.data = other.data * 3.5 + 1.0
+        b = Csr.from_scipy(ref, other)
+        assert a.pattern_fingerprint() == b.pattern_fingerprint()
+
+    def test_structure_changes_fingerprint(self, ref, small_sp, rng):
+        a = Csr.from_scipy(ref, small_sp)
+        different = sp.random(12, 12, density=0.3, format="csr",
+                              random_state=rng)
+        different.setdiag(4.0)
+        b = Csr.from_scipy(ref, different.tocsr())
+        assert a.pattern_fingerprint() != b.pattern_fingerprint()
+
+    def test_shape_feeds_fingerprint(self, ref):
+        """An empty 3x3 and an empty 4x4 must not collide."""
+        a = Csr.from_scipy(ref, sp.csr_matrix((3, 3)))
+        b = Csr.from_scipy(ref, sp.csr_matrix((4, 4)))
+        assert a.pattern_fingerprint() != b.pattern_fingerprint()
+
+    def test_memoized_until_mutation(self, ref, small_sp):
+        mtx = Csr.from_scipy(ref, small_sp)
+        f1 = mtx.pattern_fingerprint()
+        assert mtx.pattern_fingerprint() is f1  # cache hit: same object
+        mtx.mark_modified()
+        f2 = mtx.pattern_fingerprint()
+        assert f2 is not f1  # recomputed after the generation bump
+        assert f2 == f1  # ... but the pattern did not actually change
+
+    def test_value_mutation_keeps_fingerprint(self, ref, small_sp):
+        mtx = Csr.from_scipy(ref, small_sp)
+        before = mtx.pattern_fingerprint()
+        mtx.scale(7.0)  # public mutator bumps data_version
+        assert mtx.pattern_fingerprint() == before
+
+    def test_hits_counted_as_format_kind(self, ref, small_sp):
+        mtx = Csr.from_scipy(ref, small_sp)
+        cachestats.reset()
+        mtx.pattern_fingerprint()
+        mtx.pattern_fingerprint()
+        hits, misses = cachestats.counts("format")
+        assert hits >= 1 and misses >= 1

@@ -1,0 +1,177 @@
+"""Unit tests: job queue ordering, admission control, lane coalescing."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.ginkgo.exceptions import GinkgoError
+from repro.ginkgo.matrix import Csr
+from repro.service import (
+    AdmissionControl,
+    Coalescer,
+    JobQueue,
+    SolveJob,
+    lane_key,
+)
+
+
+def _spd(n=8, shift=0.0):
+    return sp.diags(
+        [-np.ones(n - 1), (4.0 + shift) * np.ones(n), -np.ones(n - 1)],
+        [-1, 0, 1],
+        format="csr",
+    )
+
+
+def _job(
+    ref,
+    job_id,
+    arrival=0.0,
+    priority=0,
+    deadline=None,
+    n=8,
+    shift=0.0,
+    solver="cg",
+):
+    job = SolveJob(
+        matrix=Csr.from_scipy(ref, _spd(n, shift)),
+        rhs=np.ones((n, 1)),
+        arrival=arrival,
+        priority=priority,
+        deadline=deadline,
+        solver=solver,
+    )
+    job.job_id = job_id
+    return job
+
+
+class TestJobQueue:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(GinkgoError, match="policy"):
+            JobQueue("lifo")
+
+    def test_edf_priority_classes_first(self, ref):
+        q = JobQueue("edf")
+        q.push(_job(ref, 0, priority=0, deadline=1.0))
+        q.push(_job(ref, 1, priority=2))
+        q.push(_job(ref, 2, priority=1, deadline=0.5))
+        assert [q.pop().job_id for _ in range(3)] == [1, 2, 0]
+
+    def test_edf_within_class_earliest_deadline(self, ref):
+        q = JobQueue("edf")
+        q.push(_job(ref, 0, deadline=3.0))
+        q.push(_job(ref, 1, deadline=1.0))
+        q.push(_job(ref, 2))  # no deadline sorts after all deadlines
+        q.push(_job(ref, 3, deadline=2.0))
+        assert [q.pop().job_id for _ in range(4)] == [1, 3, 0, 2]
+
+    def test_edf_arrival_breaks_ties(self, ref):
+        q = JobQueue("edf")
+        q.push(_job(ref, 0, arrival=0.2, deadline=1.0))
+        q.push(_job(ref, 1, arrival=0.1, deadline=1.0))
+        assert [q.pop().job_id for _ in range(2)] == [1, 0]
+
+    def test_fifo_ignores_priority_and_deadline(self, ref):
+        q = JobQueue("fifo")
+        q.push(_job(ref, 0, arrival=0.0, priority=0))
+        q.push(_job(ref, 1, arrival=0.1, priority=9, deadline=0.2))
+        assert [q.pop().job_id for _ in range(2)] == [0, 1]
+
+    def test_remove_skips_lazily(self, ref):
+        q = JobQueue("edf")
+        for i in range(3):
+            q.push(_job(ref, i, arrival=0.1 * i))
+        removed = q.remove(1)
+        assert removed.job_id == 1
+        assert len(q) == 2
+        assert [q.pop().job_id for _ in range(2)] == [0, 2]
+        assert q.pop() is None
+
+    def test_jobs_returns_policy_order(self, ref):
+        q = JobQueue("edf")
+        q.push(_job(ref, 0, deadline=2.0))
+        q.push(_job(ref, 1, priority=1))
+        q.push(_job(ref, 2, deadline=1.0))
+        assert [j.job_id for j in q.jobs()] == [1, 2, 0]
+        assert len(q) == 3  # jobs() is a scan, not a drain
+
+
+class TestAdmissionControl:
+    def test_default_admits_everything(self, ref):
+        ctl = AdmissionControl()
+        assert ctl.admit(_job(ref, 0), queue_depth=10**6,
+                         tenant_outstanding=10**6) is None
+
+    def test_queue_depth_bound(self, ref):
+        ctl = AdmissionControl(max_queue_depth=2)
+        assert ctl.admit(_job(ref, 0), 1, 0) is None
+        reason = ctl.admit(_job(ref, 1), 2, 0)
+        assert reason is not None and "queue full" in reason
+
+    def test_tenant_quota(self, ref):
+        ctl = AdmissionControl(default_quota=2, quotas={"vip": 5})
+        job = _job(ref, 0)
+        assert ctl.admit(job, 0, 1) is None
+        reason = ctl.admit(job, 0, 2)
+        assert reason is not None and "over quota" in reason
+        assert ctl.quota_for("vip") == 5
+        assert ctl.quota_for("anyone-else") == 2
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(GinkgoError, match="max_queue_depth"):
+            AdmissionControl(max_queue_depth=0)
+
+
+class TestCoalescer:
+    def test_lane_key_is_structural(self, ref):
+        a = _job(ref, 0, shift=0.0)
+        b = _job(ref, 1, shift=1.5)  # same pattern, different values
+        assert lane_key(a) == lane_key(b)
+        c = _job(ref, 2, n=10)
+        assert lane_key(a) != lane_key(c)
+
+    def test_lane_key_splits_on_controls_and_priority(self, ref):
+        a = _job(ref, 0)
+        b = _job(ref, 1)
+        b.max_iters = a.max_iters + 1
+        assert lane_key(a) != lane_key(b)
+        c = _job(ref, 2, priority=1)
+        assert lane_key(a) != lane_key(c)
+
+    def test_gather_pulls_same_key_jobs(self, ref):
+        q = JobQueue("edf")
+        members = [_job(ref, i) for i in range(1, 4)]
+        stranger = _job(ref, 9, n=12)
+        for job in members + [stranger]:
+            q.push(job)
+        anchor = _job(ref, 0)
+        lane = Coalescer(max_lane=8).gather(anchor, q, now=0.0)
+        assert [j.job_id for j in lane] == [0, 1, 2, 3]
+        assert len(q) == 1  # only the different-pattern job remains
+        assert q.pop().job_id == 9
+
+    def test_gather_respects_max_lane(self, ref):
+        q = JobQueue("edf")
+        for i in range(1, 6):
+            q.push(_job(ref, i))
+        lane = Coalescer(max_lane=3).gather(_job(ref, 0), q, now=0.0)
+        assert len(lane) == 3
+        assert len(q) == 3
+
+    def test_gather_skips_expired_candidates(self, ref):
+        q = JobQueue("edf")
+        fresh = _job(ref, 1, deadline=10.0)
+        expired = _job(ref, 2, deadline=0.5)
+        q.push(fresh)
+        q.push(expired)
+        lane = Coalescer(max_lane=8).gather(_job(ref, 0), q, now=1.0)
+        assert [j.job_id for j in lane] == [0, 1]
+        assert q.pop().job_id == 2  # left queued for truthful expiry
+
+    def test_disabled_or_foreign_solver(self, ref):
+        q = JobQueue("edf")
+        q.push(_job(ref, 1))
+        assert len(Coalescer(max_lane=1).gather(_job(ref, 0), q, 0.0)) == 1
+        richardson = _job(ref, 2, solver="richardson")
+        assert len(Coalescer(max_lane=8).gather(richardson, q, 0.0)) == 1
+        assert len(q) == 1
