@@ -3,11 +3,11 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: verify unit profile-smoke perf-smoke service-smoke chaos-smoke test bench bench-report
+.PHONY: verify unit profile-smoke perf-smoke mixed-smoke service-smoke chaos-smoke test bench bench-report
 
-# Tier-1 gate: the full test suite plus the profiler, perf, service,
-# and chaos smoke checks.
-verify: unit profile-smoke perf-smoke service-smoke chaos-smoke
+# Tier-1 gate: the full test suite plus the profiler, perf, mixed-precision,
+# service, and chaos smoke checks.
+verify: unit profile-smoke perf-smoke mixed-smoke service-smoke chaos-smoke
 
 # The full unit/integration/property suite, fail-fast.
 unit:
@@ -28,12 +28,20 @@ profile-smoke:
 # Fusion acceptance: pg.deferred() must beat the eager operator path by
 # >= 1.5x on the simulated clock with byte-identical residual histories
 # and same-seed traces, without regressing wall-clock.
-perf-smoke:
+perf-smoke: mixed-smoke
 	$(PYTHON) benchmarks/bench_hot_path.py --smoke
 	$(PYTHON) benchmarks/bench_batch.py --smoke
 	$(PYTHON) benchmarks/bench_distributed.py --smoke
 	$(PYTHON) benchmarks/bench_overlap.py --smoke
 	$(PYTHON) benchmarks/bench_fusion.py --smoke
+
+# Mixed-precision acceptance: float32-storage Jacobi/ILU inside float64
+# CG/GMRES must beat uniform float64 by >= 1.2x preconditioner-phase
+# simulated time on the bandwidth-bound suite, with iteration counts
+# pinned, the default uniform path byte-identical, and mixed applies
+# routed through the mixed-suffix binding symbols.
+mixed-smoke:
+	$(PYTHON) benchmarks/bench_mixed_precision.py --smoke
 
 # Service acceptance: coalesced multi-tenant scheduling must beat the
 # naive one-at-a-time FIFO baseline by >= 3x simulated-clock throughput

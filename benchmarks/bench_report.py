@@ -121,6 +121,43 @@ def render_slo(report) -> list:
     return lines
 
 
+def render_mixed_cases(report) -> list:
+    """Per-case table lines for the mixed-precision report.
+
+    ``cases`` holds one entry per suite configuration with the
+    preconditioner-phase and whole-solve speedups plus the pinned
+    iteration counts (written by ``bench_mixed_precision.py``).
+    """
+    cases = report.get("cases")
+    if not isinstance(cases, list) or not cases:
+        return []
+    rows = [("case", "precond speedup", "solve speedup", "iters (f64/f32)")]
+    for case in cases:
+        if not isinstance(case, dict):
+            continue
+        rows.append(
+            (
+                str(case.get("case")),
+                _fmt_slo_cell(case.get("precond_speedup"), ".2f"),
+                _fmt_slo_cell(case.get("solve_speedup"), ".2f"),
+                f"{case.get('uniform_iterations')}"
+                f"/{case.get('mixed_iterations')}",
+            )
+        )
+    if len(rows) == 1:
+        return []
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    lines = [f"Mixed precision — {report.get('benchmark')}:"]
+    for index, row in enumerate(rows):
+        lines.append(
+            "  "
+            + "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+        if index == 0:
+            lines.append("  " + "  ".join("-" * width for width in widths))
+    return lines
+
+
 def render(reports) -> str:
     rows = [("benchmark", "speedup", "status", "file")]
     for report in reports:
@@ -147,6 +184,10 @@ def render(reports) -> str:
         if slo_lines:
             lines.append("")
             lines.extend(slo_lines)
+        mixed_lines = render_mixed_cases(report)
+        if mixed_lines:
+            lines.append("")
+            lines.extend(mixed_lines)
     for report in reports:
         for failure in report.get("failures") or []:
             lines.append(f"  {report.get('benchmark')}: FAIL {failure}")

@@ -35,6 +35,7 @@ import numpy as np
 from repro.bindings import overhead
 from repro.bindings.registry import INDEX_TYPES, VALUE_TYPES, get_binding
 from repro.ginkgo import cachestats
+from repro.ginkgo.accessor import VALUE_SUFFIX_ALIASES
 from repro.ginkgo.exceptions import GinkgoError
 
 #: numpy dtype -> C++-style suffix, inverted from the registry tables.
@@ -48,12 +49,34 @@ _LOCK = threading.Lock()
 
 
 def _suffix(dtype, names: dict, inverted: dict, kind: str) -> str | None:
-    """Normalise ``dtype`` (suffix string, numpy dtype, ...) to a suffix."""
+    """Normalise ``dtype`` (suffix string, numpy dtype, ...) to a suffix.
+
+    Value types additionally accept every spelling in
+    :data:`repro.ginkgo.accessor.VALUE_SUFFIX_ALIASES` (``"float32"``,
+    ``"single"``, ...), so anything the config validator lets through
+    resolves here, and a ``(working, storage)`` tuple for mixed-precision
+    symbols: ``("double", np.float32)`` -> ``"double_float"`` (collapsing
+    to the plain suffix when both precisions coincide).
+    """
     if dtype is None:
         return None
+    if isinstance(dtype, tuple):
+        if kind != "value":
+            raise GinkgoError(
+                f"mixed-precision suffix tuples are only valid for value "
+                f"types, not {kind}"
+            )
+        working, storage = dtype
+        ws = _suffix(working, names, inverted, kind)
+        ss = _suffix(storage, names, inverted, kind)
+        return ws if ss is None or ss == ws else f"{ws}_{ss}"
     if isinstance(dtype, str):
         if dtype in names:
             return dtype
+        if kind == "value":
+            alias = VALUE_SUFFIX_ALIASES.get(dtype.lower())
+            if alias is not None:
+                return alias
         raise GinkgoError(
             f"unknown {kind} suffix {dtype!r}; available: {sorted(names)}"
         )
@@ -73,6 +96,8 @@ def symbol_for(op: str, value_dtype=None, index_dtype=None) -> str:
     ``value_dtype``/``index_dtype`` accept a suffix string (``"double"``,
     ``"int32"``) or anything ``np.dtype`` accepts; ``None`` omits that
     suffix (untemplated symbols like ``"CUDA"`` pass both as ``None``).
+    ``value_dtype`` may also be a ``(working, storage)`` tuple naming a
+    mixed-precision symbol (``jacobi_apply_double_float``).
     """
     name = op
     vs = _suffix(value_dtype, VALUE_TYPES, _VALUE_SUFFIXES, "value")

@@ -235,6 +235,24 @@ def _make_fused_region(value_dtype):
     return fused_region
 
 
+def _make_mixed_apply(op: str, working_dtype, storage_dtype):
+    def mixed_apply(exec_, plan):
+        return plan()
+
+    mixed_apply.__doc__ = (
+        f"Execute one mixed-precision {op} "
+        f"({np.dtype(working_dtype).name} arithmetic over "
+        f"{np.dtype(storage_dtype).name} storage): the accessor converts "
+        f"at read, so a single crossing covers the whole apply."
+    )
+    return mixed_apply
+
+
+#: Accessor-backed apply kernels that exist in a mixed working/storage
+#: precision variant (``{op}_{working}_{storage}`` symbols).
+_MIXED_APPLY_OPS = ("jacobi_apply", "trsv_apply", "isai_apply")
+
+
 def _make_batch_dense(value_dtype):
     def batch_dense(exec_, items):
         arrays = [np.asarray(item, dtype=value_dtype) for item in items]
@@ -399,6 +417,18 @@ def _build_registry() -> dict:
             registry[f"distributed_matrix_{vt_name}_{it_name}"] = _bound(
                 _make_distributed_matrix(vt, it), 3
             )
+    # Mixed-precision accessor kernels: one symbol per (working, storage)
+    # pair with distinct precisions, mirroring Ginkgo's cross-precision
+    # instantiations.  Uniform applies keep using the operator's regular
+    # path, so these never fire on the default route.
+    for wt_name, wt in VALUE_TYPES.items():
+        for st_name, st in VALUE_TYPES.items():
+            if wt_name == st_name:
+                continue
+            for op in _MIXED_APPLY_OPS:
+                registry[f"{op}_{wt_name}_{st_name}"] = _bound(
+                    _make_mixed_apply(op, wt, st), 2
+                )
     for name, func in registry.items():
         if getattr(func, "_is_binding", False):
             func._binding_tag = name

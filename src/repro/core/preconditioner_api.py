@@ -13,36 +13,50 @@ from __future__ import annotations
 from repro import bindings
 
 
-def Ilu(device, mtx, algorithm: str = "exact", sweeps: int = 5):
+def Ilu(
+    device, mtx, algorithm: str = "exact", sweeps: int = 5,
+    storage_precision=None,
+):
     """ILU(0) preconditioner generated on ``mtx`` (Listing 1).
 
     ``algorithm="parilu"`` selects Ginkgo's fixed-point construction with
-    the given number of ``sweeps``.
+    the given number of ``sweeps``.  ``storage_precision`` stores the L/U
+    factors reduced (accessor layer); ``None`` stores at ``mtx``'s
+    precision.
     """
     factory = bindings.resolve("ilu_factory", mtx.dtype, exec_=device)(
-        device, algorithm=algorithm, sweeps=sweeps
+        device, algorithm=algorithm, sweeps=sweeps,
+        storage_precision=storage_precision,
     )
     return factory.generate(mtx)
 
 
-def Ic(device, mtx):
+def Ic(device, mtx, storage_precision=None):
     """IC(0) preconditioner for symmetric positive-definite matrices."""
-    factory = bindings.resolve("ic_factory", mtx.dtype, exec_=device)(device)
-    return factory.generate(mtx)
-
-
-def Jacobi(device, mtx, max_block_size: int = 1):
-    """Scalar (block size 1) or block Jacobi preconditioner."""
-    factory = bindings.resolve("jacobi_factory", mtx.dtype, exec_=device)(
-        device, max_block_size=max_block_size
+    factory = bindings.resolve("ic_factory", mtx.dtype, exec_=device)(
+        device, storage_precision=storage_precision
     )
     return factory.generate(mtx)
 
 
-def Isai(device, mtx, sparsity_power: int = 1):
+def Jacobi(device, mtx, max_block_size: int = 1, storage_precision=None):
+    """Scalar (block size 1) or block Jacobi preconditioner.
+
+    ``storage_precision`` stores the inverted blocks reduced; pass
+    ``"adaptive"`` for per-block precision keyed on condition estimates.
+    """
+    factory = bindings.resolve("jacobi_factory", mtx.dtype, exec_=device)(
+        device, max_block_size=max_block_size,
+        storage_precision=storage_precision,
+    )
+    return factory.generate(mtx)
+
+
+def Isai(device, mtx, sparsity_power: int = 1, storage_precision=None):
     """Incomplete sparse approximate inverse preconditioner."""
     factory = bindings.resolve("isai_factory", mtx.dtype, exec_=device)(
-        device, sparsity_power=sparsity_power
+        device, sparsity_power=sparsity_power,
+        storage_precision=storage_precision,
     )
     return factory.generate(mtx)
 

@@ -9,17 +9,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.ginkgo.accessor import SUFFIX_DTYPES, VALUE_SUFFIX_ALIASES
 from repro.ginkgo.exceptions import GinkgoError
 
-#: Friendly name -> numpy value dtype.
+#: Friendly name -> numpy value dtype, derived from the accessor layer's
+#: alias table so the Pythonic API, config validation, and binding
+#: dispatch all accept exactly the same spellings.
 VALUE_TYPE_NAMES = {
-    "half": np.float16,
-    "float16": np.float16,
-    "single": np.float32,
-    "float": np.float32,
-    "float32": np.float32,
-    "double": np.float64,
-    "float64": np.float64,
+    name: SUFFIX_DTYPES[suffix].type
+    for name, suffix in VALUE_SUFFIX_ALIASES.items()
 }
 
 #: Friendly name -> numpy index dtype.

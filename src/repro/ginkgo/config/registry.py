@@ -52,10 +52,10 @@ SOLVER_REGISTRY = {
 
 #: Preconditioner type name -> (factory class, accepted parameter names).
 PRECONDITIONER_REGISTRY = {
-    "preconditioner::Jacobi": (Jacobi, ("max_block_size",)),
-    "preconditioner::Ilu": (Ilu, ("algorithm", "sweeps")),
-    "preconditioner::Ic": (Ic, ()),
-    "preconditioner::Isai": (Isai, ("sparsity_power",)),
+    "preconditioner::Jacobi": (Jacobi, ("max_block_size", "storage_precision")),
+    "preconditioner::Ilu": (Ilu, ("algorithm", "sweeps", "storage_precision")),
+    "preconditioner::Ic": (Ic, ("storage_precision",)),
+    "preconditioner::Isai": (Isai, ("sparsity_power", "storage_precision")),
     "preconditioner::Multigrid": (
         Pgm,
         (

@@ -8,6 +8,7 @@ reports the offending path.
 
 from __future__ import annotations
 
+from repro.ginkgo.accessor import VALUE_SUFFIX_ALIASES
 from repro.ginkgo.config.registry import (
     PRECONDITIONER_ALIASES,
     PRECONDITIONER_REGISTRY,
@@ -20,7 +21,9 @@ from repro.ginkgo.config.registry import (
 COMMON_SOLVER_KEYS = (
     "type", "preconditioner", "criteria", "value_type", "strict_breakdown"
 )
-VALUE_TYPES = ("half", "float", "double", "float16", "float32", "float64")
+#: Accepted value-type spellings — the dispatch layer's alias table, so a
+#: spelling validated here can never be rejected at binding resolution.
+VALUE_TYPES = tuple(sorted(VALUE_SUFFIX_ALIASES))
 
 
 class ConfigError(ValueError):
@@ -107,6 +110,15 @@ def _validate_preconditioner(config, path: str) -> None:
                 f"{path}.{key}",
                 f"unknown parameter for {ptype}; accepted: {sorted(allowed)}",
             )
+    storage = config.get("storage_precision")
+    allowed_storage = VALUE_TYPES + (
+        ("adaptive",) if ptype == "preconditioner::Jacobi" else ()
+    )
+    if storage is not None and storage not in allowed_storage:
+        raise ConfigError(
+            f"{path}.storage_precision",
+            f"unknown value type {storage!r}; available: {allowed_storage}",
+        )
 
 
 def _validate_criteria(config, path: str) -> None:

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
+from repro.ginkgo.accessor import resolve_storage_dtype
 from repro.ginkgo.exceptions import BadDimension, GinkgoError
 from repro.ginkgo.matrix.csr import Csr
 from repro.perfmodel import factorization_cost
@@ -91,17 +92,23 @@ def _ic0_arrays(a: sp.csr_matrix) -> sp.csr_matrix:
     return sp.csr_matrix((val, idx, ptr), shape=(n, n))
 
 
-def ic0(matrix: Csr) -> Ic0Factorization:
+def ic0(matrix: Csr, storage_precision=None) -> Ic0Factorization:
     """Factorise a symmetric positive-definite CSR matrix as ``A ~= L L^T``.
+
+    The elimination runs in full (float64) precision; the factor is
+    stored at ``storage_precision`` (the system matrix's precision when
+    ``None``).
 
     Args:
         matrix: Square CSR matrix (only its lower triangle is read).
+        storage_precision: Precision the L factor is stored at.
 
     Returns:
         An :class:`Ic0Factorization` holding the executor-resident L.
     """
     if not matrix.size.is_square:
         raise BadDimension(f"IC(0) requires a square matrix, got {matrix.size}")
+    storage = resolve_storage_dtype(storage_precision, matrix.dtype)
     a = matrix._scipy_view().tocsr().astype(np.float64)
     a.sort_indices()
     l_mat = _ic0_arrays(a)
@@ -117,7 +124,7 @@ def ic0(matrix: Csr) -> Ic0Factorization:
     )
     return Ic0Factorization(
         l_factor=Csr.from_scipy(
-            exec_, l_mat, value_dtype=matrix.dtype,
+            exec_, l_mat, value_dtype=storage,
             index_dtype=matrix.index_dtype,
         )
     )

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
+from repro.ginkgo.accessor import resolve_storage_dtype
 from repro.ginkgo.exceptions import BadDimension, GinkgoError
 from repro.ginkgo.matrix.csr import Csr
 from repro.perfmodel import factorization_cost
@@ -78,17 +79,24 @@ def _ilu0_arrays(a: sp.csr_matrix):
     return _build(l_rows), _build(u_rows)
 
 
-def ilu0(matrix: Csr) -> Ilu0Factorization:
+def ilu0(matrix: Csr, storage_precision=None) -> Ilu0Factorization:
     """Factorise a square CSR matrix as ``A ~= L U`` with zero fill-in.
+
+    The elimination itself runs in full (float64) precision — it is a
+    one-off generation cost over Python-float row dicts — and the factors
+    are *stored* at ``storage_precision`` (the system matrix's precision
+    when ``None``), where every subsequent triangular solve reads them.
 
     Args:
         matrix: Square CSR matrix with a structurally full diagonal.
+        storage_precision: Precision the L/U factors are stored at.
 
     Returns:
         An :class:`Ilu0Factorization` with executor-resident L and U.
     """
     if not matrix.size.is_square:
         raise BadDimension(f"ILU(0) requires a square matrix, got {matrix.size}")
+    storage = resolve_storage_dtype(storage_precision, matrix.dtype)
     a = matrix._scipy_view().tocsr().astype(np.float64)
     a.sort_indices()
     l_mat, u_mat = _ilu0_arrays(a)
@@ -104,11 +112,11 @@ def ilu0(matrix: Csr) -> Ilu0Factorization:
     )
     return Ilu0Factorization(
         l_factor=Csr.from_scipy(
-            exec_, l_mat, value_dtype=matrix.dtype,
+            exec_, l_mat, value_dtype=storage,
             index_dtype=matrix.index_dtype,
         ),
         u_factor=Csr.from_scipy(
-            exec_, u_mat, value_dtype=matrix.dtype,
+            exec_, u_mat, value_dtype=storage,
             index_dtype=matrix.index_dtype,
         ),
     )

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
+from repro.ginkgo.accessor import resolve_storage_dtype
 from repro.ginkgo.exceptions import BadDimension, GinkgoError
 from repro.ginkgo.factorization.ilu0 import Ilu0Factorization
 from repro.ginkgo.matrix.csr import Csr
@@ -33,13 +34,19 @@ class ParIluFactorization(Ilu0Factorization):
     sweeps: int = 0
 
 
-def parilu(matrix: Csr, sweeps: int = 5) -> ParIluFactorization:
+def parilu(
+    matrix: Csr, sweeps: int = 5, storage_precision=None
+) -> ParIluFactorization:
     """Approximate ``A ~= L U`` on A's pattern via fixed-point sweeps.
+
+    The sweeps run in full (float64) precision; the factors are stored at
+    ``storage_precision`` (the system matrix's precision when ``None``).
 
     Args:
         matrix: Square CSR matrix with a structurally full diagonal.
         sweeps: Fixed-point iterations; each sweep updates every stored
             entry once from the previous sweep's values (Jacobi style).
+        storage_precision: Precision the L/U factors are stored at.
 
     Returns:
         :class:`ParIluFactorization` with unit-lower L and upper U.
@@ -50,6 +57,7 @@ def parilu(matrix: Csr, sweeps: int = 5) -> ParIluFactorization:
         )
     if sweeps < 1:
         raise GinkgoError(f"sweeps must be >= 1, got {sweeps}")
+    storage = resolve_storage_dtype(storage_precision, matrix.dtype)
     a = matrix._scipy_view().tocsr().astype(np.float64)
     a.sort_indices()
     n = a.shape[0]
@@ -126,11 +134,11 @@ def parilu(matrix: Csr, sweeps: int = 5) -> ParIluFactorization:
 
     return ParIluFactorization(
         l_factor=Csr.from_scipy(
-            exec_, _build(l_rows), value_dtype=matrix.dtype,
+            exec_, _build(l_rows), value_dtype=storage,
             index_dtype=matrix.index_dtype,
         ),
         u_factor=Csr.from_scipy(
-            exec_, _build(u_rows), value_dtype=matrix.dtype,
+            exec_, _build(u_rows), value_dtype=storage,
             index_dtype=matrix.index_dtype,
         ),
         sweeps=sweeps,

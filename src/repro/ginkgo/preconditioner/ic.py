@@ -1,11 +1,14 @@
 """IC preconditioning (``gko::preconditioner::Ic``).
 
 Generates an IC(0) factorisation of a symmetric positive-definite matrix
-and applies ``z = L^{-T} L^{-1} r``.
+and applies ``z = L^{-T} L^{-1} r``.  ``storage_precision`` stores the
+factor reduced (accessor contract: the triangular solves convert at read
+and charge storage-width bytes).
 """
 
 from __future__ import annotations
 
+from repro.ginkgo.accessor import canonical_value_suffix
 from repro.ginkgo.factorization.ic0 import ic0
 from repro.ginkgo.lin_op import Composition, LinOp, LinOpFactory
 from repro.ginkgo.solver.triangular import LowerTrs, UpperTrs
@@ -18,7 +21,9 @@ class IcOperator(LinOp):
 
     def __init__(self, factory: "Ic", matrix) -> None:
         super().__init__(matrix.executor, matrix.size)
-        self._factorization = ic0(matrix)
+        self._factorization = ic0(
+            matrix, storage_precision=factory.storage_precision
+        )
         exec_ = matrix.executor
         self._lower = LowerTrs(exec_).generate(self._factorization.l_factor)
         self._upper = UpperTrs(exec_).generate(self._factorization.lt_factor)
@@ -36,10 +41,19 @@ class IcOperator(LinOp):
 
 
 class Ic(LinOpFactory):
-    """IC preconditioner factory."""
+    """IC preconditioner factory.
 
-    def __init__(self, exec_) -> None:
+    Args:
+        exec_: Executor.
+        storage_precision: Precision the L factor is stored at (``None``
+            stores at the system matrix's precision).
+    """
+
+    def __init__(self, exec_, storage_precision=None) -> None:
         super().__init__(exec_)
+        if storage_precision is not None:
+            canonical_value_suffix(storage_precision)
+        self.storage_precision = storage_precision
 
     def generate(self, matrix) -> IcOperator:
         return IcOperator(self, matrix)

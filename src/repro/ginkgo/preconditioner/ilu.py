@@ -6,6 +6,7 @@ two triangular solves — the preconditioner used in the paper's Listing 1.
 
 from __future__ import annotations
 
+from repro.ginkgo.accessor import canonical_value_suffix
 from repro.ginkgo.exceptions import GinkgoError
 from repro.ginkgo.factorization.ilu0 import ilu0
 from repro.ginkgo.factorization.parilu import parilu
@@ -21,9 +22,15 @@ class IluOperator(LinOp):
     def __init__(self, factory: "Ilu", matrix) -> None:
         super().__init__(matrix.executor, matrix.size)
         if factory.algorithm == "parilu":
-            self._factorization = parilu(matrix, sweeps=factory.sweeps)
+            self._factorization = parilu(
+                matrix,
+                sweeps=factory.sweeps,
+                storage_precision=factory.storage_precision,
+            )
         else:
-            self._factorization = ilu0(matrix)
+            self._factorization = ilu0(
+                matrix, storage_precision=factory.storage_precision
+            )
         exec_ = matrix.executor
         self._lower = LowerTrs(exec_, unit_diagonal=True).generate(
             self._factorization.l_factor
@@ -59,9 +66,18 @@ class Ilu(LinOpFactory):
             ``"parilu"`` (Ginkgo's fixed-point iteration — massively
             parallel, approximate for few sweeps).
         sweeps: Fixed-point sweeps when ``algorithm="parilu"``.
+        storage_precision: Precision the L/U factors are stored at; the
+            triangular solves read them at the solve's working precision
+            (``None`` stores at the system matrix's precision).
     """
 
-    def __init__(self, exec_, algorithm: str = "exact", sweeps: int = 5) -> None:
+    def __init__(
+        self,
+        exec_,
+        algorithm: str = "exact",
+        sweeps: int = 5,
+        storage_precision=None,
+    ) -> None:
         super().__init__(exec_)
         if algorithm not in ("exact", "parilu"):
             raise GinkgoError(
@@ -70,6 +86,9 @@ class Ilu(LinOpFactory):
             )
         self.algorithm = algorithm
         self.sweeps = int(sweeps)
+        if storage_precision is not None:
+            canonical_value_suffix(storage_precision)
+        self.storage_precision = storage_precision
 
     def generate(self, matrix) -> IluOperator:
         return IluOperator(self, matrix)

@@ -12,6 +12,11 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.ginkgo.accessor import (
+    arithmetic_dtype_for,
+    canonical_value_suffix,
+    resolve_storage_dtype,
+)
 from repro.ginkgo.exceptions import BadDimension, GinkgoError
 from repro.ginkgo.lin_op import LinOp, LinOpFactory
 from repro.ginkgo.matrix.csr import Csr
@@ -29,7 +34,14 @@ class IsaiOperator(LinOp):
                 f"Isai requires a square matrix, got {matrix.size}"
             )
         super().__init__(matrix.executor, matrix.size)
-        a = matrix._scipy_view().tocsr().astype(np.float64)
+        self._working_dtype = np.dtype(matrix.dtype)
+        self._storage_dtype = resolve_storage_dtype(
+            factory.storage_precision, self._working_dtype
+        )
+        # The local dense solves run at the working precision (float32
+        # upcast for half systems), not a hard-coded float64.
+        arith = arithmetic_dtype_for(self._working_dtype)
+        a = matrix._scipy_view().tocsr().astype(arith)
         pattern = a.copy()
         for _ in range(factory.sparsity_power - 1):
             pattern = (pattern @ a).tocsr()
@@ -45,7 +57,7 @@ class IsaiOperator(LinOp):
                 continue
             # Solve W[i, J] A[J, J] = e_i[J]  <=>  A[J, J]^T w = e_i[J].
             sub = a_csc[:, j_set][j_set, :].toarray()
-            rhs = np.zeros(j_set.size)
+            rhs = np.zeros(j_set.size, dtype=a.dtype)
             local = np.searchsorted(j_set, i)
             if local < j_set.size and j_set[local] == i:
                 rhs[local] = 1.0
@@ -62,7 +74,7 @@ class IsaiOperator(LinOp):
             (vals, (rows, cols)), shape=(n, n)
         )
         self._approx_inverse = Csr.from_scipy(
-            matrix.executor, approx, value_dtype=matrix.dtype,
+            matrix.executor, approx, value_dtype=self._storage_dtype,
             index_dtype=matrix.index_dtype,
         )
         self._exec.run(
@@ -75,11 +87,42 @@ class IsaiOperator(LinOp):
     def approximate_inverse(self) -> Csr:
         return self._approx_inverse
 
+    @property
+    def is_mixed(self) -> bool:
+        """Whether the inverse is stored below the working precision."""
+        return self._storage_dtype.itemsize < self._working_dtype.itemsize
+
+    def _run_apply(self, plan) -> None:
+        """Cross the mixed binding when the inverse is stored reduced.
+
+        The apply itself is one SpMV with the (storage-precision) inverse:
+        the Csr kernel reads storage-width values and charges storage-width
+        bytes, while numpy promotes the arithmetic to the operand's
+        working precision — the accessor contract.  Uniform applies take
+        the classic route untouched.
+        """
+        if self.is_mixed:
+            from repro.bindings import dispatch  # deferred: registry cycle
+
+            runner = dispatch.resolve(
+                "isai_apply",
+                (
+                    canonical_value_suffix(self._working_dtype),
+                    canonical_value_suffix(self._storage_dtype),
+                ),
+                exec_=self._exec,
+            )
+            runner(self._exec, plan)
+        else:
+            plan()
+
     def _apply_impl(self, b, x) -> None:
-        self._approx_inverse.apply(b, x)
+        self._run_apply(lambda: self._approx_inverse.apply(b, x))
 
     def _apply_advanced_impl(self, alpha, b, beta, x) -> None:
-        self._approx_inverse.apply_advanced(alpha, b, beta, x)
+        self._run_apply(
+            lambda: self._approx_inverse.apply_advanced(alpha, b, beta, x)
+        )
 
 
 class Isai(LinOpFactory):
@@ -88,15 +131,22 @@ class Isai(LinOpFactory):
     Args:
         exec_: Executor.
         sparsity_power: Pattern of ``A^p`` used for the inverse (default 1).
+        storage_precision: Precision the approximate inverse is stored at
+            (``None`` stores at the system matrix's precision).
     """
 
-    def __init__(self, exec_, sparsity_power: int = 1) -> None:
+    def __init__(
+        self, exec_, sparsity_power: int = 1, storage_precision=None
+    ) -> None:
         super().__init__(exec_)
         if sparsity_power < 1:
             raise GinkgoError(
                 f"sparsity_power must be >= 1, got {sparsity_power}"
             )
         self.sparsity_power = int(sparsity_power)
+        if storage_precision is not None:
+            canonical_value_suffix(storage_precision)
+        self.storage_precision = storage_precision
 
     def generate(self, matrix) -> IsaiOperator:
         return IsaiOperator(self, matrix)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.ginkgo.accessor import arithmetic_dtype_for, value_dtype_for
 from repro.ginkgo.exceptions import GinkgoError
 from repro.ginkgo.matrix.base import check_value_dtype
 from repro.ginkgo.solver.base import IterativeSolver, SolverFactory
@@ -33,8 +34,12 @@ class CbGmresSolver(IterativeSolver):
         )
         if krylov_dim < 1:
             raise GinkgoError(f"krylov_dim must be >= 1, got {krylov_dim}")
+        # ``value_dtype_for`` accepts every value-type spelling the config
+        # layer does ("float"/"float32"/...), not just numpy dtypes.
         storage = check_value_dtype(
-            self._factory.params.get("storage_precision", np.float32)
+            value_dtype_for(
+                self._factory.params.get("storage_precision", np.float32)
+            )
         )
         ws = self._workspace
         for c in range(b.size.cols):
@@ -53,6 +58,12 @@ class CbGmresSolver(IterativeSolver):
         ws = self._workspace
         n = b.size.rows
         storage_bytes = storage.itemsize
+        # Host bookkeeping (Hessenberg, Givens, g, y) lives at the working
+        # precision — a float32 solve must not leak float64 arrays — and
+        # the basis decompresses into the arithmetic precision (float32
+        # for half working dtypes, like the engine's half kernels).
+        work = np.dtype(b.dtype)
+        arith = arithmetic_dtype_for(work)
         total_iteration = 0
         w = ws.dense("cb_gmres.w", b.size, b.dtype)
         r = ws.dense("cb_gmres.r", b.size, b.dtype)
@@ -69,22 +80,22 @@ class CbGmresSolver(IterativeSolver):
             basis = ws.array("cb_gmres.basis", (n, m + 1), dtype=storage)
             basis[:, 0] = (r._data[:, 0] / beta).astype(storage)
             exec_.run(blas1_cost("cb_gmres_init", n, storage_bytes, 2))
-            hessenberg = ws.array("cb_gmres.hessenberg", (m + 1, m))
-            givens_cos = ws.array("cb_gmres.givens_cos", m)
-            givens_sin = ws.array("cb_gmres.givens_sin", m)
-            g = ws.array("cb_gmres.g", m + 1)
+            hessenberg = ws.array("cb_gmres.hessenberg", (m + 1, m), dtype=work)
+            givens_cos = ws.array("cb_gmres.givens_cos", m, dtype=work)
+            givens_sin = ws.array("cb_gmres.givens_sin", m, dtype=work)
+            g = ws.array("cb_gmres.g", m + 1, dtype=work)
             g[0] = beta
 
             inner = 0
             stopped = False
             for j in range(m):
                 # w = M^{-1} A v_j: decompress v_j to working precision.
-                w._data[:, 0] = basis[:, j].astype(np.float64)
+                w._data[:, 0] = basis[:, j].astype(arith)
                 A.apply(w, r)
                 M.apply(r, w)
                 # Fused multi-dot against the compressed basis: the reads
                 # move storage-precision bytes.
-                coeffs = basis[:, : j + 1].astype(np.float64).T @ w._data[:, 0]
+                coeffs = basis[:, : j + 1].astype(arith).T @ w._data[:, 0]
                 exec_.run(
                     blas1_cost(
                         "cb_gmres_multidot", n * (j + 1), storage_bytes, 2
@@ -92,7 +103,7 @@ class CbGmresSolver(IterativeSolver):
                 )
                 hessenberg[: j + 1, j] = coeffs
                 w._data[:, 0] -= basis[:, : j + 1].astype(
-                    np.float64
+                    arith
                 ) @ coeffs
                 exec_.run(
                     blas1_cost(
@@ -138,7 +149,7 @@ class CbGmresSolver(IterativeSolver):
                 if stopped or h_next == 0.0:
                     break
 
-            y = ws.array("cb_gmres.y", inner)
+            y = ws.array("cb_gmres.y", inner, dtype=work)
             for i in range(inner - 1, -1, -1):
                 y[i] = (
                     g[i] - hessenberg[i, i + 1 : inner] @ y[i + 1 : inner]
@@ -147,12 +158,12 @@ class CbGmresSolver(IterativeSolver):
                 KernelCost(
                     "hessenberg_trsv",
                     flops=float(inner * inner),
-                    bytes=8.0 * inner * inner,
+                    bytes=float(work.itemsize) * inner * inner,
                     launches=max(inner, 1),
                 )
             )
             # x += V y, reading the compressed basis.
-            x._data[:, 0] += basis[:, :inner].astype(np.float64) @ y
+            x._data[:, 0] += basis[:, :inner].astype(arith) @ y
             exec_.run(
                 blas1_cost("cb_gmres_x_update", n * inner, storage_bytes, 2)
             )

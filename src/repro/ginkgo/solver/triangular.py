@@ -4,6 +4,15 @@ Direct forward/backward substitution on triangular CSR matrices.  These are
 the building blocks ILU/IC preconditioning composes, and the cost model
 charges them with level-scheduling launch counts (triangular solves expose
 far less parallelism than SpMV).
+
+The factor is kept at its own *storage* precision while the substitution
+runs at the operand's working precision: a float64 solve over a
+float32-stored factor converts the factor at read (cached, accessor
+style), routes through the ``trsv_apply_double_float`` binding symbol,
+and charges ``trsv_cost`` at the factor's storage width — the
+mixed-precision contract of :mod:`repro.ginkgo.accessor`.  The old code
+instead forced everything to float64, leaking float64 intermediates into
+float32 solves.
 """
 
 from __future__ import annotations
@@ -12,6 +21,7 @@ import numpy as np
 import scipy.sparse as sp
 from scipy.sparse.linalg import spsolve_triangular
 
+from repro.ginkgo.accessor import arithmetic_dtype_for, canonical_value_suffix
 from repro.ginkgo.exceptions import BadDimension, GinkgoError
 from repro.ginkgo.lin_op import LinOp, LinOpFactory
 from repro.ginkgo.matrix.dense import Dense, _scalar_value
@@ -38,11 +48,14 @@ class _TrsSolver(LinOp):
         self.breakdown = False
         self.final_residual_norm = float("nan")
         self._unit_diagonal = bool(factory.params.get("unit_diagonal", False))
-        tri = sp.csr_matrix(matrix._scipy_view(), dtype=np.float64)
+        # Keep the factor at its own (storage) precision — float16 is
+        # upcast to float32 because SciPy cannot substitute in half.
+        factor_dtype = arithmetic_dtype_for(matrix.dtype)
+        tri = sp.csr_matrix(matrix._scipy_view(), dtype=factor_dtype)
         if self._unit_diagonal:
-            tri = tri + sp.eye(tri.shape[0], format="csr") - sp.diags(
-                tri.diagonal()
-            )
+            tri = tri + sp.eye(
+                tri.shape[0], format="csr", dtype=tri.dtype
+            ) - sp.diags(tri.diagonal())
         else:
             diag = tri.diagonal()
             if np.any(diag == 0):
@@ -51,10 +64,23 @@ class _TrsSolver(LinOp):
                     "unit_diagonal=True for unit-diagonal factors"
                 )
         self._tri = tri.tocsr()
+        #: Working-precision conversions of the factor, cached per dtype
+        #: (the accessor read: factors are immutable once generated).
+        self._tri_reads: dict = {}
 
     @property
     def system_matrix(self):
         return self._matrix
+
+    def _tri_at(self, arith_dtype: np.dtype) -> sp.csr_matrix:
+        """The factor converted to the solve's arithmetic precision."""
+        if self._tri.dtype == arith_dtype:
+            return self._tri
+        cached = self._tri_reads.get(arith_dtype)
+        if cached is None:
+            cached = self._tri.astype(arith_dtype)
+            self._tri_reads[arith_dtype] = cached
+        return cached
 
     def _record(self) -> None:
         self._exec.run(
@@ -66,23 +92,50 @@ class _TrsSolver(LinOp):
             )
         )
 
-    def _apply_impl(self, b: Dense, x: Dense) -> None:
-        result = spsolve_triangular(
-            self._tri, b._data.astype(np.float64), lower=self.lower
+    def _substitute(self, b: Dense) -> np.ndarray:
+        # The operand's precision is the working precision of the solve;
+        # the factor is converted to it at read (up for mixed-storage
+        # preconditioning, float32 for half operands).
+        arith = arithmetic_dtype_for(b.dtype)
+        return spsolve_triangular(
+            self._tri_at(arith), b._data.astype(arith), lower=self.lower
         )
-        np.copyto(x._data, result.astype(x.dtype, copy=False))
-        self._record()
-        self.converged = True
+
+    def _run_apply(self, b: Dense, plan) -> None:
+        """Cross the mixed trsv binding when factor and operand differ."""
+        factor_suffix = canonical_value_suffix(self._matrix.dtype)
+        working_suffix = canonical_value_suffix(b.dtype)
+        if factor_suffix != working_suffix and (
+            np.dtype(self._matrix.dtype).itemsize < np.dtype(b.dtype).itemsize
+        ):
+            from repro.bindings import dispatch  # deferred: registry cycle
+
+            runner = dispatch.resolve(
+                "trsv_apply", (working_suffix, factor_suffix), exec_=self._exec
+            )
+            runner(self._exec, plan)
+        else:
+            plan()
+
+    def _apply_impl(self, b: Dense, x: Dense) -> None:
+        def plan():
+            result = self._substitute(b)
+            np.copyto(x._data, result.astype(x.dtype, copy=False))
+            self._record()
+            self.converged = True
+
+        self._run_apply(b, plan)
 
     def _apply_advanced_impl(self, alpha, b: Dense, beta, x: Dense) -> None:
-        a = _scalar_value(alpha)
-        bt = _scalar_value(beta)
-        result = spsolve_triangular(
-            self._tri, b._data.astype(np.float64), lower=self.lower
-        )
-        x._data *= x.dtype.type(bt)
-        x._data += x.dtype.type(a) * result.astype(x.dtype, copy=False)
-        self._record()
+        def plan():
+            a = _scalar_value(alpha)
+            bt = _scalar_value(beta)
+            result = self._substitute(b)
+            x._data *= x.dtype.type(bt)
+            x._data += x.dtype.type(a) * result.astype(x.dtype, copy=False)
+            self._record()
+
+        self._run_apply(b, plan)
 
 
 class _LowerTrsSolver(_TrsSolver):

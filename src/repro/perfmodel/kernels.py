@@ -63,6 +63,25 @@ class KernelCost:
 #: Fraction of a value-sized read charged per nonzero for gathering x.
 GATHER_FRACTION = 1.0
 
+#: Value width in bytes -> numpy dtype name (paper Table 1).
+_WIDTH_DTYPE_NAMES = {2: "float16", 4: "float32", 8: "float64"}
+
+
+def _dtype_name_for_width(value_bytes: int) -> str:
+    """The dtype name charged for a value width, with a clear failure.
+
+    Raises:
+        ValueError: For widths outside the supported {2, 4, 8} bytes.
+    """
+    try:
+        return _WIDTH_DTYPE_NAMES[value_bytes]
+    except KeyError:
+        raise ValueError(
+            f"unsupported value width {value_bytes!r} bytes; supported "
+            f"widths: {sorted(_WIDTH_DTYPE_NAMES)} "
+            f"({', '.join(_WIDTH_DTYPE_NAMES[w] for w in sorted(_WIDTH_DTYPE_NAMES))})"
+        ) from None
+
 
 def spmv_cost(
     fmt: str,
@@ -94,7 +113,7 @@ def spmv_cost(
     """
     if num_rows < 0 or num_cols < 0 or nnz < 0 or num_rhs < 1:
         raise ValueError("matrix dimensions and nnz must be non-negative")
-    dtype_name = {2: "float16", 4: "float32", 8: "float64"}[value_bytes]
+    dtype_name = _dtype_name_for_width(value_bytes)
     flops = 2.0 * nnz * num_rhs
     gather = GATHER_FRACTION * nnz * value_bytes * num_rhs
     out = num_rows * value_bytes * num_rhs
@@ -155,7 +174,7 @@ def blas1_cost(
     """
     if length < 0:
         raise ValueError("length must be non-negative")
-    dtype_name = {2: "float16", 4: "float32", 8: "float64"}[value_bytes]
+    dtype_name = _dtype_name_for_width(value_bytes)
     return KernelCost(
         name=name,
         flops=float(length) * max(1, num_vectors - 1),
@@ -185,7 +204,7 @@ def fused_axpby_cost(
         raise ValueError("length must be non-negative")
     if num_inputs < 1:
         raise ValueError("a fused chain reads at least one input vector")
-    dtype_name = {2: "float16", 4: "float32", 8: "float64"}[value_bytes]
+    dtype_name = _dtype_name_for_width(value_bytes)
     return KernelCost(
         name="fused_axpby",
         flops=float(length) * max(1, flops_per_element),
@@ -226,7 +245,7 @@ def dot_cost(length: int, value_bytes: int, num_rhs: int = 1) -> KernelCost:
     """Cost of a dot product / norm reduction (two launches: map + reduce)."""
     if length < 0:
         raise ValueError("length must be non-negative")
-    dtype_name = {2: "float16", 4: "float32", 8: "float64"}[value_bytes]
+    dtype_name = _dtype_name_for_width(value_bytes)
     return KernelCost(
         name="dot",
         flops=2.0 * length * num_rhs,
@@ -246,7 +265,7 @@ def trsv_cost(
     """
     if num_rows < 0 or nnz < 0:
         raise ValueError("dimensions must be non-negative")
-    dtype_name = {2: "float16", 4: "float32", 8: "float64"}[value_bytes]
+    dtype_name = _dtype_name_for_width(value_bytes)
     levels = max(1, int(num_rows**0.5) // 8)
     return KernelCost(
         name="trsv",
@@ -261,7 +280,7 @@ def factorization_cost(
     kind: str, num_rows: int, nnz: int, value_bytes: int, index_bytes: int
 ) -> KernelCost:
     """Cost of generating a factorisation/preconditioner (ILU0, IC0, Jacobi)."""
-    dtype_name = {2: "float16", 4: "float32", 8: "float64"}[value_bytes]
+    dtype_name = _dtype_name_for_width(value_bytes)
     if kind in ("ilu0", "ic0"):
         sweep = nnz * (value_bytes + index_bytes) * 4.0
         return KernelCost(
@@ -291,7 +310,7 @@ def conversion_cost(
     index_bytes: int,
 ) -> KernelCost:
     """Cost of converting between storage formats (read src + write dst)."""
-    dtype_name = {2: "float16", 4: "float32", 8: "float64"}[value_bytes]
+    dtype_name = _dtype_name_for_width(value_bytes)
     per_nnz = value_bytes + 2 * index_bytes
     return KernelCost(
         name=f"convert_{src_fmt}_to_{dst_fmt}",

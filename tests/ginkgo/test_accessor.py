@@ -1,0 +1,186 @@
+"""Tests for the storage-vs-arithmetic precision accessor layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ginkgo.accessor import (
+    ADAPTIVE_FLOAT_COND_LIMIT,
+    ADAPTIVE_HALF_COND_LIMIT,
+    SUFFIX_DTYPES,
+    VALUE_SUFFIX_ALIASES,
+    ReducedPrecisionAccessor,
+    arithmetic_dtype_for,
+    canonical_value_suffix,
+    resolve_storage_dtype,
+    select_block_precision,
+    value_dtype_for,
+)
+from repro.ginkgo.exceptions import GinkgoError
+from repro.perfmodel import blas1_cost, spmv_cost, trsv_cost
+
+
+class TestCanonicalValueSuffix:
+    @pytest.mark.parametrize("spelling", sorted(VALUE_SUFFIX_ALIASES))
+    def test_every_accepted_spelling(self, spelling):
+        suffix = canonical_value_suffix(spelling)
+        assert suffix in SUFFIX_DTYPES
+
+    @pytest.mark.parametrize(
+        "spelling, expected",
+        [
+            ("half", "half"),
+            ("float16", "half"),
+            ("float", "float"),
+            ("float32", "float"),
+            ("single", "float"),
+            ("double", "double"),
+            ("float64", "double"),
+        ],
+    )
+    def test_alias_table(self, spelling, expected):
+        assert canonical_value_suffix(spelling) == expected
+
+    def test_spellings_are_case_insensitive(self):
+        assert canonical_value_suffix("Float32") == "float"
+        assert canonical_value_suffix("DOUBLE") == "double"
+
+    @pytest.mark.parametrize(
+        "dtype, expected",
+        [
+            (np.float16, "half"),
+            (np.float32, "float"),
+            (np.float64, "double"),
+            (np.dtype(np.float32), "float"),
+        ],
+    )
+    def test_numpy_dtypes(self, dtype, expected):
+        assert canonical_value_suffix(dtype) == expected
+
+    def test_unknown_spelling_lists_accepted(self):
+        with pytest.raises(GinkgoError) as excinfo:
+            canonical_value_suffix("quad")
+        message = str(excinfo.value)
+        for spelling in VALUE_SUFFIX_ALIASES:
+            assert spelling in message
+
+
+class TestDtypeResolution:
+    @pytest.mark.parametrize(
+        "spec, expected",
+        [
+            ("half", np.float16),
+            ("float32", np.float32),
+            ("double", np.float64),
+            (np.float32, np.float32),
+        ],
+    )
+    def test_value_dtype_for(self, spec, expected):
+        assert value_dtype_for(spec) == np.dtype(expected)
+
+    def test_storage_defaults_to_working(self):
+        assert resolve_storage_dtype(None, np.float64) == np.float64
+        assert resolve_storage_dtype(None, np.float32) == np.float32
+
+    def test_storage_spelling_resolves(self):
+        assert resolve_storage_dtype("float", np.float64) == np.float32
+        assert resolve_storage_dtype("half", np.float64) == np.float16
+
+    def test_half_arithmetic_upcasts_to_float(self):
+        # SciPy cannot compute in half; mirror Ginkgo's half kernels.
+        assert arithmetic_dtype_for(np.float16) == np.float32
+        assert arithmetic_dtype_for(np.float32) == np.float32
+        assert arithmetic_dtype_for(np.float64) == np.float64
+
+
+class TestSelectBlockPrecision:
+    def test_well_conditioned_gets_half(self):
+        assert select_block_precision(1.0, np.float64) == np.float16
+        assert (
+            select_block_precision(ADAPTIVE_HALF_COND_LIMIT, np.float64)
+            == np.float16
+        )
+
+    def test_moderate_condition_gets_float(self):
+        assert select_block_precision(1.0e4, np.float64) == np.float32
+        assert (
+            select_block_precision(ADAPTIVE_FLOAT_COND_LIMIT, np.float64)
+            == np.float32
+        )
+
+    def test_ill_conditioned_gets_double(self):
+        assert select_block_precision(1.0e8, np.float64) == np.float64
+
+    def test_capped_at_working_precision(self):
+        # A float32 solve never stores *wider* than float32.
+        assert select_block_precision(1.0e8, np.float32) == np.float32
+
+    @pytest.mark.parametrize("cond", [float("nan"), float("inf"), 0.0, -1.0])
+    def test_degenerate_estimates_stay_at_working(self, cond):
+        assert select_block_precision(cond, np.float64) == np.float64
+
+
+class TestReducedPrecisionAccessor:
+    def test_uniform_read_is_passthrough(self):
+        values = np.arange(4, dtype=np.float64)
+        acc = ReducedPrecisionAccessor(values, np.float64)
+        assert acc.is_uniform
+        # Byte-identity of the uniform path rests on this: the very same
+        # array object, no copy, no round-trip.
+        assert acc.read() is acc.stored
+
+    def test_reduced_read_converts_and_caches(self):
+        values = np.array([1.0, 1.0 / 3.0], dtype=np.float64)
+        acc = ReducedPrecisionAccessor(values, np.float32)
+        assert not acc.is_uniform
+        assert acc.stored.dtype == np.float32
+        read = acc.read()
+        assert read.dtype == np.float64
+        assert read is acc.read()  # cached conversion
+        # The value went through float32 storage: precision was dropped.
+        assert read[1] == np.float64(np.float32(1.0 / 3.0))
+
+    def test_half_values_read_at_float32_arithmetic(self):
+        # Half values default to float32 arithmetic (the half-kernel
+        # contract); an explicit arithmetic dtype overrides.
+        values = np.arange(4, dtype=np.float16)
+        acc = ReducedPrecisionAccessor(values, np.float16)
+        assert acc.storage_dtype == np.float16
+        assert acc.arithmetic_dtype == np.float32
+        assert acc.read().dtype == np.float32
+        explicit = ReducedPrecisionAccessor(
+            np.arange(4, dtype=np.float64), np.float16,
+            arithmetic_dtype=np.float64,
+        )
+        assert explicit.arithmetic_dtype == np.float64
+
+    def test_storage_bytes_reflect_storage_width(self):
+        values = np.arange(8, dtype=np.float64)
+        assert ReducedPrecisionAccessor(values, np.float32).storage_bytes == 4
+        assert ReducedPrecisionAccessor(values, np.float16).nbytes == 16
+
+
+class TestKernelWidthValidation:
+    """Unknown value widths raise a clear ValueError, not a KeyError."""
+
+    def test_spmv_cost_rejects_unknown_width(self):
+        with pytest.raises(ValueError) as excinfo:
+            spmv_cost("csr", 4, 4, 8, 3, 4)
+        message = str(excinfo.value)
+        assert "3" in message
+        assert "[2, 4, 8]" in message
+        assert "float32" in message
+
+    def test_blas1_cost_rejects_unknown_width(self):
+        with pytest.raises(ValueError, match=r"supported widths"):
+            blas1_cost("axpy", 16, 16, 2)
+
+    def test_trsv_cost_rejects_unknown_width(self):
+        with pytest.raises(ValueError, match=r"supported widths"):
+            trsv_cost(4, 8, 5, 4)
+
+    @pytest.mark.parametrize("width", [2, 4, 8])
+    def test_supported_widths_still_work(self, width):
+        cost = spmv_cost("csr", 4, 4, 8, width, 4)
+        assert cost.bytes > 0

@@ -1,0 +1,381 @@
+"""Mixed-precision preconditioning: byte-identity, convergence, no leaks.
+
+Covers the ISSUE-10 acceptance criteria:
+
+* the default uniform-precision path is byte-identical to the pre-PR
+  residual histories (recorded in ``tests/baselines``) across all 10
+  scalar solvers;
+* float32-storage preconditioners converge within a pinned iteration
+  bound of the uniform solves;
+* a float32 system no longer produces any float64 preconditioner
+  storage, apply output, or kernel charge;
+* mixed applies route through the mixed-suffix binding symbols, and the
+  config/dispatch layers accept every value-type spelling end-to-end.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import json
+import struct
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bindings import dispatch
+from repro.ginkgo.accessor import VALUE_SUFFIX_ALIASES
+from repro.ginkgo.executor import ReferenceExecutor
+from repro.ginkgo.log import ConvergenceLogger, ProfilerHook
+from repro.ginkgo.matrix import Csr, Dense
+from repro.ginkgo.preconditioner import Ic, Ilu, Isai, Jacobi
+from repro.ginkgo.solver import CbGmres, Cg, Gmres
+from repro.ginkgo.stop import Iteration, ResidualNorm
+from repro.perfmodel import spmv_cost, trsv_cost
+
+BASELINE_DIR = Path(__file__).resolve().parent.parent / "baselines"
+
+_spec = importlib.util.spec_from_file_location(
+    "record_uniform_histories",
+    BASELINE_DIR / "record_uniform_histories.py",
+)
+recorder = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("record_uniform_histories", recorder)
+_spec.loader.exec_module(recorder)
+
+BASELINES = json.loads(
+    (BASELINE_DIR / "uniform_float64_histories.json").read_text()
+)
+
+#: Reduced-precision storage must not move iteration counts beyond this.
+ITER_TOLERANCE = 2
+
+
+# ----------------------------------------------------------------------
+# (a) uniform float64 solves: byte-identical to the pre-PR baselines
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "name, solver_cls, params, matrix_kind, precond_spec",
+    recorder.CASES,
+    ids=[case[0] for case in recorder.CASES],
+)
+def test_uniform_float64_byte_identical(
+    name, solver_cls, params, matrix_kind, precond_spec
+):
+    result = recorder.run_case(solver_cls, params, matrix_kind, precond_spec)
+    baseline = BASELINES[name]
+    assert result["num_iterations"] == baseline["num_iterations"]
+    assert result["converged"] == baseline["converged"]
+    assert result["residual_history_hex"] == baseline["residual_history_hex"]
+    assert result["solution_hex"] == baseline["solution_hex"]
+
+
+# ----------------------------------------------------------------------
+# (b) float32 storage converges within the pinned iteration bound
+# ----------------------------------------------------------------------
+MIXED_CASES = [
+    ("cg/jacobi", Cg, "spd", Jacobi, {}),
+    ("cg/jacobi4", Cg, "spd", Jacobi, {"max_block_size": 4}),
+    ("cg/ic", Cg, "spd", Ic, {}),
+    ("cg/isai", Cg, "spd", Isai, {}),
+    ("gmres/ilu", Gmres, "general", Ilu, {}),
+    ("gmres/parilu", Gmres, "general", Ilu, {"algorithm": "parilu"}),
+]
+
+
+def _solve(solver_cls, matrix_kind, precond_cls, precond_params, storage):
+    exec_ = ReferenceExecutor.create(noisy=False)
+    scipy_mat = (
+        recorder.spd_matrix()
+        if matrix_kind == "spd"
+        else recorder.general_matrix()
+    )
+    mtx = Csr.from_scipy(exec_, scipy_mat)
+    params = dict(precond_params)
+    if storage is not None:
+        params["storage_precision"] = storage
+    solver = solver_cls(
+        exec_,
+        criteria=Iteration(300) | ResidualNorm(1e-10),
+        preconditioner=precond_cls(exec_, **params),
+    ).generate(mtx)
+    n = scipy_mat.shape[0]
+    b = Dense.full(exec_, (n, 1), 1.0, np.float64)
+    x = Dense.zeros(exec_, (n, 1), np.float64)
+    solver.apply(b, x)
+    return solver
+
+
+@pytest.mark.parametrize(
+    "name, solver_cls, matrix_kind, precond_cls, precond_params",
+    MIXED_CASES,
+    ids=[case[0] for case in MIXED_CASES],
+)
+def test_float32_storage_iterations_pinned(
+    name, solver_cls, matrix_kind, precond_cls, precond_params
+):
+    uniform = _solve(solver_cls, matrix_kind, precond_cls, precond_params, None)
+    mixed = _solve(
+        solver_cls, matrix_kind, precond_cls, precond_params, "float"
+    )
+    assert uniform.converged and mixed.converged
+    assert (
+        abs(mixed.num_iterations - uniform.num_iterations) <= ITER_TOLERANCE
+    )
+
+
+# ----------------------------------------------------------------------
+# float32 systems: no float64 storage, output, or kernel charge
+# ----------------------------------------------------------------------
+def _float32_system(exec_):
+    mtx = Csr.from_scipy(
+        exec_, recorder.spd_matrix().astype(np.float32)
+    )
+    n = mtx.size[0]
+    b = Dense.full(exec_, (n, 1), 1.0, np.float32)
+    x = Dense.zeros(exec_, (n, 1), np.float32)
+    return mtx, b, x
+
+
+def test_float32_jacobi_no_float64_leak():
+    exec_ = ReferenceExecutor.create(noisy=False)
+    mtx, b, x = _float32_system(exec_)
+    op = Jacobi(exec_).generate(mtx)
+    assert set(op.storage_dtypes) == {np.dtype(np.float32)}
+    exec_.clock.enable_event_log()
+    op.apply(b, x)
+    assert x.to_numpy().dtype == np.float32
+    n = mtx.size[0]
+    # The apply charge moved float32 bytes, not float64 bytes.
+    apply_event = exec_.clock.events[-1]
+    assert apply_event.bytes == spmv_cost(
+        "csr", n, n, n, 4, mtx.index_bytes
+    ).bytes
+
+
+def test_float32_block_jacobi_output_dtype():
+    exec_ = ReferenceExecutor.create(noisy=False)
+    mtx, b, x = _float32_system(exec_)
+    op = Jacobi(exec_, max_block_size=4).generate(mtx)
+    assert set(op.storage_dtypes) == {np.dtype(np.float32)}
+    op.apply(b, x)
+    # The pre-accessor code allocated the block output float64.
+    assert x.to_numpy().dtype == np.float32
+
+
+def test_float32_ilu_factors_and_trsv_charge():
+    exec_ = ReferenceExecutor.create(noisy=False)
+    mtx, b, x = _float32_system(exec_)
+    op = Ilu(exec_).generate(mtx)
+    factorization = op.factorization
+    assert factorization.l_factor.dtype == np.float32
+    assert factorization.u_factor.dtype == np.float32
+    exec_.clock.enable_event_log()
+    op.apply(b, x)
+    assert x.to_numpy().dtype == np.float32
+    trsv_events = [e for e in exec_.clock.events if e.name == "trsv"]
+    assert trsv_events
+    n = mtx.size[0]
+    for event, factor in zip(
+        trsv_events, (factorization.u_factor, factorization.l_factor)
+    ):
+        assert event.bytes == trsv_cost(
+            n, factor.nnz, 4, factor.index_bytes
+        ).bytes
+
+
+def test_float32_ic_and_isai_storage():
+    exec_ = ReferenceExecutor.create(noisy=False)
+    mtx, b, x = _float32_system(exec_)
+    ic_op = Ic(exec_).generate(mtx)
+    assert ic_op.factorization.l_factor.dtype == np.float32
+    isai_op = Isai(exec_).generate(mtx)
+    assert isai_op.approximate_inverse.dtype == np.float32
+    isai_op.apply(b, x)
+    assert x.to_numpy().dtype == np.float32
+
+
+# ----------------------------------------------------------------------
+# mixed binding symbols: registered, resolved, and attributed
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "op", ["jacobi_apply", "trsv_apply", "isai_apply"]
+)
+@pytest.mark.parametrize(
+    "pair", [("double", "float"), ("double", "half"), ("float", "half")]
+)
+def test_mixed_symbols_registered(op, pair):
+    working, storage = pair
+    symbol = dispatch.symbol_for(op, (working, storage))
+    assert symbol == f"{op}_{working}_{storage}"
+    runner = dispatch.resolve(op, (working, storage))
+    assert runner(None, lambda: "ran") == "ran"
+
+
+def test_uniform_tuple_collapses_to_plain_suffix():
+    assert dispatch.symbol_for("jacobi_apply", ("double", "double")) == (
+        "jacobi_apply_double"
+    )
+    assert dispatch.symbol_for("jacobi_apply", ("double", None)) == (
+        "jacobi_apply_double"
+    )
+
+
+def test_mixed_jacobi_apply_routes_mixed_symbol():
+    exec_ = ReferenceExecutor.create(noisy=False)
+    mtx = Csr.from_scipy(exec_, recorder.spd_matrix())
+    op = Jacobi(exec_, storage_precision="float").generate(mtx)
+    assert op.is_mixed
+    n = mtx.size[0]
+    b = Dense.full(exec_, (n, 1), 1.0, np.float64)
+    x = Dense.zeros(exec_, (n, 1), np.float64)
+    prof = ProfilerHook()
+    prof.attach(exec_)
+    op.apply(b, x)
+    prof.detach(exec_)
+    prof.close()
+    labels = set()
+
+    def walk(span):
+        if span.category == "binding":
+            labels.add(span.name)
+        for child in span.children:
+            walk(child)
+
+    for root in prof.trace.roots:
+        walk(root)
+    assert "jacobi_apply_double_float" in labels
+    # Output stays at the solver's working precision.
+    assert x.to_numpy().dtype == np.float64
+
+
+def test_uniform_jacobi_apply_crosses_no_mixed_symbol():
+    exec_ = ReferenceExecutor.create(noisy=False)
+    mtx = Csr.from_scipy(exec_, recorder.spd_matrix())
+    op = Jacobi(exec_).generate(mtx)
+    assert not op.is_mixed
+    before = dispatch.cache_size()
+    n = mtx.size[0]
+    b = Dense.full(exec_, (n, 1), 1.0, np.float64)
+    x = Dense.zeros(exec_, (n, 1), np.float64)
+    op.apply(b, x)
+    # The uniform path performs no extra dispatch resolution at all.
+    assert dispatch.cache_size() == before
+
+
+# ----------------------------------------------------------------------
+# adaptive per-block storage selection
+# ----------------------------------------------------------------------
+def test_adaptive_jacobi_picks_narrow_storage():
+    exec_ = ReferenceExecutor.create(noisy=False)
+    mtx = Csr.from_scipy(exec_, recorder.spd_matrix())
+    op = Jacobi(
+        exec_, max_block_size=4, storage_precision="adaptive"
+    ).generate(mtx)
+    # The shifted tridiagonal's blocks are well conditioned: every block
+    # lands below the working precision.
+    assert op.is_mixed
+    assert all(
+        dt.itemsize < np.dtype(np.float64).itemsize
+        for dt in op.storage_dtypes
+    )
+
+
+def test_adaptive_jacobi_capped_at_float32_working():
+    exec_ = ReferenceExecutor.create(noisy=False)
+    mtx, _, _ = _float32_system(exec_)
+    op = Jacobi(
+        exec_, max_block_size=4, storage_precision="adaptive"
+    ).generate(mtx)
+    assert all(
+        dt.itemsize <= np.dtype(np.float32).itemsize
+        for dt in op.storage_dtypes
+    )
+
+
+# ----------------------------------------------------------------------
+# value-type aliases: config -> dispatch, one table, every spelling
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("spelling", sorted(VALUE_SUFFIX_ALIASES))
+def test_alias_accepted_by_config_and_dispatch(spelling):
+    # The config package re-exports `validate` the function, shadowing
+    # the module; import the module explicitly.
+    validate_mod = importlib.import_module("repro.ginkgo.config.validate")
+    assert spelling in validate_mod.VALUE_TYPES
+    validate_mod.validate(
+        {
+            "type": "solver::Cg",
+            "value_type": spelling,
+            "criteria": [{"type": "stop::Iteration", "max_iters": 1}],
+        }
+    )
+    # A spelling the config layer accepts must resolve at dispatch too.
+    symbol = dispatch.symbol_for("axpy", spelling)
+    assert symbol.startswith("axpy_")
+    assert dispatch.resolve("axpy", spelling) is not None
+
+
+@pytest.mark.parametrize("spelling", sorted(VALUE_SUFFIX_ALIASES))
+def test_alias_accepted_as_storage_precision(spelling):
+    validate_mod = importlib.import_module("repro.ginkgo.config.validate")
+    validate_mod.validate(
+        {
+            "type": "solver::Cg",
+            "criteria": [{"type": "stop::Iteration", "max_iters": 1}],
+            "preconditioner": {
+                "type": "jacobi",
+                "storage_precision": spelling,
+            },
+        }
+    )
+
+
+# ----------------------------------------------------------------------
+# CB-GMRES host bookkeeping at the working precision
+# ----------------------------------------------------------------------
+#: Pre-recorded float32 CB-GMRES residual history (Jacobi, spd matrix,
+#: Iteration(300) | ResidualNorm(1e-6)).  Every value is exactly
+#: float32-representable — the host bookkeeping (Hessenberg, Givens, g)
+#: runs at the working precision instead of leaking float64.
+CB_GMRES_FLOAT32_HISTORY_HEX = [
+    "da4e4fb1defb1e40",
+    "0000002030ccc53f",
+    "000000c02e49a53f",
+    "00000040fe8e863f",
+    "000000202520683f",
+    "000000e0b0d2493f",
+    "000000a0b8a32b3f",
+    "00000060a5940d3f",
+    "0000000085a7ef3e",
+    "000000208befd03e",
+]
+
+
+def test_cb_gmres_float32_history_pinned():
+    exec_ = ReferenceExecutor.create(noisy=False)
+    mtx = Csr.from_scipy(exec_, recorder.spd_matrix().astype(np.float32))
+    solver = CbGmres(
+        exec_,
+        criteria=Iteration(300) | ResidualNorm(1e-6),
+        preconditioner=Jacobi(exec_),
+    ).generate(mtx)
+    logger = ConvergenceLogger()
+    solver.add_logger(logger)
+    n = mtx.size[0]
+    b = Dense.full(exec_, (n, 1), 1.0, np.float32)
+    x = Dense.zeros(exec_, (n, 1), np.float32)
+    solver.apply(b, x)
+    assert solver.converged
+    assert x.to_numpy().dtype == np.float32
+    history = [
+        struct.pack("<d", float(v)).hex() for v in logger.residual_norms
+    ]
+    assert history == CB_GMRES_FLOAT32_HISTORY_HEX
+
+
+def test_cb_gmres_float32_history_is_float32_representable():
+    for hex_bits in CB_GMRES_FLOAT32_HISTORY_HEX[1:]:
+        value = struct.unpack("<d", bytes.fromhex(hex_bits))[0]
+        assert float(np.float32(value)) == value
